@@ -1,0 +1,209 @@
+//! State and helpers shared by every baseline protocol.
+//!
+//! All baselines expose the same observable surface as C5 — an applied
+//! watermark, a transaction-aligned exposed prefix, replication-lag samples —
+//! so the experiments measure every protocol identically. This module holds
+//! that machinery so each baseline only implements its own *ordering policy*
+//! (what may run in parallel with what).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use c5_common::{OpCost, SeqNo, Timestamp};
+use c5_core::lag::LagTracker;
+use c5_core::progress::WatermarkTracker;
+use c5_core::replica::{ReadView, ReplicaMetrics};
+use c5_core::snapshotter::SnapshotCursor;
+use c5_log::{now_nanos, LogRecord, Segment};
+use c5_storage::MvStore;
+
+/// Shared bookkeeping for a baseline replica.
+pub struct BaselineShared {
+    /// The backup's store.
+    pub store: Arc<MvStore>,
+    /// Applied-prefix tracker.
+    pub tracker: WatermarkTracker,
+    /// Replication-lag samples.
+    pub lag: Arc<LagTracker>,
+    /// Exposed-prefix cursor (timestamped; baselines expose the latest
+    /// transaction-aligned applied prefix).
+    pub cursor: SnapshotCursor,
+    /// Transaction boundaries awaiting exposure, in log order.
+    boundaries: Mutex<std::collections::VecDeque<(SeqNo, u64)>>,
+    /// Per-operation cost model (`d`).
+    pub op_cost: OpCost,
+    applied_writes: AtomicU64,
+    applied_txns: AtomicU64,
+    final_seq: AtomicU64,
+}
+
+impl BaselineShared {
+    /// Creates shared state over `store`.
+    pub fn new(store: Arc<MvStore>, op_cost: OpCost) -> Arc<Self> {
+        let cursor = SnapshotCursor::timestamped(Arc::clone(&store));
+        Arc::new(Self {
+            store,
+            tracker: WatermarkTracker::new(),
+            lag: Arc::new(LagTracker::new()),
+            cursor,
+            boundaries: Mutex::new(std::collections::VecDeque::new()),
+            op_cost,
+            applied_writes: AtomicU64::new(0),
+            applied_txns: AtomicU64::new(0),
+            final_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Records the transaction boundaries of a segment (call from the
+    /// dispatch path, in log order) and remembers the last position seen.
+    pub fn note_segment(&self, segment: &Segment) {
+        let mut boundaries = self.boundaries.lock();
+        for record in &segment.records {
+            if record.is_txn_last() {
+                boundaries.push_back((record.seq, record.commit_wall_nanos));
+            }
+        }
+        if let Some(last) = segment.last_seq() {
+            self.final_seq.fetch_max(last.as_u64(), Ordering::Release);
+        }
+    }
+
+    /// Installs one record's write into the store (the caller is responsible
+    /// for only calling this when the protocol's ordering policy allows it),
+    /// charging the backup-side cost and updating progress counters.
+    pub fn install_record(&self, record: &LogRecord) {
+        self.op_cost.charge_backup();
+        self.store.install(
+            record.write.row,
+            Timestamp(record.seq.as_u64()),
+            record.write.kind,
+            record.write.value.clone(),
+        );
+        self.tracker.mark_applied(record.seq, record.is_txn_last());
+        self.applied_writes.fetch_add(1, Ordering::Relaxed);
+        if record.is_txn_last() {
+            self.applied_txns.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Advances the exposed prefix to the latest transaction-aligned applied
+    /// position and records lag samples for the newly exposed transactions.
+    pub fn expose_progress(&self) {
+        let n = self.tracker.boundary_watermark();
+        if n > self.cursor.exposed() {
+            self.cursor.advance(n);
+        }
+        let exposed = self.cursor.exposed();
+        let now = now_nanos();
+        let mut boundaries = self.boundaries.lock();
+        while let Some(&(seq, committed_at)) = boundaries.front() {
+            if seq <= exposed {
+                boundaries.pop_front();
+                self.lag.record(seq, committed_at, now);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The last log position shipped to this replica so far.
+    pub fn final_seq(&self) -> SeqNo {
+        SeqNo(self.final_seq.load(Ordering::Acquire))
+    }
+
+    /// Blocks until every shipped write has been applied and exposed.
+    pub fn wait_drained(&self) {
+        let target = self.final_seq();
+        while self.tracker.applied_watermark() < target {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        self.expose_progress();
+    }
+
+    /// A read view of the exposed prefix.
+    pub fn read_view(&self) -> Box<dyn ReadView> {
+        self.cursor.read_view()
+    }
+
+    /// Progress counters in the shared format.
+    pub fn metrics(&self) -> ReplicaMetrics {
+        ReplicaMetrics {
+            applied_writes: self.applied_writes.load(Ordering::Relaxed),
+            applied_txns: self.applied_txns.load(Ordering::Relaxed),
+            applied_seq: self.tracker.applied_watermark(),
+            exposed_seq: self.cursor.exposed(),
+            deferred_retries: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for BaselineShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselineShared")
+            .field("applied", &self.tracker.applied_watermark())
+            .field("exposed", &self.cursor.exposed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c5_common::{RowRef, RowWrite, TxnId, Value};
+    use c5_log::{segments_from_entries, TxnEntry};
+
+    fn segment() -> Segment {
+        let entries = vec![
+            TxnEntry::new(
+                TxnId(1),
+                Timestamp(1),
+                vec![
+                    RowWrite::insert(RowRef::new(0, 1), Value::from_u64(1)),
+                    RowWrite::insert(RowRef::new(0, 2), Value::from_u64(2)),
+                ],
+            ),
+            TxnEntry::new(
+                TxnId(2),
+                Timestamp(2),
+                vec![RowWrite::update(RowRef::new(0, 1), Value::from_u64(10))],
+            ),
+        ];
+        segments_from_entries(&entries, 16).remove(0)
+    }
+
+    #[test]
+    fn install_and_expose_track_progress_and_lag() {
+        let shared = BaselineShared::new(Arc::new(MvStore::default()), OpCost::free());
+        let seg = segment();
+        shared.note_segment(&seg);
+        for record in &seg.records {
+            shared.install_record(record);
+        }
+        shared.expose_progress();
+
+        let metrics = shared.metrics();
+        assert_eq!(metrics.applied_writes, 3);
+        assert_eq!(metrics.applied_txns, 2);
+        assert_eq!(metrics.applied_seq, SeqNo(3));
+        assert_eq!(metrics.exposed_seq, SeqNo(3));
+        assert_eq!(shared.lag.len(), 2);
+        assert_eq!(shared.final_seq(), SeqNo(3));
+
+        let view = shared.read_view();
+        assert_eq!(view.get(RowRef::new(0, 1)).unwrap().as_u64(), Some(10));
+    }
+
+    #[test]
+    fn exposure_waits_for_transaction_boundaries() {
+        let shared = BaselineShared::new(Arc::new(MvStore::default()), OpCost::free());
+        let seg = segment();
+        shared.note_segment(&seg);
+        // Apply only the first write of txn 1.
+        shared.install_record(&seg.records[0]);
+        shared.expose_progress();
+        assert_eq!(shared.metrics().exposed_seq, SeqNo::ZERO);
+        assert_eq!(shared.lag.len(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * the explicit per-row queue structure of Section 4.1 versus the embedded
+//!   `prev_seq` FIFOs of Section 7.2 (why the production scheduler embeds the
+//!   queues in the log);
+//! * the C5-MyRocks one-worker-per-transaction constraint versus faithful
+//!   row-granularity execution;
+//! * the snapshot-interval knob `I` of Section 5.2.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use c5_bench::harness::{preload, ReplicaSpec};
+use c5_common::{ReplicaConfig, RowRef, RowWrite, Timestamp, TxnId, Value};
+use c5_core::design_queues::RowQueueScheduler;
+use c5_core::replica::drive_segments;
+use c5_core::scheduler::SchedulerState;
+use c5_log::{segments_from_entries, Segment, TxnEntry};
+use c5_storage::MvStore;
+use c5_workloads::synthetic::adversarial_population;
+
+fn mixed_log(txns: u64) -> Vec<Segment> {
+    let hot = c5_workloads::synthetic::hot_row();
+    let entries: Vec<TxnEntry> = (1..=txns)
+        .map(|t| {
+            let mut writes: Vec<RowWrite> = (0..4)
+                .map(|i| RowWrite::insert(RowRef::new(hot.table.as_u32(), 1 + t * 4 + i), Value::from_u64(i)))
+                .collect();
+            writes.push(RowWrite::update(hot, Value::from_u64(t)));
+            TxnEntry::new(TxnId(t), Timestamp(t), writes)
+        })
+        .collect();
+    segments_from_entries(&entries, 256)
+}
+
+/// Explicit queues (Section 4.1) vs embedded prev_seq FIFOs (Section 7.2).
+fn bench_design_vs_embedded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_representation");
+    let segments = mixed_log(5_000);
+    let records: u64 = segments.iter().map(|s| s.len() as u64).sum();
+    group.throughput(Throughput::Elements(records));
+
+    group.bench_function("embedded_prev_seq", |b| {
+        b.iter(|| {
+            let mut state = SchedulerState::new();
+            let mut segments = segments.clone();
+            for segment in &mut segments {
+                state.process_segment(segment);
+            }
+            state.stats().records
+        })
+    });
+
+    group.bench_function("explicit_row_queues", |b| {
+        b.iter(|| {
+            let mut sched = RowQueueScheduler::new();
+            for segment in &segments {
+                for record in &segment.records {
+                    sched.enqueue(record.clone());
+                }
+            }
+            // Drain with a single simulated worker.
+            while let Some(w) = sched.next_work() {
+                sched.complete(w.write.row);
+            }
+            sched.completed()
+        })
+    });
+    group.finish();
+}
+
+/// Faithful row-granularity execution vs the MyRocks one-worker-per-
+/// transaction constraint.
+fn bench_execution_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execution_mode");
+    group.sample_size(10);
+    let segments = mixed_log(2_000);
+    group.throughput(Throughput::Elements(2_000));
+    for spec in [ReplicaSpec::C5Faithful, ReplicaSpec::C5MyRocks] {
+        group.bench_with_input(BenchmarkId::from_parameter(spec.name()), &segments, |b, segments| {
+            b.iter(|| {
+                let store = Arc::new(MvStore::default());
+                preload(&store, &adversarial_population());
+                let replica = spec.build(
+                    store,
+                    ReplicaConfig::default()
+                        .with_workers(2)
+                        .with_snapshot_interval(Duration::from_millis(1)),
+                );
+                drive_segments(replica.as_ref(), segments.clone());
+                replica.metrics().applied_txns
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The snapshot-interval knob `I` (Section 5.2): smaller intervals mean more
+/// frequent worker stalls.
+fn bench_snapshot_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_interval");
+    group.sample_size(10);
+    let segments = mixed_log(2_000);
+    group.throughput(Throughput::Elements(2_000));
+    for interval_ms in [1u64, 5, 20] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{interval_ms}ms")),
+            &segments,
+            |b, segments| {
+                b.iter(|| {
+                    let store = Arc::new(MvStore::default());
+                    preload(&store, &adversarial_population());
+                    let replica = ReplicaSpec::C5MyRocks.build(
+                        store,
+                        ReplicaConfig::default()
+                            .with_workers(2)
+                            .with_snapshot_interval(Duration::from_millis(interval_ms)),
+                    );
+                    drive_segments(replica.as_ref(), segments.clone());
+                    replica.metrics().applied_txns
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_design_vs_embedded, bench_execution_modes, bench_snapshot_interval);
+criterion_main!(benches);

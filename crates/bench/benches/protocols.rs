@@ -1,0 +1,71 @@
+//! End-to-end replay throughput of each cloned concurrency control protocol
+//! over a pre-generated adversarial log (the Figure 7/11 comparison as a
+//! micro-benchmark).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use c5_bench::harness::{preload, ReplicaSpec};
+use c5_common::{ReplicaConfig, RowRef, RowWrite, Timestamp, TxnId, Value};
+use c5_core::replica::drive_segments;
+use c5_log::{segments_from_entries, Segment, TxnEntry};
+use c5_storage::MvStore;
+use c5_workloads::synthetic::adversarial_population;
+
+/// The adversarial log: every transaction inserts `inserts` unique rows and
+/// updates the shared hot row.
+fn adversarial_log(txns: u64, inserts: u64) -> Vec<Segment> {
+    let hot = c5_workloads::synthetic::hot_row();
+    let entries: Vec<TxnEntry> = (1..=txns)
+        .map(|t| {
+            let mut writes: Vec<RowWrite> = (0..inserts)
+                .map(|i| {
+                    RowWrite::insert(
+                        RowRef::new(hot.table.as_u32(), 1 + t * inserts + i),
+                        Value::from_u64(i),
+                    )
+                })
+                .collect();
+            writes.push(RowWrite::update(hot, Value::from_u64(t)));
+            TxnEntry::new(TxnId(t), Timestamp(t), writes)
+        })
+        .collect();
+    segments_from_entries(&entries, 256)
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_adversarial");
+    group.sample_size(10);
+    let txns = 2_000u64;
+    let inserts = 8u64;
+    let segments = adversarial_log(txns, inserts);
+    group.throughput(Throughput::Elements(txns));
+
+    for spec in [
+        ReplicaSpec::C5Faithful,
+        ReplicaSpec::C5MyRocks,
+        ReplicaSpec::KuaFu { ignore_constraints: false },
+        ReplicaSpec::SingleThreaded,
+        ReplicaSpec::PageGranularity { rows_per_page: 64 },
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(spec.name()), &segments, |b, segments| {
+            b.iter(|| {
+                let store = Arc::new(MvStore::default());
+                preload(&store, &adversarial_population());
+                let replica = spec.build(
+                    store,
+                    ReplicaConfig::default()
+                        .with_workers(2)
+                        .with_snapshot_interval(std::time::Duration::from_millis(1)),
+                );
+                drive_segments(replica.as_ref(), segments.clone());
+                replica.metrics().applied_txns
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

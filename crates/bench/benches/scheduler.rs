@@ -1,0 +1,53 @@
+//! Scheduler micro-benchmarks (the Section 6.2 "scheduler is not the
+//! bottleneck" claim): throughput of the embedded-FIFO preprocessing pass,
+//! for logs of varying row locality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use c5_common::{RowRef, RowWrite, Timestamp, TxnId, Value};
+use c5_core::scheduler::SchedulerState;
+use c5_log::{segments_from_entries, Segment, TxnEntry};
+
+/// Builds a log of `txns` transactions with `writes_per_txn` writes each over
+/// a key space of `distinct_rows` rows.
+fn build_log(txns: u64, writes_per_txn: u64, distinct_rows: u64) -> Vec<Segment> {
+    let mut entries = Vec::with_capacity(txns as usize);
+    let mut key = 0u64;
+    for t in 0..txns {
+        let writes = (0..writes_per_txn)
+            .map(|_| {
+                key = (key + 7) % distinct_rows;
+                RowWrite::update(RowRef::new(0, key), Value::from_u64(t))
+            })
+            .collect();
+        entries.push(TxnEntry::new(TxnId(t + 1), Timestamp(t + 1), writes));
+    }
+    segments_from_entries(&entries, 512)
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_preprocess");
+    for &distinct_rows in &[1_000u64, 100_000] {
+        let segments = build_log(5_000, 4, distinct_rows);
+        let records: u64 = segments.iter().map(|s| s.len() as u64).sum();
+        group.throughput(Throughput::Elements(records));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{distinct_rows}_rows")),
+            &segments,
+            |b, segments| {
+                b.iter(|| {
+                    let mut state = SchedulerState::new();
+                    let mut segments = segments.clone();
+                    for segment in &mut segments {
+                        state.process_segment(segment);
+                    }
+                    state.stats().records
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

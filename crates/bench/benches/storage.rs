@@ -1,0 +1,62 @@
+//! Storage-engine micro-benchmarks: version installs, ordered installs
+//! (the C5 worker primitive), and timestamped reads.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use c5_common::{Timestamp, Value, WriteKind};
+use c5_storage::{MvStore, MvStoreConfig};
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvstore");
+    let n = 10_000u64;
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("install", |b| {
+        b.iter(|| {
+            let store = MvStore::new(MvStoreConfig { shards: 64 });
+            for i in 0..n {
+                store.install(MvStore::row(0, i), Timestamp(i + 1), WriteKind::Insert, Some(Value::from_u64(i)));
+            }
+            store.stats().versions
+        })
+    });
+
+    group.bench_function("install_if_prev_chain", |b| {
+        b.iter(|| {
+            let store = MvStore::new(MvStoreConfig { shards: 64 });
+            // A single row receiving a chain of ordered writes: the C5 worker
+            // hot path for a contended row.
+            let row = MvStore::row(0, 0);
+            let mut prev = Timestamp::ZERO;
+            for i in 1..=n {
+                let ts = Timestamp(i);
+                assert!(store.install_if_prev(row, prev, ts, WriteKind::Update, Some(Value::from_u64(i))));
+                prev = ts;
+            }
+            store.latest_write_ts(row)
+        })
+    });
+
+    let store = Arc::new(MvStore::new(MvStoreConfig { shards: 64 }));
+    for i in 0..n {
+        store.install(MvStore::row(0, i), Timestamp(i + 1), WriteKind::Insert, Some(Value::from_u64(i)));
+    }
+    group.bench_function("read_at", |b| {
+        b.iter(|| {
+            let mut found = 0u64;
+            for i in 0..n {
+                if store.read_at(MvStore::row(0, i), Timestamp(n)).is_some() {
+                    found += 1;
+                }
+            }
+            found
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

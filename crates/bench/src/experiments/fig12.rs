@@ -1,0 +1,106 @@
+//! Figure 12: the production load spike.
+//!
+//! Section 8 / Figure 12: during a daily insert spike, the primary's write
+//! rate exceeds what MySQL 5.6's single-threaded replay and Meta's earlier
+//! table-granularity protocol could apply; lag grew to nearly two hours and
+//! took another two hours to drain after the spike ended. C5-MyRocks keeps
+//! lag below a few seconds throughout.
+//!
+//! The reproduction replays a time-compressed version of the same shape
+//! through the Section 3 model: a baseline insert rate, an 8× spike in the
+//! middle, and three backups (single-threaded, table-granularity — which for
+//! a single-table insert workload degenerates to the same serial behaviour —
+//! and row-granularity C5). The printed series is lag over time, which is
+//! what the paper's figure conveys through the widening throughput gap.
+
+use c5_lagmodel::{simulate_backup, simulate_primary_2pl, BackupProtocol, ModelParams, ModelTxn, ModelWorkload};
+use c5_workloads::SpikeTrace;
+
+use crate::harness::print_table;
+use crate::scale::Scale;
+
+/// Builds the model workload for the spike trace: single-insert transactions
+/// to unique rows, arriving at the trace's per-bucket rate. Model time is
+/// scaled so one bucket lasts `bucket_units` time units.
+fn spike_workload(trace: &SpikeTrace, bucket_units: u64) -> ModelWorkload {
+    let mut txns = Vec::new();
+    let mut id = 0u64;
+    for (bucket, count) in trace.schedule() {
+        let base = bucket as u64 * bucket_units;
+        for i in 0..count {
+            // Spread arrivals evenly through the bucket.
+            let arrival = base + (i * bucket_units) / count.max(1);
+            txns.push(ModelTxn {
+                id,
+                arrival,
+                keys: vec![1_000_000 + id],
+            });
+            id += 1;
+        }
+    }
+    ModelWorkload { txns }
+}
+
+/// Runs the experiment and prints the lag-over-time series.
+pub fn run(_scale: &Scale) {
+    let params = ModelParams::paper_like(20);
+    // One bucket is 1000 model time units; with e = 10 a core can execute 100
+    // operations per bucket, so the single-threaded backup's capacity is ~111
+    // single-write transactions per bucket (d = 9). The baseline load of 60
+    // fits; the 8x spike (480) does not.
+    let bucket_units = 1_000u64;
+    let trace = SpikeTrace::paper_like(std::time::Duration::from_millis(100), 60);
+    let workload = spike_workload(&trace, bucket_units);
+    let primary = simulate_primary_2pl(&params, &workload);
+
+    let protocols = [
+        ("single-threaded", BackupProtocol::SingleThreaded),
+        ("table-granularity", BackupProtocol::PageGranularity { rows_per_page: u64::MAX }),
+        ("c5 (row)", BackupProtocol::RowGranularity),
+    ];
+    let outcomes: Vec<_> = protocols
+        .iter()
+        .map(|(_, p)| simulate_backup(&params, &primary, *p))
+        .collect();
+
+    // Per-bucket: primary commit count and each protocol's lag at the end of
+    // the bucket (lag of the most recent transaction committed by then).
+    let mut rows = Vec::new();
+    for bucket in 0..trace.buckets {
+        let bucket_end = (bucket as u64 + 1) * bucket_units;
+        // Index of the last transaction the primary finished by bucket_end.
+        let committed = primary.log.partition_point(|t| t.finish <= bucket_end);
+        let committed_this_bucket = committed
+            - primary
+                .log
+                .partition_point(|t| t.finish <= bucket as u64 * bucket_units);
+        let mut row = vec![
+            bucket.to_string(),
+            if trace.is_spike(bucket) { "spike".into() } else { "".into() },
+            committed_this_bucket.to_string(),
+        ];
+        for outcome in &outcomes {
+            if committed == 0 {
+                row.push("0".into());
+            } else {
+                let idx = committed - 1;
+                let lag = outcome.exposed[idx].saturating_sub(primary.log[idx].finish);
+                // Report lag in buckets (the paper reports hours; the unit is
+                // arbitrary — what matters is growth during the spike and the
+                // slow drain afterwards).
+                row.push(format!("{:.1}", lag as f64 / bucket_units as f64));
+            }
+        }
+        rows.push(row);
+    }
+
+    print_table(
+        "Figure 12 (model): lag over time under a daily load spike [lag in buckets]",
+        &["bucket", "phase", "primary txns", "single-threaded lag", "table-gran lag", "c5 lag"],
+        &rows,
+    );
+    println!(
+        "note: the single-threaded and table-granularity backups accumulate lag for the whole spike and \
+         drain it only slowly afterwards; C5's lag stays near zero throughout — the Figure 12 story."
+    );
+}

@@ -1,0 +1,83 @@
+//! Section 6.2 / 7.3 text results: the insert-only workload.
+//!
+//! Paper result: with no conflicts at all, both C5 and KuaFu keep up with the
+//! primary — on MyRocks (~40,500 txns/s) and on Cicada (~87 M rows/s, with
+//! the backups replaying slightly faster than the primary executed). The
+//! experiment checks the "keeps up" property for every protocol, which also
+//! produces the data for Table 1's summary matrix.
+
+use std::sync::Arc;
+
+use c5_primary::TxnFactory;
+use c5_workloads::synthetic::{InsertOnlyWorkload, SYNTHETIC_TABLE};
+
+use crate::harness::{
+    fmt_ratio, fmt_tps, print_table, run_offline_mvtso, run_streaming, OfflineSetup, ReplicaSpec,
+    StreamingSetup,
+};
+use crate::scale::Scale;
+
+/// Protocols compared on the insert-only workload.
+pub const SPECS: &[ReplicaSpec] = &[
+    ReplicaSpec::C5MyRocks,
+    ReplicaSpec::C5Faithful,
+    ReplicaSpec::KuaFu { ignore_constraints: false },
+    ReplicaSpec::SingleThreaded,
+    ReplicaSpec::TableGranularity,
+    ReplicaSpec::PageGranularity { rows_per_page: 64 },
+];
+
+/// Runs the streaming (MyRocks-style) variant.
+pub fn run_myrocks(scale: &Scale) {
+    let mut rows = Vec::new();
+    for spec in SPECS {
+        let mut setup = StreamingSetup::new(scale.duration, scale.primary_threads, scale.replica_workers);
+        setup.segment_records = scale.segment_records;
+        let factory: Arc<dyn TxnFactory> = Arc::new(InsertOnlyWorkload::new(4));
+        let out = run_streaming(&setup, factory, *spec, 0, SYNTHETIC_TABLE, 0);
+        rows.push(vec![
+            spec.name().to_string(),
+            fmt_tps(out.primary_throughput()),
+            fmt_tps(out.replica_throughput()),
+            fmt_ratio(out.relative_throughput()),
+            if out.keeps_up() { "yes".into() } else { "no".into() },
+        ]);
+    }
+    print_table(
+        "Insert-only, 2PL/MyRocks primary (measured): does every protocol keep up when nothing conflicts?",
+        &["protocol", "primary txns/s", "backup txns/s", "relative", "keeps up?"],
+        &rows,
+    );
+}
+
+/// Runs the offline (Cicada-style) variant: 16-insert transactions, matching
+/// the paper's best-throughput configuration.
+pub fn run_cicada(scale: &Scale) {
+    let mut rows = Vec::new();
+    for spec in &[
+        ReplicaSpec::C5Faithful,
+        ReplicaSpec::KuaFu { ignore_constraints: false },
+    ] {
+        let mut setup = OfflineSetup::new(
+            scale.primary_threads,
+            scale.offline_txns_per_thread / 4,
+            scale.replica_workers,
+        );
+        setup.segment_records = scale.segment_records;
+        let factory: Arc<dyn TxnFactory> = Arc::new(InsertOnlyWorkload::new(16));
+        let out = run_offline_mvtso(&setup, factory, *spec);
+        let rows_per_s_primary = out.primary_throughput() * 16.0;
+        let rows_per_s_backup = out.replica_throughput() * 16.0;
+        rows.push(vec![
+            spec.name().to_string(),
+            fmt_tps(rows_per_s_primary),
+            fmt_tps(rows_per_s_backup),
+            fmt_ratio(out.relative_throughput()),
+        ]);
+    }
+    print_table(
+        "Insert-only, MVTSO/Cicada primary (measured): 16-insert transactions [rows/s]",
+        &["protocol", "primary rows/s", "backup rows/s", "relative"],
+        &rows,
+    );
+}

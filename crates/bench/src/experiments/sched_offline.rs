@@ -1,0 +1,71 @@
+//! Section 6.2's offline scheduler experiment.
+//!
+//! Paper result: with replication delayed until after the primary finished,
+//! C5-MyRocks's single-threaded scheduler processed 95,683 transactions per
+//! second — more than double the primary's throughput — confirming the
+//! scheduler is not the bottleneck. This experiment measures the same thing:
+//! generate an insert-only log offline, then time the scheduler alone
+//! (per-row predecessor computation plus boundary extraction) over it.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use c5_core::scheduler::SchedulerState;
+use c5_log::LogShipper;
+use c5_log::StreamingLogger;
+use c5_primary::{ClosedLoopDriver, RunLength, TplEngine, TxnFactory};
+use c5_storage::MvStore;
+use c5_workloads::synthetic::InsertOnlyWorkload;
+
+use crate::harness::{fmt_tps, print_table};
+use crate::scale::Scale;
+
+/// Runs the experiment and prints the comparison.
+pub fn run(scale: &Scale) {
+    // 1. Generate the log by running the primary (and record its throughput).
+    let (shipper, receiver) = LogShipper::unbounded();
+    let logger = StreamingLogger::new(scale.segment_records, shipper);
+    let engine = Arc::new(TplEngine::new(
+        Arc::new(MvStore::default()),
+        c5_common::PrimaryConfig::default().with_threads(scale.primary_threads),
+        logger,
+    ));
+    let factory: Arc<dyn TxnFactory> = Arc::new(InsertOnlyWorkload::new(4));
+    let stats = ClosedLoopDriver::with_seed(17).run_tpl(
+        &engine,
+        &factory,
+        scale.primary_threads,
+        RunLength::Timed(scale.duration),
+    );
+    engine.close_log();
+    let mut segments = receiver.drain();
+
+    // 2. Time the scheduler alone over the full log.
+    let start = Instant::now();
+    let mut state = SchedulerState::new();
+    for segment in &mut segments {
+        state.process_segment(segment);
+    }
+    let sched_wall = start.elapsed();
+    let sched_stats = state.stats();
+    let sched_txns_per_s = sched_stats.txns as f64 / sched_wall.as_secs_f64().max(1e-9);
+    let sched_records_per_s = sched_stats.records as f64 / sched_wall.as_secs_f64().max(1e-9);
+
+    print_table(
+        "Section 6.2 (measured): offline scheduler throughput vs primary throughput",
+        &["metric", "value"],
+        &[
+            vec!["primary txns/s".into(), fmt_tps(stats.throughput())],
+            vec!["scheduler txns/s".into(), fmt_tps(sched_txns_per_s)],
+            vec!["scheduler records/s".into(), fmt_tps(sched_records_per_s)],
+            vec![
+                "scheduler / primary".into(),
+                format!("{:.1}x", sched_txns_per_s / stats.throughput().max(1e-9)),
+            ],
+        ],
+    );
+    println!(
+        "note: the paper reports the scheduler processing more than double the primary's rate; the same \
+         multiple (or better) is expected here because the scheduler does one hash-map update per write."
+    );
+}

@@ -1,0 +1,480 @@
+//! Shared experiment machinery.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use c5_baselines::{CoarseGrainReplica, Granularity, KuaFuConfig, KuaFuReplica, SingleThreadedReplica};
+use c5_common::{OpCost, PrimaryConfig, ReplicaConfig, RowRef, SnapshotMode, Timestamp, Value, WriteKind};
+use c5_core::lag::LagStats;
+use c5_core::replica::{drive_from_receiver, drive_segments, C5Mode, C5Replica, ClonedConcurrencyControl, ReplicaMetrics};
+use c5_log::{LogShipper, StreamingLogger};
+use c5_primary::{ClosedLoopDriver, MvtsoEngine, PrimaryRunStats, RunLength, TplEngine, TxnFactory};
+use c5_storage::MvStore;
+use c5_workloads::readonly::{run_point_read_clients, ReadRunStats};
+
+/// Which backup protocol to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaSpec {
+    /// C5 in its faithful (Cicada-style) form.
+    C5Faithful,
+    /// C5 with the MyRocks backward-compatibility constraints.
+    C5MyRocks,
+    /// KuaFu transaction granularity.
+    KuaFu {
+        /// Disable the transaction-granularity constraints (Section 7.3's
+        /// ablation).
+        ignore_constraints: bool,
+    },
+    /// Single-threaded replay.
+    SingleThreaded,
+    /// Table-granularity.
+    TableGranularity,
+    /// Page-granularity.
+    PageGranularity {
+        /// Rows per page.
+        rows_per_page: u64,
+    },
+}
+
+impl ReplicaSpec {
+    /// Protocol name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReplicaSpec::C5Faithful => "c5",
+            ReplicaSpec::C5MyRocks => "c5-myrocks",
+            ReplicaSpec::KuaFu { ignore_constraints: false } => "kuafu",
+            ReplicaSpec::KuaFu { ignore_constraints: true } => "kuafu-unconstrained",
+            ReplicaSpec::SingleThreaded => "single-threaded",
+            ReplicaSpec::TableGranularity => "table-granularity",
+            ReplicaSpec::PageGranularity { .. } => "page-granularity",
+        }
+    }
+
+    /// Builds the replica over `store` with `config`.
+    pub fn build(
+        &self,
+        store: Arc<MvStore>,
+        config: ReplicaConfig,
+    ) -> Arc<dyn ClonedConcurrencyControl> {
+        match self {
+            ReplicaSpec::C5Faithful => {
+                C5Replica::new(C5Mode::Faithful, store, config.with_snapshot_mode(SnapshotMode::Timestamped))
+            }
+            ReplicaSpec::C5MyRocks => C5Replica::new(
+                C5Mode::OneWorkerPerTxn,
+                store,
+                config.with_snapshot_mode(SnapshotMode::WholeDatabase),
+            ),
+            ReplicaSpec::KuaFu { ignore_constraints } => KuaFuReplica::new(
+                store,
+                config,
+                KuaFuConfig {
+                    ignore_constraints: *ignore_constraints,
+                },
+            ),
+            ReplicaSpec::SingleThreaded => SingleThreadedReplica::new(store, config),
+            ReplicaSpec::TableGranularity => {
+                CoarseGrainReplica::new(Granularity::Table, store, config)
+            }
+            ReplicaSpec::PageGranularity { rows_per_page } => CoarseGrainReplica::new(
+                Granularity::Page {
+                    rows_per_page: *rows_per_page,
+                },
+                store,
+                config,
+            ),
+        }
+    }
+}
+
+/// Installs an initial population into a store at the pre-log timestamp.
+pub fn preload(store: &MvStore, population: &[(RowRef, Value)]) {
+    for (row, value) in population {
+        store.install(*row, Timestamp::ZERO, WriteKind::Insert, Some(value.clone()));
+    }
+}
+
+/// Parameters shared by the streaming (MyRocks-style) experiments.
+#[derive(Debug, Clone)]
+pub struct StreamingSetup {
+    /// Initial database population (installed on both sides).
+    pub population: Vec<(RowRef, Value)>,
+    /// Closed-loop clients driving the primary.
+    pub clients: usize,
+    /// Primary executor threads.
+    pub primary_threads: usize,
+    /// Backup workers.
+    pub replica_workers: usize,
+    /// Measurement duration.
+    pub duration: Duration,
+    /// Per-operation cost model.
+    pub op_cost: OpCost,
+    /// Snapshot interval for the backup.
+    pub snapshot_interval: Duration,
+    /// Records per shipped segment.
+    pub segment_records: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl StreamingSetup {
+    /// A setup with no population and paper-like defaults.
+    pub fn new(duration: Duration, threads: usize, workers: usize) -> Self {
+        Self {
+            population: Vec::new(),
+            clients: threads,
+            primary_threads: threads,
+            replica_workers: workers,
+            duration,
+            op_cost: OpCost::paper_like(2_000),
+            snapshot_interval: Duration::from_millis(10),
+            segment_records: 256,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of one streaming experiment.
+#[derive(Debug, Clone)]
+pub struct StreamingOutcome {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Primary-side statistics.
+    pub primary: PrimaryRunStats,
+    /// Time from the start of the run until the backup had applied and
+    /// exposed the entire log.
+    pub replica_wall: Duration,
+    /// Backup progress counters.
+    pub replica_metrics: ReplicaMetrics,
+    /// Replication-lag summary (if any transactions committed).
+    pub lag: Option<LagStats>,
+    /// Every raw replication-lag sample (one per committed transaction), for
+    /// experiments that bucket lag by time window (Figure 8).
+    pub lag_samples: Vec<c5_core::lag::LagSample>,
+    /// Read-only client statistics, if read clients were attached.
+    pub reads: Option<ReadRunStats>,
+}
+
+impl StreamingOutcome {
+    /// Primary throughput in transactions per second.
+    pub fn primary_throughput(&self) -> f64 {
+        self.primary.throughput()
+    }
+
+    /// Backup apply throughput in transactions per second (committed
+    /// transactions divided by the time the backup needed to fully apply
+    /// them).
+    pub fn replica_throughput(&self) -> f64 {
+        if self.replica_wall.is_zero() {
+            0.0
+        } else {
+            self.replica_metrics.applied_txns as f64 / self.replica_wall.as_secs_f64()
+        }
+    }
+
+    /// Backup throughput relative to the primary's (the paper's Figures 7
+    /// and 11 report this ratio).
+    pub fn relative_throughput(&self) -> f64 {
+        let p = self.primary_throughput();
+        if p == 0.0 {
+            0.0
+        } else {
+            self.replica_throughput() / p
+        }
+    }
+
+    /// Whether the backup kept up: it finished applying the log within a
+    /// small grace window after the primary stopped.
+    pub fn keeps_up(&self) -> bool {
+        let grace = self.primary.wall.mul_f64(0.15) + Duration::from_millis(250);
+        self.replica_wall <= self.primary.wall + grace
+    }
+}
+
+/// Runs one streaming experiment: a 2PL primary executes `factory`'s workload
+/// for `setup.duration` while the backup described by `spec` applies the log
+/// live. Optionally attaches `read_clients` closed-loop point-query clients
+/// to the backup (Figures 8 and 9); they read random keys in
+/// `[0, read_key_space)` of `read_table`.
+pub fn run_streaming(
+    setup: &StreamingSetup,
+    factory: Arc<dyn TxnFactory>,
+    spec: ReplicaSpec,
+    read_clients: usize,
+    read_table: u32,
+    read_key_space: u64,
+) -> StreamingOutcome {
+    // Primary.
+    let primary_store = Arc::new(MvStore::default());
+    preload(&primary_store, &setup.population);
+    let (shipper, receiver) = LogShipper::unbounded();
+    let logger = StreamingLogger::new(setup.segment_records, shipper);
+    let primary_config = PrimaryConfig::default()
+        .with_threads(setup.primary_threads)
+        .with_op_cost(setup.op_cost);
+    let engine = Arc::new(TplEngine::new(primary_store, primary_config, logger));
+
+    // Backup.
+    let replica_store = Arc::new(MvStore::default());
+    preload(&replica_store, &setup.population);
+    let replica_config = ReplicaConfig::default()
+        .with_workers(setup.replica_workers)
+        .with_op_cost(setup.op_cost)
+        .with_snapshot_interval(setup.snapshot_interval);
+    let replica = spec.build(replica_store, replica_config);
+
+    let start = Instant::now();
+    let mut replica_wall = Duration::ZERO;
+    let mut primary_stats = PrimaryRunStats::default();
+    let mut reads = None;
+
+    std::thread::scope(|scope| {
+        // Backup ingestion.
+        let replica_ref: &dyn ClonedConcurrencyControl = replica.as_ref();
+        let drive = scope.spawn(move || drive_from_receiver(replica_ref, receiver));
+
+        // Optional read-only clients against the backup.
+        let read_handle = (read_clients > 0).then(|| {
+            let replica_ref: &dyn ClonedConcurrencyControl = replica.as_ref();
+            let duration = setup.duration;
+            let seed = setup.seed;
+            scope.spawn(move || {
+                run_point_read_clients(replica_ref, read_clients, duration, read_table, read_key_space, seed)
+            })
+        });
+
+        // Primary load.
+        primary_stats = ClosedLoopDriver::with_seed(setup.seed).run_tpl(
+            &engine,
+            &factory,
+            setup.clients,
+            RunLength::Timed(setup.duration),
+        );
+        engine.close_log();
+
+        // Wait for the backup to finish applying everything.
+        drive.join().expect("replica driver");
+        replica_wall = start.elapsed();
+        if let Some(h) = read_handle {
+            reads = Some(h.join().expect("read clients"));
+        }
+    });
+
+    StreamingOutcome {
+        protocol: spec.name(),
+        primary: primary_stats,
+        replica_wall,
+        replica_metrics: replica.metrics(),
+        lag: replica.lag().stats(),
+        lag_samples: replica.lag().samples(),
+        reads,
+    }
+}
+
+/// Parameters for the offline (Cicada-style) experiments.
+#[derive(Debug, Clone)]
+pub struct OfflineSetup {
+    /// Initial population (installed on both sides).
+    pub population: Vec<(RowRef, Value)>,
+    /// Primary client threads.
+    pub threads: usize,
+    /// Transactions submitted per thread.
+    pub txns_per_thread: u64,
+    /// Backup workers.
+    pub replica_workers: usize,
+    /// Per-operation cost model.
+    pub op_cost: OpCost,
+    /// Records per segment.
+    pub segment_records: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl OfflineSetup {
+    /// A setup with paper-like defaults and no population.
+    pub fn new(threads: usize, txns_per_thread: u64, workers: usize) -> Self {
+        Self {
+            population: Vec::new(),
+            threads,
+            txns_per_thread,
+            replica_workers: workers,
+            op_cost: OpCost::free(),
+            segment_records: 256,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of one offline experiment.
+#[derive(Debug, Clone)]
+pub struct OfflineOutcome {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Primary statistics (MVTSO run).
+    pub primary: PrimaryRunStats,
+    /// Time the backup needed to replay the whole log.
+    pub replay_wall: Duration,
+    /// Backup progress counters.
+    pub replica_metrics: ReplicaMetrics,
+}
+
+impl OfflineOutcome {
+    /// Primary throughput (transactions per second).
+    pub fn primary_throughput(&self) -> f64 {
+        self.primary.throughput()
+    }
+
+    /// Backup replay throughput (transactions per second).
+    pub fn replica_throughput(&self) -> f64 {
+        if self.replay_wall.is_zero() {
+            0.0
+        } else {
+            self.replica_metrics.applied_txns as f64 / self.replay_wall.as_secs_f64()
+        }
+    }
+
+    /// Backup throughput relative to the primary's.
+    pub fn relative_throughput(&self) -> f64 {
+        let p = self.primary_throughput();
+        if p == 0.0 {
+            0.0
+        } else {
+            self.replica_throughput() / p
+        }
+    }
+
+    /// Whether the backup can keep up (its replay rate is at least the
+    /// primary's execution rate).
+    pub fn keeps_up(&self) -> bool {
+        self.relative_throughput() >= 0.95
+    }
+}
+
+/// Runs the MVTSO primary on `factory`'s workload, coalesces its log, then
+/// replays it through the backup described by `spec` and measures the replay
+/// time. Returns the primary stats (measured without any replication load,
+/// matching Section 7.3's "Cicada without logging" upper-bound comparison)
+/// and the backup outcome.
+pub fn run_offline_mvtso(
+    setup: &OfflineSetup,
+    factory: Arc<dyn TxnFactory>,
+    spec: ReplicaSpec,
+) -> OfflineOutcome {
+    // Primary run.
+    let primary_store = Arc::new(MvStore::default());
+    preload(&primary_store, &setup.population);
+    let primary_config = PrimaryConfig::default()
+        .with_threads(setup.threads)
+        .with_op_cost(setup.op_cost);
+    let engine = Arc::new(MvtsoEngine::new(primary_store, primary_config));
+    let primary_stats = ClosedLoopDriver::with_seed(setup.seed).run_mvtso(
+        &engine,
+        &factory,
+        setup.threads,
+        RunLength::PerClientCount(setup.txns_per_thread),
+    );
+    let segments = engine.take_segments(setup.segment_records);
+
+    // Backup replay.
+    let replica_store = Arc::new(MvStore::default());
+    preload(&replica_store, &setup.population);
+    let replica_config = ReplicaConfig::default()
+        .with_workers(setup.replica_workers)
+        .with_op_cost(setup.op_cost)
+        .with_snapshot_interval(Duration::from_millis(1));
+    let replica = spec.build(replica_store, replica_config);
+    let replay_wall = drive_segments(replica.as_ref(), segments);
+
+    OfflineOutcome {
+        protocol: spec.name(),
+        primary: primary_stats,
+        replay_wall,
+        replica_metrics: replica.metrics(),
+    }
+}
+
+/// Prints a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a throughput value.
+pub fn fmt_tps(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+/// Formats a ratio.
+pub fn fmt_ratio(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c5_workloads::synthetic::{adversarial_population, AdversarialWorkload, InsertOnlyWorkload, SYNTHETIC_TABLE};
+
+    #[test]
+    fn streaming_experiment_runs_end_to_end() {
+        let mut setup = StreamingSetup::new(Duration::from_millis(200), 2, 2);
+        setup.op_cost = OpCost::free();
+        setup.population = adversarial_population();
+        let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(2));
+        let outcome = run_streaming(&setup, factory, ReplicaSpec::C5Faithful, 1, SYNTHETIC_TABLE, 1000);
+        assert!(outcome.primary.committed > 0);
+        assert_eq!(outcome.replica_metrics.applied_txns, outcome.primary.committed);
+        assert!(outcome.lag.is_some());
+        assert!(outcome.reads.is_some());
+        assert!(outcome.replica_throughput() > 0.0);
+        assert!(outcome.relative_throughput() > 0.0);
+    }
+
+    #[test]
+    fn offline_experiment_runs_end_to_end() {
+        let setup = OfflineSetup::new(2, 200, 2);
+        let factory: Arc<dyn TxnFactory> = Arc::new(InsertOnlyWorkload::new(4));
+        let outcome = run_offline_mvtso(&setup, factory, ReplicaSpec::KuaFu { ignore_constraints: false });
+        assert_eq!(outcome.primary.committed, 400);
+        assert_eq!(outcome.replica_metrics.applied_txns, 400);
+        assert!(outcome.replica_throughput() > 0.0);
+        assert_eq!(outcome.protocol, "kuafu");
+    }
+
+    #[test]
+    fn every_replica_spec_builds_and_applies() {
+        for spec in [
+            ReplicaSpec::C5Faithful,
+            ReplicaSpec::C5MyRocks,
+            ReplicaSpec::KuaFu { ignore_constraints: false },
+            ReplicaSpec::SingleThreaded,
+            ReplicaSpec::TableGranularity,
+            ReplicaSpec::PageGranularity { rows_per_page: 16 },
+        ] {
+            let setup = OfflineSetup::new(2, 50, 2);
+            let factory: Arc<dyn TxnFactory> = Arc::new(InsertOnlyWorkload::new(2));
+            let outcome = run_offline_mvtso(&setup, factory, spec);
+            assert_eq!(outcome.replica_metrics.applied_txns, 100, "{} failed", spec.name());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment harness for the C5 reproduction.
+//!
+//! The `experiments` binary (in `src/bin`) exposes one sub-command per
+//! figure/table of the paper's evaluation; the heavy lifting lives here so
+//! the Criterion benches and the integration tests can reuse it.
+//!
+//! Two experiment shapes cover everything in the paper:
+//!
+//! * **Streaming** ([`harness::run_streaming`]) — the MyRocks-style setup of
+//!   Section 6: a two-phase-locking primary executes a workload with
+//!   closed-loop clients while its log streams live to a backup replica;
+//!   we measure the primary's throughput, the backup's apply throughput, and
+//!   the replication-lag distribution.
+//! * **Offline replay** ([`harness::run_offline_mvtso`]) — the Cicada-style
+//!   setup of Section 7: the MVTSO primary runs the workload (its per-thread
+//!   logs are coalesced afterwards, as in the paper's prototype), then the
+//!   backup replays the log as fast as it can; comparing the primary's
+//!   execution time with the backup's replay time answers "does it keep up?".
+//!
+//! [`scale::Scale`] switches every experiment between a quick smoke
+//! configuration (seconds, used by tests and `--quick`) and a fuller one.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod harness;
+pub mod scale;
+
+pub use harness::{OfflineOutcome, ReplicaSpec, StreamingOutcome};
+pub use scale::Scale;

@@ -1,0 +1,91 @@
+//! Experiment scaling.
+
+use std::time::Duration;
+
+use c5_workloads::TpccConfig;
+
+/// How big to make each experiment.
+///
+/// The paper's trials run for 120 seconds on a CloudLab cluster; this
+/// reproduction defaults to a few seconds per data point so the full suite
+/// finishes in minutes on a laptop, with `Scale::full()` available when more
+/// stable numbers are wanted. The *shape* of every result (who keeps up, who
+/// lags, where crossovers happen) is already visible at the quick scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Wall-clock duration of each streaming measurement.
+    pub duration: Duration,
+    /// Transactions per client thread for offline (replay) measurements.
+    pub offline_txns_per_thread: u64,
+    /// Primary executor threads / clients.
+    pub primary_threads: usize,
+    /// Backup worker threads (never more than the primary's).
+    pub replica_workers: usize,
+    /// Number of TPC-C items in the catalog.
+    pub tpcc_items: u64,
+    /// Number of TPC-C customers per district.
+    pub tpcc_customers: u64,
+    /// Log records per shipped segment.
+    pub segment_records: usize,
+}
+
+impl Scale {
+    /// The quick scale used by default and by the integration tests.
+    pub fn quick() -> Self {
+        Self {
+            duration: Duration::from_millis(1500),
+            offline_txns_per_thread: 2_000,
+            primary_threads: 4,
+            replica_workers: 4,
+            tpcc_items: 1_000,
+            tpcc_customers: 100,
+            segment_records: 256,
+        }
+    }
+
+    /// A fuller scale for more stable numbers.
+    pub fn full() -> Self {
+        Self {
+            duration: Duration::from_secs(10),
+            offline_txns_per_thread: 20_000,
+            primary_threads: 8,
+            replica_workers: 8,
+            tpcc_items: 10_000,
+            tpcc_customers: 500,
+            segment_records: 512,
+        }
+    }
+
+    /// The TPC-C configuration at this scale (standard 10 districts,
+    /// unoptimized; experiments override the knobs they sweep).
+    pub fn tpcc(&self) -> TpccConfig {
+        TpccConfig {
+            warehouses: 1,
+            districts_per_warehouse: 10,
+            items: self.tpcc_items,
+            customers_per_district: self.tpcc_customers,
+            optimized: false,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full() {
+        let q = Scale::quick();
+        let f = Scale::full();
+        assert!(q.duration < f.duration);
+        assert!(q.offline_txns_per_thread < f.offline_txns_per_thread);
+        assert_eq!(Scale::default(), q);
+        assert_eq!(q.tpcc().districts_per_warehouse, 10);
+    }
+}

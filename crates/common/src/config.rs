@@ -1,0 +1,226 @@
+//! Configuration for the primary engines and the backup replicas.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::OpCost;
+use crate::error::{Error, Result};
+
+/// Isolation level used by the two-phase-locking primary.
+///
+/// The paper's MyRocks evaluation runs the primary at read committed "to
+/// stress the backup" (Section 6); the formal model assumes serializable.
+/// Both are supported: under read committed, read locks are released as soon
+/// as the read completes, which increases primary parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IsolationLevel {
+    /// Shared locks are held only for the duration of each read.
+    ReadCommitted,
+    /// Strict two-phase locking: all locks held until commit.
+    Serializable,
+}
+
+/// How the backup's storage exposes snapshots to the snapshotter.
+///
+/// This models the difference between Section 4.2 / 7.2 (workers can write at
+/// explicit timestamps, so the three logical snapshots live inside the
+/// multi-version store) and Section 5.2 (MyRocks/RocksDB can only snapshot
+/// "the current state of the whole database", forcing the snapshotter to
+/// briefly block workers at every cut).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SnapshotMode {
+    /// Timestamped snapshots: the faithful design (C5-Cicada).
+    Timestamped,
+    /// Whole-database snapshots taken at a prefix-consistent cut
+    /// (C5-MyRocks). Workers are blocked from committing writes past `n`
+    /// while the cut is taken.
+    WholeDatabase,
+}
+
+/// Configuration for a primary engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrimaryConfig {
+    /// Number of executor threads (the paper's `m` cores).
+    pub threads: usize,
+    /// Isolation level (2PL engine only; the MVTSO engine is always
+    /// serializable).
+    pub isolation: IsolationLevel,
+    /// Per-operation cost model.
+    pub op_cost: OpCost,
+    /// Maximum number of times a transaction is retried after a
+    /// protocol-induced abort before the error is returned to the client.
+    pub max_retries: usize,
+}
+
+impl Default for PrimaryConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            isolation: IsolationLevel::ReadCommitted,
+            op_cost: OpCost::free(),
+            max_retries: 64,
+        }
+    }
+}
+
+impl PrimaryConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.threads == 0 {
+            return Err(Error::InvalidConfig(
+                "primary must have at least one thread".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Configuration for a backup replica (any cloned concurrency control
+/// protocol).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicaConfig {
+    /// Number of worker threads applying writes. The paper never uses more
+    /// workers than the primary has threads.
+    pub workers: usize,
+    /// Per-operation cost model (`d` is the backup-side cost).
+    pub op_cost: OpCost,
+    /// How the storage engine exposes snapshots (see [`SnapshotMode`]).
+    pub snapshot_mode: SnapshotMode,
+    /// Approximate interval between snapshot cuts, the `I` knob of
+    /// Section 5.2. Also used by the faithful snapshotter as the period of
+    /// its advancing thread.
+    pub snapshot_interval: Duration,
+    /// Capacity (in log segments) of the channel between the log shipper and
+    /// the scheduler. Bounded so that an overwhelmed replica exerts
+    /// backpressure in benchmarks instead of buffering unboundedly.
+    pub segment_channel_capacity: usize,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            op_cost: OpCost::free(),
+            snapshot_mode: SnapshotMode::Timestamped,
+            snapshot_interval: Duration::from_millis(10),
+            segment_channel_capacity: 1024,
+        }
+    }
+}
+
+impl ReplicaConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(Error::InvalidConfig(
+                "replica must have at least one worker".into(),
+            ));
+        }
+        if self.segment_channel_capacity == 0 {
+            return Err(Error::InvalidConfig(
+                "segment channel capacity must be non-zero".into(),
+            ));
+        }
+        if self.snapshot_interval.is_zero() {
+            return Err(Error::InvalidConfig(
+                "snapshot interval must be non-zero".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builder-style setter for the number of workers.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Builder-style setter for the snapshot mode.
+    pub fn with_snapshot_mode(mut self, mode: SnapshotMode) -> Self {
+        self.snapshot_mode = mode;
+        self
+    }
+
+    /// Builder-style setter for the snapshot interval.
+    pub fn with_snapshot_interval(mut self, interval: Duration) -> Self {
+        self.snapshot_interval = interval;
+        self
+    }
+
+    /// Builder-style setter for the op cost.
+    pub fn with_op_cost(mut self, cost: OpCost) -> Self {
+        self.op_cost = cost;
+        self
+    }
+}
+
+impl PrimaryConfig {
+    /// Builder-style setter for the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builder-style setter for the isolation level.
+    pub fn with_isolation(mut self, isolation: IsolationLevel) -> Self {
+        self.isolation = isolation;
+        self
+    }
+
+    /// Builder-style setter for the op cost.
+    pub fn with_op_cost(mut self, cost: OpCost) -> Self {
+        self.op_cost = cost;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configs_validate() {
+        assert!(PrimaryConfig::default().validate().is_ok());
+        assert!(ReplicaConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let cfg = PrimaryConfig::default().with_threads(0);
+        assert!(matches!(cfg.validate(), Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let cfg = ReplicaConfig::default().with_workers(0);
+        assert!(matches!(cfg.validate(), Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn zero_snapshot_interval_rejected() {
+        let cfg = ReplicaConfig::default().with_snapshot_interval(Duration::ZERO);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let cfg = ReplicaConfig::default()
+            .with_workers(8)
+            .with_snapshot_mode(SnapshotMode::WholeDatabase)
+            .with_snapshot_interval(Duration::from_millis(5))
+            .with_op_cost(OpCost::symmetric(10));
+        assert_eq!(cfg.workers, 8);
+        assert_eq!(cfg.snapshot_mode, SnapshotMode::WholeDatabase);
+        assert_eq!(cfg.snapshot_interval, Duration::from_millis(5));
+        assert_eq!(cfg.op_cost, OpCost::symmetric(10));
+
+        let p = PrimaryConfig::default()
+            .with_threads(12)
+            .with_isolation(IsolationLevel::Serializable)
+            .with_op_cost(OpCost::symmetric(7));
+        assert_eq!(p.threads, 12);
+        assert_eq!(p.isolation, IsolationLevel::Serializable);
+        assert_eq!(p.op_cost, OpCost::symmetric(7));
+    }
+}

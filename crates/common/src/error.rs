@@ -1,0 +1,141 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+use crate::ids::{RowRef, TxnId};
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors surfaced by the storage engine, the primary engines, and the
+/// replication machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A read targeted a row that does not exist (or is not visible at the
+    /// requested timestamp).
+    RowNotFound(RowRef),
+    /// An insert targeted a row that already exists.
+    DuplicateRow(RowRef),
+    /// The transaction was aborted by the concurrency control protocol and
+    /// should be retried by the caller.
+    TxnAborted {
+        /// The aborted transaction.
+        txn: TxnId,
+        /// Why the protocol aborted it.
+        reason: AbortReason,
+    },
+    /// A component was asked to do something after it was shut down.
+    Shutdown(&'static str),
+    /// The replication log channel was disconnected unexpectedly.
+    LogChannelClosed,
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// The monotonic-prefix-consistency checker found a violation. This is an
+    /// error (rather than a panic) so property tests can assert on it.
+    ConsistencyViolation(String),
+}
+
+/// Why a concurrency control protocol aborted a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// MVTSO validation failed: a version this transaction read was
+    /// overwritten by a transaction with a smaller timestamp, or a write
+    /// would be installed below an existing read timestamp.
+    ValidationFailed,
+    /// 2PL deadlock avoidance (wait-die) killed the transaction.
+    Deadlock,
+    /// A write-write conflict could not be resolved in favour of this
+    /// transaction.
+    WriteConflict,
+    /// The stored procedure itself requested an abort (e.g. TPC-C's 1%
+    /// intentionally failing NewOrder transactions).
+    UserRequested,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortReason::ValidationFailed => "validation failed",
+            AbortReason::Deadlock => "deadlock avoidance",
+            AbortReason::WriteConflict => "write-write conflict",
+            AbortReason::UserRequested => "user requested",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::RowNotFound(row) => write!(f, "row {row} not found"),
+            Error::DuplicateRow(row) => write!(f, "row {row} already exists"),
+            Error::TxnAborted { txn, reason } => write!(f, "{txn} aborted: {reason}"),
+            Error::Shutdown(what) => write!(f, "{what} has shut down"),
+            Error::LogChannelClosed => write!(f, "replication log channel closed"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::ConsistencyViolation(msg) => {
+                write!(f, "monotonic prefix consistency violated: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Whether the caller should retry the transaction (true only for
+    /// protocol-induced aborts, not user-requested ones).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Error::TxnAborted {
+                reason: AbortReason::ValidationFailed
+                    | AbortReason::Deadlock
+                    | AbortReason::WriteConflict,
+                ..
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_classification() {
+        let retry = Error::TxnAborted {
+            txn: TxnId(1),
+            reason: AbortReason::ValidationFailed,
+        };
+        assert!(retry.is_retryable());
+
+        let user = Error::TxnAborted {
+            txn: TxnId(1),
+            reason: AbortReason::UserRequested,
+        };
+        assert!(!user.is_retryable());
+
+        assert!(!Error::LogChannelClosed.is_retryable());
+        assert!(!Error::RowNotFound(RowRef::new(0, 0)).is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::TxnAborted {
+            txn: TxnId(3),
+            reason: AbortReason::Deadlock,
+        };
+        assert_eq!(e.to_string(), "txn3 aborted: deadlock avoidance");
+        assert_eq!(
+            Error::RowNotFound(RowRef::new(1, 2)).to_string(),
+            "row t1/k2 not found"
+        );
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&Error::LogChannelClosed);
+    }
+}

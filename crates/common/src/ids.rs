@@ -1,0 +1,235 @@
+//! Identifier newtypes used across the workspace.
+//!
+//! These are all thin wrappers around integers. They exist so that a log
+//! sequence number can never be accidentally used where a write timestamp is
+//! expected, and so on — the distinctions matter in the C5 scheduler and
+//! snapshotter, where both kinds of counters are in flight at once.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a table in the database.
+///
+/// The synthetic workloads use a single table; TPC-C uses nine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TableId(pub u32);
+
+impl TableId {
+    /// Returns the raw table number.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A row key within a table.
+///
+/// The paper's formal model treats keys as opaque members of a set `K`; all
+/// of our workloads encode their composite keys (e.g. TPC-C's
+/// `(warehouse, district)` pairs) into a single 64-bit integer, which keeps
+/// the hot scheduler paths free of allocations and hashing of variable-length
+/// data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Key(pub u64);
+
+impl Key {
+    /// Returns the raw key.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// A fully qualified row reference: table plus key.
+///
+/// This is the unit of conflict in C5's row-granularity protocol: two writes
+/// conflict if and only if their `RowRef`s are equal (Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RowRef {
+    /// The table containing the row.
+    pub table: TableId,
+    /// The row's key within the table.
+    pub key: Key,
+}
+
+impl RowRef {
+    /// Creates a row reference from raw table and key numbers.
+    #[inline]
+    pub const fn new(table: u32, key: u64) -> Self {
+        Self {
+            table: TableId(table),
+            key: Key(key),
+        }
+    }
+
+    /// Packs the reference into a single `u128` suitable for hashing or map
+    /// keys where a single integer is more convenient.
+    #[inline]
+    pub const fn packed(self) -> u128 {
+        ((self.table.0 as u128) << 64) | self.key.0 as u128
+    }
+}
+
+impl fmt::Display for RowRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.table, self.key)
+    }
+}
+
+/// Identifies a transaction issued on the primary.
+///
+/// Transaction ids are unique per run but carry no ordering meaning; the
+/// commit order is defined by the log ([`SeqNo`]) and, for the MVTSO engine,
+/// by [`Timestamp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+/// A Cicada-style write timestamp.
+///
+/// On the MVTSO primary every transaction is assigned a unique timestamp from
+/// its thread-local clock; ordering transactions by timestamp yields a valid
+/// serial schedule (Section 7.1). Version chains in the storage engine are
+/// ordered by descending write timestamp. Timestamp `0` is reserved for "no
+/// previous write" in the scheduler's embedded per-row FIFOs.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The zero timestamp, used as "no previous write" by the scheduler and
+    /// as the initial snapshot boundary.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Maximum representable timestamp.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Returns the raw value.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the next timestamp. Panics on overflow (which would require
+    /// 2^64 committed transactions).
+    #[inline]
+    pub fn next(self) -> Timestamp {
+        Timestamp(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts{}", self.0)
+    }
+}
+
+/// A position in the primary's replication log.
+///
+/// The C5 scheduler assigns each *write* a sequence number reflecting its
+/// position in the log (Section 4.1); the snapshotter's `c` and `n` counters
+/// are sequence numbers as well.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SeqNo(pub u64);
+
+impl SeqNo {
+    /// Sequence number zero: "nothing has been logged yet".
+    pub const ZERO: SeqNo = SeqNo(0);
+
+    /// Maximum representable sequence number.
+    pub const MAX: SeqNo = SeqNo(u64::MAX);
+
+    /// Returns the raw value.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the next sequence number.
+    #[inline]
+    pub fn next(self) -> SeqNo {
+        SeqNo(self.0 + 1)
+    }
+}
+
+impl fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seq{}", self.0)
+    }
+}
+
+/// Identifies a backup worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WorkerId(pub usize);
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn row_ref_packing_is_injective_for_distinct_refs() {
+        let a = RowRef::new(1, 42);
+        let b = RowRef::new(2, 42);
+        let c = RowRef::new(1, 43);
+        let set: HashSet<u128> = [a, b, c].iter().map(|r| r.packed()).collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn timestamp_ordering_matches_raw_ordering() {
+        assert!(Timestamp(1) < Timestamp(2));
+        assert!(Timestamp::ZERO < Timestamp::MAX);
+        assert_eq!(Timestamp(7).next(), Timestamp(8));
+    }
+
+    #[test]
+    fn seqno_next_increments() {
+        assert_eq!(SeqNo::ZERO.next(), SeqNo(1));
+        assert_eq!(SeqNo(41).next().as_u64(), 42);
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(RowRef::new(3, 9).to_string(), "t3/k9");
+        assert_eq!(TxnId(5).to_string(), "txn5");
+        assert_eq!(Timestamp(5).to_string(), "ts5");
+        assert_eq!(SeqNo(5).to_string(), "seq5");
+        assert_eq!(WorkerId(5).to_string(), "w5");
+    }
+
+    #[test]
+    fn row_ref_equality_is_conflict_relation() {
+        // Two writes conflict iff table and key both match.
+        assert_eq!(RowRef::new(1, 1), RowRef::new(1, 1));
+        assert_ne!(RowRef::new(1, 1), RowRef::new(2, 1));
+        assert_ne!(RowRef::new(1, 1), RowRef::new(1, 2));
+    }
+}

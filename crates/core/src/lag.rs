@@ -1,0 +1,209 @@
+//! Replication-lag measurement.
+//!
+//! Section 2.4 defines a transaction's replication lag as the difference
+//! between the time its changes are included in the state returned by the
+//! primary (`f_p`) and by the backup (`f_b`). On the primary, `f_p` is the
+//! commit time, which travels to the backup in every log record
+//! (`commit_wall_nanos`). On the backup, a transaction is included in the
+//! returned state once the snapshotter's exposed cut `c` reaches the
+//! transaction's last write (for C5) or once its last write is applied (for
+//! baselines that expose the latest applied state directly).
+//!
+//! [`LagTracker`] collects one [`LagSample`] per committed transaction and
+//! summarizes them as the paper's Figure 8 does: quartiles, minimum and
+//! maximum, optionally bucketed into fixed observation windows.
+
+use parking_lot::Mutex;
+
+use c5_common::SeqNo;
+
+/// One transaction's replication-lag observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LagSample {
+    /// Sequence number of the transaction's last write.
+    pub boundary_seq: SeqNo,
+    /// Primary commit time (nanoseconds since the Unix epoch).
+    pub committed_at_nanos: u64,
+    /// Time the backup first exposed the transaction (same clock).
+    pub exposed_at_nanos: u64,
+}
+
+impl LagSample {
+    /// The replication lag in nanoseconds (clamped at zero: clock
+    /// granularity can make the two stamps appear reversed for sub-
+    /// microsecond lags).
+    pub fn lag_nanos(&self) -> u64 {
+        self.exposed_at_nanos.saturating_sub(self.committed_at_nanos)
+    }
+
+    /// The replication lag in milliseconds.
+    pub fn lag_millis(&self) -> f64 {
+        self.lag_nanos() as f64 / 1e6
+    }
+}
+
+/// Summary statistics over a set of lag samples (the box-and-whisker numbers
+/// of Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LagStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum lag in milliseconds.
+    pub min_ms: f64,
+    /// First quartile in milliseconds.
+    pub p25_ms: f64,
+    /// Median in milliseconds.
+    pub p50_ms: f64,
+    /// Third quartile in milliseconds.
+    pub p75_ms: f64,
+    /// Maximum lag in milliseconds.
+    pub max_ms: f64,
+    /// Mean lag in milliseconds.
+    pub mean_ms: f64,
+}
+
+impl LagStats {
+    /// Computes statistics from raw millisecond values.
+    pub fn from_millis(mut values: Vec<f64>) -> Option<LagStats> {
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("lag values are finite"));
+        let count = values.len();
+        let pct = |p: f64| -> f64 {
+            let idx = ((count - 1) as f64 * p).round() as usize;
+            values[idx]
+        };
+        let mean = values.iter().sum::<f64>() / count as f64;
+        Some(LagStats {
+            count,
+            min_ms: values[0],
+            p25_ms: pct(0.25),
+            p50_ms: pct(0.50),
+            p75_ms: pct(0.75),
+            max_ms: values[count - 1],
+            mean_ms: mean,
+        })
+    }
+}
+
+/// Collects lag samples for a replica run.
+#[derive(Debug, Default)]
+pub struct LagTracker {
+    samples: Mutex<Vec<LagSample>>,
+}
+
+impl LagTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that the transaction whose last write is `boundary_seq`,
+    /// committed on the primary at `committed_at_nanos`, became visible on
+    /// the backup at `exposed_at_nanos`.
+    pub fn record(&self, boundary_seq: SeqNo, committed_at_nanos: u64, exposed_at_nanos: u64) {
+        self.samples.lock().push(LagSample {
+            boundary_seq,
+            committed_at_nanos,
+            exposed_at_nanos,
+        });
+    }
+
+    /// Number of samples collected.
+    pub fn len(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// Whether no samples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.lock().is_empty()
+    }
+
+    /// A copy of every sample.
+    pub fn samples(&self) -> Vec<LagSample> {
+        self.samples.lock().clone()
+    }
+
+    /// Summary statistics over every sample.
+    pub fn stats(&self) -> Option<LagStats> {
+        LagStats::from_millis(self.samples.lock().iter().map(LagSample::lag_millis).collect())
+    }
+
+    /// Summary statistics over the samples whose *exposure* time falls within
+    /// `[window_start_nanos, window_end_nanos)` — the per-window breakdown of
+    /// Figure 8 ("0–30 s", "30–60 s", "60–90 s").
+    pub fn stats_in_window(&self, window_start_nanos: u64, window_end_nanos: u64) -> Option<LagStats> {
+        LagStats::from_millis(
+            self.samples
+                .lock()
+                .iter()
+                .filter(|s| {
+                    s.exposed_at_nanos >= window_start_nanos && s.exposed_at_nanos < window_end_nanos
+                })
+                .map(LagSample::lag_millis)
+                .collect(),
+        )
+    }
+
+    /// Maximum lag over all samples, in milliseconds.
+    pub fn max_lag_ms(&self) -> f64 {
+        self.samples
+            .lock()
+            .iter()
+            .map(LagSample::lag_millis)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_lag_is_clamped_and_converted() {
+        let s = LagSample {
+            boundary_seq: SeqNo(1),
+            committed_at_nanos: 1_000_000,
+            exposed_at_nanos: 3_000_000,
+        };
+        assert_eq!(s.lag_nanos(), 2_000_000);
+        assert!((s.lag_millis() - 2.0).abs() < 1e-9);
+
+        let reversed = LagSample {
+            boundary_seq: SeqNo(2),
+            committed_at_nanos: 5,
+            exposed_at_nanos: 3,
+        };
+        assert_eq!(reversed.lag_nanos(), 0);
+    }
+
+    #[test]
+    fn stats_compute_quartiles() {
+        let stats = LagStats::from_millis(vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(stats.count, 5);
+        assert_eq!(stats.min_ms, 1.0);
+        assert_eq!(stats.p50_ms, 3.0);
+        assert_eq!(stats.max_ms, 5.0);
+        assert!((stats.mean_ms - 3.0).abs() < 1e-9);
+        assert!(LagStats::from_millis(vec![]).is_none());
+    }
+
+    #[test]
+    fn tracker_windows_partition_samples() {
+        let t = LagTracker::new();
+        t.record(SeqNo(1), 0, 10);
+        t.record(SeqNo(2), 5, 25);
+        t.record(SeqNo(3), 20, 40);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+
+        let w1 = t.stats_in_window(0, 30).unwrap();
+        assert_eq!(w1.count, 2);
+        let w2 = t.stats_in_window(30, 60).unwrap();
+        assert_eq!(w2.count, 1);
+        assert!(t.stats_in_window(100, 200).is_none());
+        assert!(t.stats().unwrap().count == 3);
+        assert!(t.max_lag_ms() >= t.stats().unwrap().p50_ms);
+    }
+}

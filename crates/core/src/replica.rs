@@ -1,0 +1,774 @@
+//! The replica trait and the C5 replica.
+//!
+//! [`ClonedConcurrencyControl`] is the interface every backup protocol in
+//! this workspace implements — C5 in both modes here, and the baselines in
+//! `c5-baselines`. The experiment harness, the monotonic-prefix-consistency
+//! checker, and the lag metrics are all written once against this trait, so
+//! every protocol is measured identically.
+//!
+//! [`C5Replica`] is the paper's protocol. Internally it runs:
+//!
+//! * one **scheduler** thread consuming shipped segments, stamping every
+//!   record with the position of the previous write to its row
+//!   ([`crate::scheduler`]), recording transaction boundaries for the lag
+//!   metrics, and dispatching work to the workers;
+//! * `workers` **worker** threads applying row writes. In
+//!   [`C5Mode::Faithful`] workers receive whole segments round-robin and
+//!   apply each record as soon as its per-row predecessor is in place,
+//!   deferring it otherwise (Section 7.2). In [`C5Mode::OneWorkerPerTxn`]
+//!   workers pull whole transactions from a shared queue in commit order and
+//!   apply each transaction's writes in order, waiting on each write's
+//!   predecessor (Section 5.1's backward-compatibility constraint);
+//! * one **snapshotter** thread advancing the exposed cut
+//!   ([`crate::snapshotter`]) every `snapshot_interval` and recording one
+//!   replication-lag sample per transaction as it becomes visible.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use c5_common::{OpCost, ReplicaConfig, RowRef, SeqNo, TableId, Timestamp, Value};
+use c5_log::{now_nanos, LogReceiver, LogRecord, Segment};
+use c5_storage::MvStore;
+
+use crate::lag::LagTracker;
+use crate::progress::WatermarkTracker;
+use crate::scheduler::SchedulerState;
+use crate::snapshotter::SnapshotCursor;
+
+/// A read-only view of the backup's exposed state, pinned at creation time.
+pub trait ReadView: Send {
+    /// Reads a row (point query).
+    fn get(&self, row: RowRef) -> Option<Value>;
+    /// The log position this view reflects.
+    fn as_of(&self) -> SeqNo;
+    /// Unordered scan of one table.
+    fn scan_table(&self, table: TableId) -> Vec<(RowRef, Value)>;
+    /// Unordered scan of the whole database (used by the consistency
+    /// checker).
+    fn scan_all(&self) -> Vec<(RowRef, Value)>;
+}
+
+/// Counters describing a replica's progress, exposed uniformly by every
+/// protocol.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaMetrics {
+    /// Row writes applied to the backup's store.
+    pub applied_writes: u64,
+    /// Transactions whose final write has been applied.
+    pub applied_txns: u64,
+    /// Largest contiguous applied log position.
+    pub applied_seq: SeqNo,
+    /// Largest log position exposed to read-only transactions.
+    pub exposed_seq: SeqNo,
+    /// Number of times a write had to be deferred/retried because its
+    /// per-row predecessor had not executed yet.
+    pub deferred_retries: u64,
+}
+
+/// The interface shared by C5 and every baseline cloned concurrency control
+/// protocol.
+pub trait ClonedConcurrencyControl: Send + Sync {
+    /// Short protocol name for reports (e.g. `"c5"`, `"kuafu"`).
+    fn name(&self) -> &'static str;
+
+    /// Feeds one log segment. May block for backpressure.
+    fn apply_segment(&self, segment: Segment);
+
+    /// Signals end-of-log, waits for every shipped write to be applied and
+    /// exposed, and stops the protocol's threads. Idempotent.
+    fn finish(&self);
+
+    /// Largest contiguous log position applied to the store.
+    fn applied_seq(&self) -> SeqNo;
+
+    /// Largest log position visible to read-only transactions.
+    fn exposed_seq(&self) -> SeqNo;
+
+    /// A read-only view of the exposed state.
+    fn read_view(&self) -> Box<dyn ReadView>;
+
+    /// Replication-lag samples collected so far.
+    fn lag(&self) -> Arc<LagTracker>;
+
+    /// Progress counters.
+    fn metrics(&self) -> ReplicaMetrics;
+
+    /// Blocks until the exposed cut reaches `seq` or the timeout expires;
+    /// returns whether it did.
+    fn wait_until_exposed(&self, seq: SeqNo, timeout: Duration) -> bool {
+        let start = Instant::now();
+        while self.exposed_seq() < seq {
+            if start.elapsed() > timeout {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        true
+    }
+}
+
+/// Drives a replica from a log receiver until the log ends, then finishes it.
+/// Returns the wall-clock time spent.
+pub fn drive_from_receiver(replica: &dyn ClonedConcurrencyControl, receiver: LogReceiver) -> Duration {
+    let start = Instant::now();
+    while let Some(segment) = receiver.recv() {
+        replica.apply_segment(segment);
+    }
+    replica.finish();
+    start.elapsed()
+}
+
+/// Feeds a pre-materialized log to a replica and finishes it. Returns the
+/// wall-clock time spent, which the offline experiments use as the backup's
+/// replay time.
+pub fn drive_segments(replica: &dyn ClonedConcurrencyControl, segments: Vec<Segment>) -> Duration {
+    let start = Instant::now();
+    for segment in segments {
+        replica.apply_segment(segment);
+    }
+    replica.finish();
+    start.elapsed()
+}
+
+/// Which of the paper's two implementations to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum C5Mode {
+    /// The faithful design (C5-Cicada, Section 7): row-granularity execution
+    /// with segments distributed round-robin, deferred-write queues, and a
+    /// timestamped snapshotter that never blocks workers.
+    Faithful,
+    /// The backward-compatible variant (C5-MyRocks, Section 5): every
+    /// transaction's writes execute on a single worker, workers pick up
+    /// transactions in commit order, and snapshots are whole-database cuts
+    /// that briefly hold back writes past the cut.
+    OneWorkerPerTxn,
+}
+
+impl C5Mode {
+    /// Protocol name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            C5Mode::Faithful => "c5",
+            C5Mode::OneWorkerPerTxn => "c5-myrocks",
+        }
+    }
+}
+
+/// Work items flowing from the scheduler to the workers.
+enum WorkItem {
+    /// A whole preprocessed segment (faithful mode).
+    Segment(Arc<Segment>),
+    /// One transaction's records (one-worker-per-transaction mode).
+    Txn(Vec<LogRecord>),
+}
+
+struct Shared {
+    store: Arc<MvStore>,
+    tracker: WatermarkTracker,
+    lag: Arc<LagTracker>,
+    cursor: SnapshotCursor,
+    /// Transaction boundaries (last-write position, primary commit time) in
+    /// log order, waiting to be matched against the exposed cut.
+    boundaries: Mutex<std::collections::VecDeque<(SeqNo, u64)>>,
+    /// Last position of the last fully dispatched transaction.
+    dispatched_boundary: AtomicU64,
+    /// Last position processed by the scheduler (end of log once
+    /// `ingest_done`).
+    final_seq: AtomicU64,
+    ingest_done: AtomicBool,
+    shutdown: AtomicBool,
+    op_cost: OpCost,
+    applied_writes: AtomicU64,
+    applied_txns: AtomicU64,
+    deferred_retries: AtomicU64,
+}
+
+impl Shared {
+    /// Installs one log record's write, enforcing the per-row order: the
+    /// write applies only when the row's most recent version is the one named
+    /// by `prev_seq`. Returns whether it applied.
+    fn try_install(&self, record: &LogRecord) -> bool {
+        let applied = self.cursor.install_gated(record.seq, || {
+            self.store.install_if_prev(
+                record.write.row,
+                Timestamp(record.prev_seq.as_u64()),
+                Timestamp(record.seq.as_u64()),
+                record.write.kind,
+                record.write.value.clone(),
+            )
+        });
+        if applied {
+            self.op_cost.charge_backup();
+            self.tracker.mark_applied(record.seq, record.is_txn_last());
+            self.applied_writes.fetch_add(1, Ordering::Relaxed);
+            if record.is_txn_last() {
+                self.applied_txns.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            self.deferred_retries.fetch_add(1, Ordering::Relaxed);
+        }
+        applied
+    }
+
+    /// Records lag samples for every transaction boundary now covered by the
+    /// exposed cut.
+    fn drain_exposed_boundaries(&self, exposed: SeqNo) {
+        let now = now_nanos();
+        let mut boundaries = self.boundaries.lock();
+        while let Some(&(seq, committed_at)) = boundaries.front() {
+            if seq <= exposed {
+                boundaries.pop_front();
+                self.lag.record(seq, committed_at, now);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// The C5 replica.
+pub struct C5Replica {
+    mode: C5Mode,
+    config: ReplicaConfig,
+    shared: Arc<Shared>,
+    ingest_tx: Mutex<Option<Sender<Segment>>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    finished: AtomicBool,
+}
+
+impl C5Replica {
+    /// Creates and starts a C5 replica over `store` (which should already
+    /// hold the initial database population, installed at `Timestamp::ZERO`).
+    pub fn new(mode: C5Mode, store: Arc<MvStore>, config: ReplicaConfig) -> Arc<Self> {
+        config.validate().expect("replica configuration must be valid");
+        let cursor = match mode {
+            C5Mode::Faithful => SnapshotCursor::timestamped(Arc::clone(&store)),
+            C5Mode::OneWorkerPerTxn => SnapshotCursor::whole_database(Arc::clone(&store)),
+        };
+        let shared = Arc::new(Shared {
+            store,
+            tracker: WatermarkTracker::new(),
+            lag: Arc::new(LagTracker::new()),
+            cursor,
+            boundaries: Mutex::new(std::collections::VecDeque::new()),
+            dispatched_boundary: AtomicU64::new(0),
+            final_seq: AtomicU64::new(0),
+            ingest_done: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            op_cost: config.op_cost,
+            applied_writes: AtomicU64::new(0),
+            applied_txns: AtomicU64::new(0),
+            deferred_retries: AtomicU64::new(0),
+        });
+
+        let (ingest_tx, ingest_rx) = bounded::<Segment>(config.segment_channel_capacity);
+        let mut threads = Vec::new();
+
+        // Worker channels. The faithful mode gives each worker its own queue
+        // (segments are assigned round-robin, Section 7.2); the
+        // one-worker-per-transaction mode uses a single shared queue from
+        // which workers pick up whole transactions in commit order
+        // (Section 5.1).
+        let workers = config.workers;
+        let mut worker_txs: Vec<Sender<WorkItem>> = Vec::new();
+        match mode {
+            C5Mode::Faithful => {
+                for worker_id in 0..workers {
+                    let (tx, rx) = bounded::<WorkItem>(256);
+                    worker_txs.push(tx);
+                    let shared_w = Arc::clone(&shared);
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("c5-worker-{worker_id}"))
+                            .spawn(move || worker_loop(shared_w, rx))
+                            .expect("spawn worker"),
+                    );
+                }
+            }
+            C5Mode::OneWorkerPerTxn => {
+                let (tx, rx) = bounded::<WorkItem>(1024);
+                worker_txs.push(tx);
+                for worker_id in 0..workers {
+                    let shared_w = Arc::clone(&shared);
+                    let rx = rx.clone();
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("c5-worker-{worker_id}"))
+                            .spawn(move || worker_loop(shared_w, rx))
+                            .expect("spawn worker"),
+                    );
+                }
+            }
+        }
+
+        // Scheduler thread.
+        let shared_s = Arc::clone(&shared);
+        let sched_mode = mode;
+        threads.push(
+            std::thread::Builder::new()
+                .name("c5-scheduler".into())
+                .spawn(move || scheduler_loop(shared_s, sched_mode, ingest_rx, worker_txs))
+                .expect("spawn scheduler"),
+        );
+
+        // Snapshotter thread.
+        let shared_n = Arc::clone(&shared);
+        let interval = config.snapshot_interval;
+        let snap_mode = mode;
+        threads.push(
+            std::thread::Builder::new()
+                .name("c5-snapshotter".into())
+                .spawn(move || snapshotter_loop(shared_n, snap_mode, interval))
+                .expect("spawn snapshotter"),
+        );
+
+        Arc::new(Self {
+            mode,
+            config,
+            shared,
+            ingest_tx: Mutex::new(Some(ingest_tx)),
+            threads: Mutex::new(threads),
+            finished: AtomicBool::new(false),
+        })
+    }
+
+    /// The replica's configuration.
+    pub fn config(&self) -> &ReplicaConfig {
+        &self.config
+    }
+
+    /// Which of the paper's two implementations this replica runs.
+    pub fn mode(&self) -> C5Mode {
+        self.mode
+    }
+
+    /// The backup's store (for test assertions).
+    pub fn store(&self) -> &Arc<MvStore> {
+        &self.shared.store
+    }
+}
+
+impl ClonedConcurrencyControl for C5Replica {
+    fn name(&self) -> &'static str {
+        self.mode.name()
+    }
+
+    fn apply_segment(&self, segment: Segment) {
+        let guard = self.ingest_tx.lock();
+        if let Some(tx) = guard.as_ref() {
+            // A send error means the scheduler exited (shutdown); drop the
+            // segment in that case.
+            let _ = tx.send(segment);
+        }
+    }
+
+    fn finish(&self) {
+        if self.finished.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Close the ingest channel so the scheduler (and then the workers)
+        // drain and exit.
+        self.ingest_tx.lock().take();
+        // Wait for ingestion to finish and every write to be applied.
+        while !self.shared.ingest_done.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let final_seq = SeqNo(self.shared.final_seq.load(Ordering::Acquire));
+        while self.shared.tracker.applied_watermark() < final_seq {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        // Let the snapshotter expose the final prefix, then stop it.
+        while self.exposed_seq() < self.shared.tracker.boundary_watermark() {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        for handle in self.threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn applied_seq(&self) -> SeqNo {
+        self.shared.tracker.applied_watermark()
+    }
+
+    fn exposed_seq(&self) -> SeqNo {
+        self.shared.cursor.exposed()
+    }
+
+    fn read_view(&self) -> Box<dyn ReadView> {
+        self.shared.cursor.read_view()
+    }
+
+    fn lag(&self) -> Arc<LagTracker> {
+        Arc::clone(&self.shared.lag)
+    }
+
+    fn metrics(&self) -> ReplicaMetrics {
+        ReplicaMetrics {
+            applied_writes: self.shared.applied_writes.load(Ordering::Relaxed),
+            applied_txns: self.shared.applied_txns.load(Ordering::Relaxed),
+            applied_seq: self.applied_seq(),
+            exposed_seq: self.exposed_seq(),
+            deferred_retries: self.shared.deferred_retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for C5Replica {
+    fn drop(&mut self) {
+        // Make sure background threads stop even if the caller forgot to call
+        // finish(); without the full drain semantics, just signal shutdown.
+        self.ingest_tx.lock().take();
+        self.shared.shutdown.store(true, Ordering::Release);
+        for handle in self.threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The scheduler loop: preprocesses segments and dispatches work.
+fn scheduler_loop(
+    shared: Arc<Shared>,
+    mode: C5Mode,
+    ingest_rx: Receiver<Segment>,
+    worker_txs: Vec<Sender<WorkItem>>,
+) {
+    let mut state = SchedulerState::new();
+    let mut next_worker = 0usize;
+    let mut workers_gone = false;
+    while let Ok(mut segment) = ingest_rx.recv() {
+        if workers_gone {
+            break;
+        }
+        state.process_segment(&mut segment);
+        // Record transaction boundaries for lag accounting, in log order.
+        {
+            let mut boundaries = shared.boundaries.lock();
+            for record in &segment.records {
+                if record.is_txn_last() {
+                    boundaries.push_back((record.seq, record.commit_wall_nanos));
+                }
+            }
+        }
+        if let Some(last) = segment.last_seq() {
+            shared.final_seq.store(last.as_u64(), Ordering::Release);
+        }
+        match mode {
+            C5Mode::Faithful => {
+                let last = segment.last_seq();
+                let item = WorkItem::Segment(Arc::new(segment));
+                if worker_txs[next_worker].send(item).is_err() {
+                    workers_gone = true;
+                }
+                next_worker = (next_worker + 1) % worker_txs.len();
+                if let Some(last) = last {
+                    shared.dispatched_boundary.store(last.as_u64(), Ordering::Release);
+                }
+            }
+            C5Mode::OneWorkerPerTxn => {
+                // Split the segment into whole transactions and push them to
+                // the shared queue (worker_txs[0]) in commit order.
+                let mut current: Vec<LogRecord> = Vec::new();
+                for record in segment.records.iter() {
+                    let is_last = record.is_txn_last();
+                    let seq = record.seq;
+                    current.push(record.clone());
+                    if is_last {
+                        let txn = std::mem::take(&mut current);
+                        if worker_txs[0].send(WorkItem::Txn(txn)).is_err() {
+                            workers_gone = true;
+                            break;
+                        }
+                        shared.dispatched_boundary.store(seq.as_u64(), Ordering::Release);
+                    }
+                }
+                debug_assert!(
+                    workers_gone || current.is_empty(),
+                    "segments never split transactions"
+                );
+            }
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+    }
+    shared.ingest_done.store(true, Ordering::Release);
+    // Dropping the senders signals end-of-work to the workers.
+    drop(worker_txs);
+}
+
+/// The worker loop shared by both modes.
+fn worker_loop(shared: Arc<Shared>, rx: Receiver<WorkItem>) {
+    let mut deferred: std::collections::VecDeque<LogRecord> = std::collections::VecDeque::new();
+    loop {
+        match rx.recv_timeout(Duration::from_millis(1)) {
+            Ok(WorkItem::Segment(segment)) => {
+                for record in &segment.records {
+                    if !shared.try_install(record) {
+                        deferred.push_back(record.clone());
+                    }
+                }
+                retry_deferred(&shared, &mut deferred);
+            }
+            Ok(WorkItem::Txn(records)) => {
+                // One worker executes the whole transaction, write by write,
+                // waiting for each write's per-row predecessor (Section 5.1).
+                for record in &records {
+                    let mut spins = 0u32;
+                    while !shared.try_install(record) {
+                        spins += 1;
+                        if spins > 64 {
+                            std::thread::sleep(Duration::from_micros(20));
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                        if shared.shutdown.load(Ordering::Acquire) {
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                retry_deferred(&shared, &mut deferred);
+                if shared.shutdown.load(Ordering::Acquire) && deferred.is_empty() {
+                    return;
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                // Drain any deferred writes, then exit.
+                while !deferred.is_empty() {
+                    retry_deferred(&shared, &mut deferred);
+                    if deferred.is_empty() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(20));
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Retries deferred writes in FIFO order (Section 7.2: "each worker maintains
+/// a local FIFO queue of deferred writes and periodically re-checks them").
+fn retry_deferred(shared: &Shared, deferred: &mut std::collections::VecDeque<LogRecord>) {
+    let mut remaining = deferred.len();
+    while remaining > 0 {
+        let record = deferred.pop_front().expect("len checked");
+        remaining -= 1;
+        if !shared.try_install(&record) {
+            deferred.push_back(record);
+        }
+    }
+}
+
+/// The snapshotter loop.
+fn snapshotter_loop(shared: Arc<Shared>, mode: C5Mode, interval: Duration) {
+    // Tick frequently so shutdown is responsive, but only cut at `interval`.
+    let tick = interval.min(Duration::from_millis(1));
+    let mut last_cut = Instant::now();
+    loop {
+        let shutting_down = shared.shutdown.load(Ordering::Acquire);
+        let due = last_cut.elapsed() >= interval || shutting_down;
+        if due {
+            match mode {
+                C5Mode::Faithful => {
+                    let n = shared.tracker.boundary_watermark();
+                    if n > shared.cursor.exposed() {
+                        shared.cursor.advance(n);
+                        shared.drain_exposed_boundaries(n);
+                    }
+                }
+                C5Mode::OneWorkerPerTxn => {
+                    let target = shared.tracker.boundary_watermark();
+                    if target > shared.cursor.exposed() {
+                        let tracker = &shared.tracker;
+                        let n = shared.cursor.cut(
+                            // Choose n at the last fully dispatched transaction:
+                            // nothing beyond it can be in the store, and
+                            // everything up to it will be applied shortly.
+                            || SeqNo(shared.dispatched_boundary.load(Ordering::Acquire)),
+                            |n| {
+                                while tracker.applied_watermark() < n
+                                    && !shared.shutdown.load(Ordering::Acquire)
+                                {
+                                    std::thread::sleep(Duration::from_micros(50));
+                                }
+                            },
+                        );
+                        shared.drain_exposed_boundaries(n);
+                    }
+                }
+            }
+            last_cut = Instant::now();
+        }
+        if shutting_down {
+            // One final advance happened above; exit.
+            return;
+        }
+        std::thread::sleep(tick);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c5_common::{RowWrite, TxnId};
+    use c5_log::{segments_from_entries, TxnEntry};
+
+    fn row(k: u64) -> RowRef {
+        RowRef::new(0, k)
+    }
+
+    /// Builds a log of `txns` transactions, each writing `writes_per_txn`
+    /// unique rows plus one update to the shared hot row 0 (the adversarial
+    /// shape).
+    fn adversarial_log(txns: u64, writes_per_txn: u64, segment_records: usize) -> Vec<Segment> {
+        let mut entries = Vec::new();
+        for t in 0..txns {
+            let mut writes = Vec::new();
+            for i in 0..writes_per_txn {
+                writes.push(RowWrite::insert(
+                    row(1 + t * writes_per_txn + i),
+                    Value::from_u64(i),
+                ));
+            }
+            writes.push(RowWrite::update(row(0), Value::from_u64(t + 1)));
+            entries.push(TxnEntry::new(TxnId(t + 1), Timestamp(t + 1), writes));
+        }
+        segments_from_entries(&entries, segment_records)
+    }
+
+    fn replica(mode: C5Mode, workers: usize) -> Arc<C5Replica> {
+        let store = Arc::new(MvStore::default());
+        store.install(row(0), Timestamp::ZERO, c5_common::WriteKind::Insert, Some(Value::from_u64(0)));
+        let config = ReplicaConfig::default()
+            .with_workers(workers)
+            .with_snapshot_interval(Duration::from_millis(1));
+        C5Replica::new(mode, store, config)
+    }
+
+    fn run_mode(mode: C5Mode) {
+        let replica = replica(mode, 4);
+        let segments = adversarial_log(50, 4, 16);
+        let total_writes: u64 = segments.iter().map(|s| s.len() as u64).sum();
+        let last_seq = segments.last().unwrap().last_seq().unwrap();
+
+        drive_segments(replica.as_ref(), segments);
+
+        let metrics = replica.metrics();
+        assert_eq!(metrics.applied_writes, total_writes);
+        assert_eq!(metrics.applied_txns, 50);
+        assert_eq!(metrics.applied_seq, last_seq);
+        assert_eq!(metrics.exposed_seq, last_seq);
+
+        // The hot row saw every update in order; its final value is the last
+        // transaction's.
+        let view = replica.read_view();
+        assert_eq!(view.get(row(0)).unwrap().as_u64(), Some(50));
+        assert_eq!(view.as_of(), last_seq);
+
+        // One lag sample per transaction.
+        assert_eq!(replica.lag().len(), 50);
+    }
+
+    #[test]
+    fn faithful_mode_applies_and_exposes_everything() {
+        run_mode(C5Mode::Faithful);
+    }
+
+    #[test]
+    fn one_worker_per_txn_mode_applies_and_exposes_everything() {
+        run_mode(C5Mode::OneWorkerPerTxn);
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_drop_is_safe() {
+        let replica = replica(C5Mode::Faithful, 2);
+        let segments = adversarial_log(5, 2, 8);
+        drive_segments(replica.as_ref(), segments);
+        replica.finish();
+        replica.finish();
+        drop(replica);
+    }
+
+    #[test]
+    fn exposed_cut_is_monotonic_and_txn_aligned() {
+        let store = Arc::new(MvStore::default());
+        let config = ReplicaConfig::default()
+            .with_workers(2)
+            .with_snapshot_interval(Duration::from_micros(200));
+        let replica = C5Replica::new(C5Mode::Faithful, store, config);
+
+        let segments = adversarial_log(200, 2, 8);
+        // Collect boundary positions: exposed cuts must always land on one.
+        let mut boundary_set = std::collections::HashSet::new();
+        boundary_set.insert(0u64);
+        for seg in &segments {
+            for r in &seg.records {
+                if r.is_txn_last() {
+                    boundary_set.insert(r.seq.as_u64());
+                }
+            }
+        }
+
+        let replica_clone = Arc::clone(&replica);
+        let observer = std::thread::spawn(move || {
+            let mut last = SeqNo::ZERO;
+            let mut observations = Vec::new();
+            for _ in 0..2000 {
+                let e = replica_clone.exposed_seq();
+                observations.push(e);
+                assert!(e >= last, "exposed cut must never move backwards");
+                last = e;
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            observations
+        });
+
+        drive_segments(replica.as_ref(), segments);
+        let observations = observer.join().unwrap();
+        for seq in observations {
+            assert!(
+                boundary_set.contains(&seq.as_u64()),
+                "exposed cut {seq} is not a transaction boundary"
+            );
+        }
+    }
+
+    #[test]
+    fn read_views_are_stable_snapshots() {
+        let replica = replica(C5Mode::Faithful, 2);
+        let segments = adversarial_log(10, 2, 4);
+        for seg in segments.clone() {
+            replica.apply_segment(seg);
+        }
+        let view_before = replica.read_view();
+        let as_of_before = view_before.as_of();
+        replica.finish();
+        // The view taken earlier still answers as of its own cut.
+        assert_eq!(view_before.as_of(), as_of_before);
+        // A fresh view sees the final state.
+        assert_eq!(
+            replica.read_view().get(row(0)).unwrap().as_u64(),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn lag_samples_measure_commit_to_visibility() {
+        let replica = replica(C5Mode::Faithful, 2);
+        let segments = adversarial_log(20, 1, 8);
+        drive_segments(replica.as_ref(), segments);
+        let lag = replica.lag();
+        let stats = lag.stats().expect("samples exist");
+        assert_eq!(stats.count, 20);
+        assert!(stats.min_ms >= 0.0);
+        assert!(stats.max_ms < 60_000.0, "lag should be far below a minute in tests");
+    }
+}

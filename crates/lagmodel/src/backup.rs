@@ -1,0 +1,276 @@
+//! The model backup: `m` cores running one of the cloned concurrency control
+//! protocols from the paper's taxonomy.
+
+use std::collections::HashMap;
+
+use crate::primary::PrimaryOutcome;
+use crate::workload::ModelParams;
+
+/// The protocol the model backup runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackupProtocol {
+    /// One thread applies the log in order (MySQL 5.6's default).
+    SingleThreaded,
+    /// Transaction granularity (KuaFu / MySQL 8 writeset replication):
+    /// transactions with intersecting write sets apply in commit order; each
+    /// transaction's writes run sequentially on one worker.
+    TxnGranularity,
+    /// Page granularity (redo shipping): writes to the same page serialize.
+    PageGranularity {
+        /// Number of rows per page.
+        rows_per_page: u64,
+    },
+    /// Row granularity (C5): only writes to the same row serialize.
+    RowGranularity,
+}
+
+impl BackupProtocol {
+    /// Name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackupProtocol::SingleThreaded => "single-threaded",
+            BackupProtocol::TxnGranularity => "txn-granularity",
+            BackupProtocol::PageGranularity { .. } => "page-granularity",
+            BackupProtocol::RowGranularity => "row-granularity",
+        }
+    }
+}
+
+/// The backup's execution outcome, indexed in log order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackupOutcome {
+    /// When each transaction's last write finished applying (`f_b` before
+    /// accounting for prefix exposure).
+    pub finish: Vec<u64>,
+    /// When each transaction became visible to reads: the running maximum of
+    /// `finish` over the log prefix, since reads only ever observe
+    /// prefix-complete states.
+    pub exposed: Vec<u64>,
+}
+
+impl BackupOutcome {
+    /// The backup's makespan (when the last write finished).
+    pub fn makespan(&self) -> u64 {
+        self.finish.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Applied transactions per unit time.
+    pub fn throughput(&self) -> f64 {
+        if self.finish.is_empty() || self.makespan() == 0 {
+            0.0
+        } else {
+            self.finish.len() as f64 / self.makespan() as f64
+        }
+    }
+}
+
+/// Simulates the backup applying the primary's log under `protocol`.
+///
+/// A transaction's writes become available to the backup when the primary
+/// commits it (the paper assumes instantaneous log delivery). Work is
+/// dispatched in log order onto the earliest-available of the `m` cores,
+/// subject to the protocol's ordering constraints.
+pub fn simulate_backup(
+    params: &ModelParams,
+    primary: &PrimaryOutcome,
+    protocol: BackupProtocol,
+) -> BackupOutcome {
+    assert!(params.cores > 0, "the backup needs at least one core");
+    let d = params.backup_op_cost;
+    let mut core_free = vec![0u64; params.cores];
+    let mut finish = Vec::with_capacity(primary.log.len());
+
+    match protocol {
+        BackupProtocol::SingleThreaded => {
+            let mut now = 0u64;
+            for txn in &primary.log {
+                now = now.max(txn.finish);
+                now += d * txn.keys.len() as u64;
+                finish.push(now);
+            }
+        }
+        BackupProtocol::TxnGranularity => {
+            // last_writer[key] = index (into `finish`) of the last transaction
+            // that wrote the key.
+            let mut last_writer: HashMap<u64, usize> = HashMap::new();
+            for (i, txn) in primary.log.iter().enumerate() {
+                // Wait for every conflicting predecessor to finish entirely.
+                let mut deps_done = 0u64;
+                for key in &txn.keys {
+                    if let Some(&j) = last_writer.get(key) {
+                        deps_done = deps_done.max(finish[j]);
+                    }
+                }
+                let core = earliest_core(&mut core_free);
+                let start = core_free[core].max(txn.finish).max(deps_done);
+                let end = start + d * txn.keys.len() as u64;
+                core_free[core] = end;
+                finish.push(end);
+                for key in &txn.keys {
+                    last_writer.insert(*key, i);
+                }
+            }
+        }
+        BackupProtocol::PageGranularity { rows_per_page } => {
+            finish = fine_grained(params, primary, d, &mut core_free, |key| key / rows_per_page.max(1));
+        }
+        BackupProtocol::RowGranularity => {
+            finish = fine_grained(params, primary, d, &mut core_free, |key| key);
+        }
+    }
+
+    let mut exposed = Vec::with_capacity(finish.len());
+    let mut running_max = 0u64;
+    for &f in &finish {
+        running_max = running_max.max(f);
+        exposed.push(running_max);
+    }
+    BackupOutcome { finish, exposed }
+}
+
+/// Shared machinery for the write-at-a-time protocols (page and row
+/// granularity): each write is an independent task whose only ordering
+/// constraint is the previous write to the same conflict group.
+fn fine_grained(
+    _params: &ModelParams,
+    primary: &PrimaryOutcome,
+    d: u64,
+    core_free: &mut [u64],
+    group_of: impl Fn(u64) -> u64,
+) -> Vec<u64> {
+    let mut group_free: HashMap<u64, u64> = HashMap::new();
+    let mut finish = Vec::with_capacity(primary.log.len());
+    for txn in &primary.log {
+        let mut txn_done = 0u64;
+        for &key in &txn.keys {
+            let group = group_of(key);
+            let core = earliest_core(core_free);
+            let dep = group_free.get(&group).copied().unwrap_or(0);
+            let start = core_free[core].max(txn.finish).max(dep);
+            let end = start + d;
+            core_free[core] = end;
+            group_free.insert(group, end);
+            txn_done = txn_done.max(end);
+        }
+        finish.push(txn_done);
+    }
+    finish
+}
+
+fn earliest_core(core_free: &mut [u64]) -> usize {
+    core_free
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &t)| t)
+        .map(|(i, _)| i)
+        .expect("at least one core")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primary::simulate_primary_2pl;
+    use crate::workload::{ModelParams, ModelWorkload};
+    use crate::LagSeries;
+
+    fn params() -> ModelParams {
+        ModelParams::paper_like(20)
+    }
+
+    #[test]
+    fn theorem1_txn_granularity_lag_grows_linearly() {
+        // The proof's construction: with n*d > e, the transaction-granularity
+        // backup's lag grows by (n*d - e) per transaction.
+        let p = params();
+        let n = 4u64;
+        let w = ModelWorkload::theorem1(200, n, p.primary_op_cost);
+        let primary = simulate_primary_2pl(&p, &w);
+        let backup = simulate_backup(&p, &primary, BackupProtocol::TxnGranularity);
+        let lag = LagSeries::new(&primary, &backup);
+
+        let expected_slope = (n * p.backup_op_cost - p.primary_op_cost) as f64;
+        assert!(
+            (lag.slope() - expected_slope).abs() < 0.5,
+            "lag must grow by nd - e per transaction (got slope {}, expected {expected_slope})",
+            lag.slope()
+        );
+        assert!(lag.last() > lag.lags[0]);
+    }
+
+    #[test]
+    fn theorem1_row_granularity_lag_stays_bounded() {
+        let p = params();
+        let w = ModelWorkload::theorem1(200, 4, p.primary_op_cost);
+        let primary = simulate_primary_2pl(&p, &w);
+        let backup = simulate_backup(&p, &primary, BackupProtocol::RowGranularity);
+        let lag = LagSeries::new(&primary, &backup);
+        assert!(
+            lag.slope().abs() < 0.1,
+            "row granularity must not accumulate lag (slope {})",
+            lag.slope()
+        );
+        // Bounded by a small constant multiple of the per-transaction work.
+        assert!(lag.max() <= 8 * p.backup_op_cost * 4);
+    }
+
+    #[test]
+    fn page_granularity_lags_where_row_granularity_does_not() {
+        let p = params();
+        let w = ModelWorkload::page_adversarial(200, 4, 64, p.primary_op_cost);
+        let primary = simulate_primary_2pl(&p, &w);
+        let page = simulate_backup(&p, &primary, BackupProtocol::PageGranularity { rows_per_page: 64 });
+        let row = simulate_backup(&p, &primary, BackupProtocol::RowGranularity);
+        let page_lag = LagSeries::new(&primary, &page);
+        let row_lag = LagSeries::new(&primary, &row);
+        assert!(page_lag.slope() > 1.0, "page granularity must fall behind");
+        assert!(row_lag.slope().abs() < 0.1, "row granularity must keep up");
+        assert!(page_lag.last() > 10 * row_lag.last().max(1));
+    }
+
+    #[test]
+    fn single_threaded_is_never_faster_than_txn_granularity() {
+        let p = params();
+        let w = ModelWorkload::uniform(100, 4, p.primary_op_cost);
+        let primary = simulate_primary_2pl(&p, &w);
+        let single = simulate_backup(&p, &primary, BackupProtocol::SingleThreaded);
+        let txn = simulate_backup(&p, &primary, BackupProtocol::TxnGranularity);
+        assert!(single.makespan() >= txn.makespan());
+        assert!(single.throughput() <= txn.throughput() + 1e-9);
+    }
+
+    #[test]
+    fn uniform_workload_all_parallel_protocols_keep_up() {
+        let p = params();
+        let w = ModelWorkload::uniform(200, 4, p.primary_op_cost);
+        let primary = simulate_primary_2pl(&p, &w);
+        for protocol in [
+            BackupProtocol::TxnGranularity,
+            BackupProtocol::PageGranularity { rows_per_page: 1 },
+            BackupProtocol::RowGranularity,
+        ] {
+            let backup = simulate_backup(&p, &primary, protocol);
+            let lag = LagSeries::new(&primary, &backup);
+            assert!(
+                lag.slope().abs() < 0.1,
+                "{} must keep up on a conflict-free workload",
+                protocol.name()
+            );
+        }
+    }
+
+    #[test]
+    fn exposure_is_monotonic() {
+        let p = params();
+        let w = ModelWorkload::theorem1(50, 3, p.primary_op_cost);
+        let primary = simulate_primary_2pl(&p, &w);
+        for protocol in [
+            BackupProtocol::SingleThreaded,
+            BackupProtocol::TxnGranularity,
+            BackupProtocol::RowGranularity,
+        ] {
+            let backup = simulate_backup(&p, &primary, protocol);
+            assert!(backup.exposed.windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(backup.exposed.len(), backup.finish.len());
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! A deterministic model of Section 3's primary-backup system.
+//!
+//! The paper's impossibility results (Theorem 1 for transaction granularity,
+//! Section 3.1.1 for page granularity) and the keep-up result for row
+//! granularity (Section 4.1.1, Theorem 2) are statements about an abstract
+//! machine: a primary with `m` cores executing each operation in `e` time
+//! units under two-phase locking, and a backup with `m` cores executing each
+//! operation in `d <= e` time units under some cloned concurrency control
+//! protocol. This crate implements that machine as a deterministic
+//! discrete-event model so the theorems can be *demonstrated numerically*:
+//! feed in the adversarial workload from the proof of Theorem 1 and watch the
+//! transaction-granularity backup's lag grow linearly without bound while the
+//! row-granularity backup's lag stays flat.
+//!
+//! The model is exact about the things the proofs depend on (core counts,
+//! per-operation costs, lock serialization on conflicting keys, log order)
+//! and deliberately simple about everything else; the full-system behaviour
+//! is measured by the real implementations in `c5-core`/`c5-baselines`, not
+//! here.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backup;
+pub mod primary;
+pub mod workload;
+
+pub use backup::{simulate_backup, BackupOutcome, BackupProtocol};
+pub use primary::{simulate_primary_2pl, LoggedTxn, PrimaryOutcome};
+pub use workload::{ModelParams, ModelTxn, ModelWorkload};
+
+/// Replication lag of every transaction, in model time units, in log order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LagSeries {
+    /// Lag per transaction (exposed time on the backup minus finish time on
+    /// the primary), in log order.
+    pub lags: Vec<u64>,
+}
+
+impl LagSeries {
+    /// Computes the lag series from a primary and a backup outcome.
+    pub fn new(primary: &PrimaryOutcome, backup: &BackupOutcome) -> Self {
+        assert_eq!(primary.log.len(), backup.exposed.len());
+        let lags = primary
+            .log
+            .iter()
+            .zip(&backup.exposed)
+            .map(|(txn, &exposed)| exposed.saturating_sub(txn.finish))
+            .collect();
+        Self { lags }
+    }
+
+    /// Maximum lag over the run.
+    pub fn max(&self) -> u64 {
+        self.lags.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Lag of the final transaction (the quantity Theorem 1's proof drives to
+    /// infinity).
+    pub fn last(&self) -> u64 {
+        self.lags.last().copied().unwrap_or(0)
+    }
+
+    /// Least-squares slope of lag versus transaction index, in time units per
+    /// transaction. A positive slope that persists as the workload grows is
+    /// the signature of unbounded lag; a near-zero slope means the backup
+    /// keeps up.
+    pub fn slope(&self) -> f64 {
+        let n = self.lags.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let n_f = n as f64;
+        let mean_x = (n_f - 1.0) / 2.0;
+        let mean_y = self.lags.iter().map(|&l| l as f64).sum::<f64>() / n_f;
+        let mut cov = 0.0;
+        let mut var = 0.0;
+        for (i, &l) in self.lags.iter().enumerate() {
+            let dx = i as f64 - mean_x;
+            cov += dx * (l as f64 - mean_y);
+            var += dx * dx;
+        }
+        if var == 0.0 {
+            0.0
+        } else {
+            cov / var
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_series_statistics() {
+        let primary = PrimaryOutcome {
+            log: vec![
+                LoggedTxn { id: 1, finish: 10, keys: vec![1] },
+                LoggedTxn { id: 2, finish: 20, keys: vec![2] },
+                LoggedTxn { id: 3, finish: 30, keys: vec![3] },
+            ],
+        };
+        let backup = BackupOutcome {
+            finish: vec![15, 35, 60],
+            exposed: vec![15, 35, 60],
+        };
+        let series = LagSeries::new(&primary, &backup);
+        assert_eq!(series.lags, vec![5, 15, 30]);
+        assert_eq!(series.max(), 30);
+        assert_eq!(series.last(), 30);
+        assert!(series.slope() > 0.0);
+    }
+
+    #[test]
+    fn flat_series_has_zero_slope() {
+        let series = LagSeries { lags: vec![7; 100] };
+        assert!(series.slope().abs() < 1e-9);
+        assert_eq!(series.max(), 7);
+    }
+}

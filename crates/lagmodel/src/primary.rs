@@ -1,0 +1,162 @@
+//! The model primary: `m` cores, two-phase locking, stored procedures.
+//!
+//! Each transaction runs on one core (the paper's Figure 2: a transaction's
+//! own operations are sequential; parallelism comes from concurrent
+//! transactions). An operation on a key whose lock is held waits until the
+//! holder commits — writes under strict two-phase locking hold their locks to
+//! the end of the transaction, and conflicting requests are granted in
+//! arrival order.
+
+use crate::workload::{ModelParams, ModelWorkload};
+
+/// A committed transaction as it appears in the primary's log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedTxn {
+    /// The transaction's id.
+    pub id: u64,
+    /// When the primary finished it (`f_p`).
+    pub finish: u64,
+    /// Keys written, in operation order.
+    pub keys: Vec<u64>,
+}
+
+/// The primary's execution outcome: the log, ordered by commit time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrimaryOutcome {
+    /// Committed transactions in commit (log) order.
+    pub log: Vec<LoggedTxn>,
+}
+
+impl PrimaryOutcome {
+    /// The finish time of the last transaction (the primary's makespan).
+    pub fn makespan(&self) -> u64 {
+        self.log.iter().map(|t| t.finish).max().unwrap_or(0)
+    }
+
+    /// Committed transactions per unit time.
+    pub fn throughput(&self) -> f64 {
+        if self.log.is_empty() || self.makespan() == 0 {
+            0.0
+        } else {
+            self.log.len() as f64 / self.makespan() as f64
+        }
+    }
+}
+
+/// Simulates the two-phase-locking primary.
+///
+/// Transactions are admitted in arrival order. Each is placed on the core
+/// that frees earliest; its operations execute sequentially at cost `e`; an
+/// operation on a locked key waits until the lock frees, and the lock is then
+/// held until the transaction finishes (strict 2PL).
+pub fn simulate_primary_2pl(params: &ModelParams, workload: &ModelWorkload) -> PrimaryOutcome {
+    assert!(params.cores > 0, "the primary needs at least one core");
+    let e = params.primary_op_cost;
+    let mut core_free = vec![0u64; params.cores];
+    let mut lock_free: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut log: Vec<LoggedTxn> = Vec::with_capacity(workload.txns.len());
+
+    for txn in &workload.txns {
+        // Earliest-free core.
+        let (core_idx, &free_at) = core_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("at least one core");
+        let mut now = free_at.max(txn.arrival);
+
+        // First pass: execute operations, waiting for locks in arrival order.
+        // We record, per key, when the operation *finished executing*; the
+        // lock itself is released at transaction finish (second pass below).
+        let mut op_finish_times = Vec::with_capacity(txn.keys.len());
+        for &key in &txn.keys {
+            let lock_available = lock_free.get(&key).copied().unwrap_or(0);
+            let start = now.max(lock_available);
+            now = start + e;
+            op_finish_times.push(now);
+        }
+        let finish = now;
+        // Strict 2PL: every written key stays locked until `finish`.
+        for &key in &txn.keys {
+            let entry = lock_free.entry(key).or_insert(0);
+            *entry = (*entry).max(finish);
+        }
+        core_free[core_idx] = finish;
+        log.push(LoggedTxn {
+            id: txn.id,
+            finish,
+            keys: txn.keys.clone(),
+        });
+    }
+
+    // The log reflects commit order.
+    log.sort_by_key(|t| (t.finish, t.id));
+    PrimaryOutcome { log }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ModelWorkload;
+
+    fn params(cores: usize) -> ModelParams {
+        ModelParams {
+            cores,
+            primary_op_cost: 10,
+            backup_op_cost: 9,
+        }
+    }
+
+    #[test]
+    fn non_conflicting_transactions_run_in_parallel() {
+        // Four single-write transactions, four cores, all arriving at time 0:
+        // every one finishes at e.
+        let w = ModelWorkload::uniform(4, 1, 0);
+        let outcome = simulate_primary_2pl(&params(4), &w);
+        assert!(outcome.log.iter().all(|t| t.finish == 10));
+        assert_eq!(outcome.makespan(), 10);
+    }
+
+    #[test]
+    fn conflicting_writes_serialize_on_the_lock() {
+        // Two transactions, both writing key 0, arriving together with two
+        // cores available: the second waits for the first's lock.
+        let w = ModelWorkload::theorem1(2, 1, 0);
+        let outcome = simulate_primary_2pl(&params(2), &w);
+        assert_eq!(outcome.log[0].finish, 10);
+        assert_eq!(outcome.log[1].finish, 20);
+    }
+
+    #[test]
+    fn theorem1_workload_finishes_every_e_after_rampup() {
+        // The proof's key fact: f_p(T_i) = (n + i) * e — after the pipeline
+        // fills, the primary commits one transaction every e time units.
+        let n = 4u64;
+        let e = 10u64;
+        let w = ModelWorkload::theorem1(32, n, e);
+        let outcome = simulate_primary_2pl(&params(20), &w);
+        for (i, txn) in outcome.log.iter().enumerate() {
+            assert_eq!(
+                txn.finish,
+                (n + i as u64) * e,
+                "transaction {i} must finish at (n + i) * e"
+            );
+        }
+    }
+
+    #[test]
+    fn fewer_cores_than_load_queue_transactions() {
+        // One core: everything serializes regardless of conflicts.
+        let w = ModelWorkload::uniform(3, 2, 0);
+        let outcome = simulate_primary_2pl(&params(1), &w);
+        let finishes: Vec<u64> = outcome.log.iter().map(|t| t.finish).collect();
+        assert_eq!(finishes, vec![20, 40, 60]);
+    }
+
+    #[test]
+    fn throughput_is_txns_over_makespan() {
+        let w = ModelWorkload::uniform(10, 1, 0);
+        let outcome = simulate_primary_2pl(&params(10), &w);
+        assert!(outcome.throughput() > 0.0);
+    }
+}

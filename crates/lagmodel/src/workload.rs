@@ -1,0 +1,200 @@
+//! Model parameters and workload constructions.
+
+/// Parameters of the abstract machine (Section 3.1's system model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelParams {
+    /// Number of cores on each of the primary and the backup (`m`).
+    pub cores: usize,
+    /// Time to execute one operation on the primary (`e`).
+    pub primary_op_cost: u64,
+    /// Time to execute one operation on the backup (`d`, with `0 < d <= e`).
+    pub backup_op_cost: u64,
+}
+
+impl ModelParams {
+    /// Parameters matching the proof's assumptions: the backup is slightly
+    /// faster per operation and the core count comfortably exceeds `e/d`.
+    pub fn paper_like(cores: usize) -> Self {
+        Self {
+            cores,
+            primary_op_cost: 10,
+            backup_op_cost: 9,
+        }
+    }
+
+    /// Checks the proof's side conditions (`m > e/d`, `d <= e`).
+    pub fn satisfies_theorem_assumptions(&self) -> bool {
+        self.backup_op_cost > 0
+            && self.backup_op_cost <= self.primary_op_cost
+            && (self.cores as u64) > self.primary_op_cost / self.backup_op_cost
+    }
+}
+
+/// One transaction in the model: an arrival time and an ordered list of
+/// written keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelTxn {
+    /// Transaction identifier (also its arrival order).
+    pub id: u64,
+    /// Arrival time at the primary.
+    pub arrival: u64,
+    /// Keys written, in operation order.
+    pub keys: Vec<u64>,
+}
+
+/// A workload: transactions ordered by arrival time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelWorkload {
+    /// The transactions, sorted by arrival.
+    pub txns: Vec<ModelTxn>,
+}
+
+impl ModelWorkload {
+    /// The workload from the proof of Theorem 1: every transaction performs
+    /// `writes_per_txn - 1` writes to unique keys followed by one write to
+    /// the shared hot key `0`; a new transaction arrives every
+    /// `interarrival` time units starting at 0.
+    pub fn theorem1(count: u64, writes_per_txn: u64, interarrival: u64) -> Self {
+        assert!(writes_per_txn >= 1);
+        let mut txns = Vec::with_capacity(count as usize);
+        let mut next_key = 1u64;
+        for id in 0..count {
+            let mut keys = Vec::with_capacity(writes_per_txn as usize);
+            for _ in 0..writes_per_txn - 1 {
+                keys.push(next_key);
+                next_key += 1;
+            }
+            keys.push(0); // the hot key
+            txns.push(ModelTxn {
+                id,
+                arrival: id * interarrival,
+                keys,
+            });
+        }
+        Self { txns }
+    }
+
+    /// The workload from the page-granularity argument (Section 3.1.1):
+    /// each transaction performs `writes_per_txn - 1` writes to globally
+    /// unique rows (which live on their own pages) followed by one write to a
+    /// row on the shared hot page — keys `0..rows_per_page` all map to page 0.
+    /// Consecutive transactions therefore write *different rows* of the same
+    /// page: the row-locking primary runs them in parallel, a page-granularity
+    /// backup serializes every one of them.
+    pub fn page_adversarial(count: u64, writes_per_txn: u64, rows_per_page: u64, interarrival: u64) -> Self {
+        assert!(writes_per_txn >= 1 && rows_per_page >= 1);
+        let mut txns = Vec::with_capacity(count as usize);
+        // Unique keys start past the hot page so they never share it.
+        let mut next_key = rows_per_page;
+        for id in 0..count {
+            let mut keys = Vec::with_capacity(writes_per_txn as usize);
+            for _ in 0..writes_per_txn - 1 {
+                keys.push(next_key);
+                next_key += 1;
+            }
+            keys.push(id % rows_per_page); // a row on the hot page
+            txns.push(ModelTxn {
+                id,
+                arrival: id * interarrival,
+                keys,
+            });
+        }
+        Self { txns }
+    }
+
+    /// A fully uniform workload (no conflicts at any granularity finer than
+    /// the whole database): every write targets a globally unique key.
+    pub fn uniform(count: u64, writes_per_txn: u64, interarrival: u64) -> Self {
+        let mut txns = Vec::with_capacity(count as usize);
+        let mut next_key = 0u64;
+        for id in 0..count {
+            let keys = (0..writes_per_txn)
+                .map(|_| {
+                    next_key += 1;
+                    next_key
+                })
+                .collect();
+            txns.push(ModelTxn {
+                id,
+                arrival: id * interarrival,
+                keys,
+            });
+        }
+        Self { txns }
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Total number of writes.
+    pub fn total_writes(&self) -> u64 {
+        self.txns.iter().map(|t| t.keys.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_workload_shape() {
+        let w = ModelWorkload::theorem1(10, 4, 10);
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.total_writes(), 40);
+        for txn in &w.txns {
+            assert_eq!(*txn.keys.last().unwrap(), 0, "last write hits the hot key");
+            // The first three keys are unique across the workload.
+            assert_eq!(txn.keys.len(), 4);
+        }
+        let unique: std::collections::HashSet<u64> = w
+            .txns
+            .iter()
+            .flat_map(|t| t.keys[..3].iter().copied())
+            .collect();
+        assert_eq!(unique.len(), 30);
+    }
+
+    #[test]
+    fn page_adversarial_last_writes_share_a_page_but_not_a_row() {
+        let rows_per_page = 8;
+        let w = ModelWorkload::page_adversarial(8, 3, rows_per_page, 10);
+        // Every transaction's last write lands on page 0 ...
+        for txn in &w.txns {
+            let last = *txn.keys.last().unwrap();
+            assert!(last < rows_per_page);
+        }
+        // ... and within the first `rows_per_page` transactions the rows are
+        // all distinct (the primary's row locks never conflict).
+        let last_rows: std::collections::HashSet<u64> = w
+            .txns
+            .iter()
+            .take(rows_per_page as usize)
+            .map(|t| *t.keys.last().unwrap())
+            .collect();
+        assert_eq!(last_rows.len(), rows_per_page as usize);
+        // The non-hot writes never touch the hot page.
+        for txn in &w.txns {
+            for &k in &txn.keys[..txn.keys.len() - 1] {
+                assert!(k >= rows_per_page);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_params_satisfy_assumptions() {
+        assert!(ModelParams::paper_like(20).satisfies_theorem_assumptions());
+        let bad = ModelParams {
+            cores: 1,
+            primary_op_cost: 10,
+            backup_op_cost: 9,
+        };
+        assert!(!bad.satisfies_theorem_assumptions());
+    }
+}

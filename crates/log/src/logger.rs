@@ -1,0 +1,250 @@
+//! Loggers: a live streaming logger (MyRocks role) and per-thread logs with
+//! offline coalescing (Cicada role).
+
+use parking_lot::Mutex;
+
+use c5_common::{SeqNo, Timestamp, TxnId};
+
+use crate::record::{explode_txn, LogRecord, TxnEntry};
+use crate::segment::{Segment, SegmentBuilder};
+use crate::ship::LogShipper;
+
+/// Live, totally ordered logger used by the two-phase-locking primary.
+///
+/// The primary's executor threads call [`StreamingLogger::append`] while
+/// holding their write locks (or immediately after validation), so the append
+/// order *is* the commit order — exactly the property the backup's protocols
+/// rely on. Completed segments are pushed to the attached [`LogShipper`].
+pub struct StreamingLogger {
+    inner: Mutex<StreamingInner>,
+    shipper: LogShipper,
+}
+
+struct StreamingInner {
+    builder: SegmentBuilder,
+    next_seq: SeqNo,
+    next_commit_ts: Timestamp,
+    appended_txns: u64,
+}
+
+impl StreamingLogger {
+    /// Creates a logger that packs `segment_records` records per segment and
+    /// ships them through `shipper`.
+    pub fn new(segment_records: usize, shipper: LogShipper) -> Self {
+        Self {
+            inner: Mutex::new(StreamingInner {
+                builder: SegmentBuilder::new(segment_records),
+                next_seq: SeqNo::ZERO,
+                next_commit_ts: Timestamp::ZERO,
+                appended_txns: 0,
+            }),
+            shipper,
+        }
+    }
+
+    /// Appends a committed transaction. The commit timestamp is assigned here
+    /// (commit order = log order for the 2PL engine) and returned.
+    ///
+    /// Returns the assigned commit timestamp.
+    pub fn append(&self, txn: TxnId, writes: Vec<c5_common::RowWrite>) -> Timestamp {
+        let segment = {
+            let mut inner = self.inner.lock();
+            inner.next_commit_ts = inner.next_commit_ts.next();
+            let commit_ts = inner.next_commit_ts;
+            let entry = TxnEntry::new(txn, commit_ts, writes);
+            let (records, next_seq) = explode_txn(&entry, inner.next_seq);
+            inner.next_seq = next_seq;
+            inner.appended_txns += 1;
+            let seg = if records.is_empty() {
+                None
+            } else {
+                inner.builder.push_txn(records)
+            };
+            (seg, commit_ts)
+        };
+        if let Some(seg) = segment.0 {
+            self.shipper.ship(seg);
+        }
+        segment.1
+    }
+
+    /// Flushes any buffered records into a final segment and ships it.
+    /// Call this when the workload ends so the backup sees every write.
+    pub fn flush(&self) {
+        let seg = self.inner.lock().builder.flush();
+        if let Some(seg) = seg {
+            self.shipper.ship(seg);
+        }
+    }
+
+    /// Number of transactions appended so far.
+    pub fn appended_txns(&self) -> u64 {
+        self.inner.lock().appended_txns
+    }
+
+    /// Highest write sequence number assigned so far.
+    pub fn last_seq(&self) -> SeqNo {
+        self.inner.lock().next_seq
+    }
+
+    /// Closes the shipping channel, signalling end-of-log to the replica.
+    pub fn close(&self) {
+        self.flush();
+        self.shipper.close();
+    }
+}
+
+/// A per-thread log, as kept by the MVTSO primary's client threads
+/// (Section 7.1). Entries are appended locally with no synchronization and
+/// coalesced offline.
+#[derive(Debug, Default)]
+pub struct ThreadLog {
+    entries: Vec<TxnEntry>,
+}
+
+impl ThreadLog {
+    /// Creates an empty per-thread log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a committed transaction.
+    pub fn append(&mut self, entry: TxnEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Consumes the log and returns its entries.
+    pub fn into_entries(self) -> Vec<TxnEntry> {
+        self.entries
+    }
+}
+
+/// Coalesces per-thread logs into a single, totally ordered log (sorted by
+/// commit timestamp — ordering MVTSO transactions by timestamp yields a valid
+/// serial schedule, Section 7.1) and packs it into segments.
+pub fn coalesce(thread_logs: Vec<ThreadLog>, segment_records: usize) -> Vec<Segment> {
+    let mut entries: Vec<TxnEntry> = thread_logs
+        .into_iter()
+        .flat_map(ThreadLog::into_entries)
+        .collect();
+    entries.sort_by_key(|e| e.commit_ts);
+    segments_from_entries(&entries, segment_records)
+}
+
+/// Packs already-ordered transaction entries into segments.
+pub fn segments_from_entries(entries: &[TxnEntry], segment_records: usize) -> Vec<Segment> {
+    let mut builder = SegmentBuilder::new(segment_records);
+    let mut next_seq = SeqNo::ZERO;
+    let mut segments = Vec::new();
+    for entry in entries {
+        if entry.is_empty() {
+            continue;
+        }
+        let (records, seq) = explode_txn(entry, next_seq);
+        next_seq = seq;
+        if let Some(seg) = builder.push_txn(records) {
+            segments.push(seg);
+        }
+    }
+    if let Some(seg) = builder.flush() {
+        segments.push(seg);
+    }
+    segments
+}
+
+/// Flattens segments back into a single record stream (useful for tests and
+/// for the reference replay in the consistency checker).
+pub fn flatten(segments: &[Segment]) -> Vec<LogRecord> {
+    segments.iter().flat_map(|s| s.records.iter().cloned()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ship::LogShipper;
+    use c5_common::{RowRef, RowWrite, Value};
+
+    fn write(k: u64, v: u64) -> RowWrite {
+        RowWrite::update(RowRef::new(0, k), Value::from_u64(v))
+    }
+
+    #[test]
+    fn streaming_logger_assigns_commit_order_and_ships() {
+        let (shipper, receiver) = LogShipper::bounded(16);
+        let logger = StreamingLogger::new(2, shipper);
+
+        let ts1 = logger.append(TxnId(1), vec![write(1, 1)]);
+        let ts2 = logger.append(TxnId(2), vec![write(2, 2)]);
+        assert!(ts2 > ts1);
+        logger.close();
+
+        let segments = receiver.drain();
+        let records = flatten(&segments);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].txn, TxnId(1));
+        assert_eq!(records[1].txn, TxnId(2));
+        assert!(records[0].seq < records[1].seq);
+        assert_eq!(logger.appended_txns(), 2);
+    }
+
+    #[test]
+    fn streaming_logger_flush_ships_partial_segment() {
+        let (shipper, receiver) = LogShipper::bounded(16);
+        let logger = StreamingLogger::new(100, shipper);
+        logger.append(TxnId(1), vec![write(1, 1)]);
+        // Nothing shipped yet: segment target not reached.
+        assert_eq!(receiver.try_len(), 0);
+        logger.flush();
+        assert_eq!(flatten(&receiver.drain_available()).len(), 1);
+    }
+
+    #[test]
+    fn read_only_transactions_are_not_logged() {
+        let (shipper, receiver) = LogShipper::bounded(16);
+        let logger = StreamingLogger::new(1, shipper);
+        logger.append(TxnId(1), vec![]);
+        logger.close();
+        assert!(flatten(&receiver.drain()).is_empty());
+        assert_eq!(logger.appended_txns(), 1);
+        assert_eq!(logger.last_seq(), SeqNo::ZERO);
+    }
+
+    #[test]
+    fn coalesce_orders_by_commit_timestamp() {
+        let mut t1 = ThreadLog::new();
+        let mut t2 = ThreadLog::new();
+        t1.append(TxnEntry::new(TxnId(1), Timestamp(30), vec![write(1, 1)]));
+        t1.append(TxnEntry::new(TxnId(2), Timestamp(10), vec![write(2, 2)]));
+        t2.append(TxnEntry::new(TxnId(3), Timestamp(20), vec![write(3, 3)]));
+
+        let segments = coalesce(vec![t1, t2], 2);
+        let records = flatten(&segments);
+        let commit_order: Vec<u64> = records.iter().map(|r| r.commit_ts.as_u64()).collect();
+        assert_eq!(commit_order, vec![10, 20, 30]);
+        // Sequence numbers are contiguous from 1.
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq.as_u64()).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        // Every segment keeps transactions whole.
+        assert!(segments.iter().all(Segment::transactions_are_whole));
+    }
+
+    #[test]
+    fn segments_from_entries_skips_empty_transactions() {
+        let entries = vec![
+            TxnEntry::new(TxnId(1), Timestamp(1), vec![]),
+            TxnEntry::new(TxnId(2), Timestamp(2), vec![write(1, 1)]),
+        ];
+        let segments = segments_from_entries(&entries, 8);
+        assert_eq!(flatten(&segments).len(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Log records and transaction entries.
+
+use c5_common::{RowWrite, SeqNo, Timestamp, TxnId};
+
+/// A committed transaction as produced by a primary engine, before it is
+/// broken into per-write log records.
+#[derive(Debug, Clone)]
+pub struct TxnEntry {
+    /// The transaction's id.
+    pub txn: TxnId,
+    /// The primary's commit timestamp (the MVTSO timestamp, or the commit
+    /// sequence number for the 2PL engine).
+    pub commit_ts: Timestamp,
+    /// Wall-clock commit time on the primary, in nanoseconds since the Unix
+    /// epoch. Used by the replication-lag metrics ("the time between when a
+    /// transaction's changes are included in the state returned by the
+    /// primary and backup", Section 2.4).
+    pub commit_wall_nanos: u64,
+    /// The transaction's writes, at most one per row (last-writer-wins within
+    /// the transaction), in operation order.
+    pub writes: Vec<RowWrite>,
+}
+
+impl TxnEntry {
+    /// Creates an entry, stamping the commit wall-clock time with the current
+    /// system time.
+    pub fn new(txn: TxnId, commit_ts: Timestamp, writes: Vec<RowWrite>) -> Self {
+        Self {
+            txn,
+            commit_ts,
+            commit_wall_nanos: now_nanos(),
+            writes,
+        }
+    }
+
+    /// Number of writes in the transaction.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Whether the transaction wrote nothing (read-only transactions are not
+    /// logged, but empty entries can appear in tests).
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
+/// Current wall-clock time in nanoseconds since the Unix epoch.
+pub fn now_nanos() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+/// One row write as it appears in the replication log.
+///
+/// This is the unit the C5 scheduler sequences and the workers execute. The
+/// record layout mirrors Section 7.1's description: table and row identity
+/// plus a full copy of the new row version (inside [`RowWrite`]), the write's
+/// timestamp, and the initially-unused `prev_timestamp`/`prev_seq` field the
+/// scheduler fills in during preprocessing.
+#[derive(Debug, Clone)]
+pub struct LogRecord {
+    /// The transaction this write belongs to.
+    pub txn: TxnId,
+    /// Global position of this write in the log. Strictly increasing,
+    /// starting at 1. Doubles as the version timestamp the backup installs.
+    pub seq: SeqNo,
+    /// The primary's commit timestamp for the owning transaction.
+    pub commit_ts: Timestamp,
+    /// Wall-clock commit time of the owning transaction on the primary
+    /// (nanoseconds since the Unix epoch).
+    pub commit_wall_nanos: u64,
+    /// Position of the previous write *to the same row* in the log, or
+    /// [`SeqNo::ZERO`] if this is the row's first write. Unused (zero) until
+    /// the C5 scheduler preprocesses the record.
+    pub prev_seq: SeqNo,
+    /// The write itself (row, kind, payload).
+    pub write: RowWrite,
+    /// Index of this write within its transaction (0-based).
+    pub idx_in_txn: u32,
+    /// Total number of writes in the owning transaction. Together with
+    /// `idx_in_txn` this demarcates transaction boundaries in the log, which
+    /// the snapshotter needs in order to align its cuts with commit
+    /// boundaries (Section 4.2).
+    pub txn_len: u32,
+}
+
+impl LogRecord {
+    /// Whether this is the last write of its transaction.
+    pub fn is_txn_last(&self) -> bool {
+        self.idx_in_txn + 1 == self.txn_len
+    }
+
+    /// Whether this is the first write of its transaction.
+    pub fn is_txn_first(&self) -> bool {
+        self.idx_in_txn == 0
+    }
+}
+
+/// Expands a transaction entry into per-write log records, assigning
+/// sequence numbers starting from `next_seq`. Returns the records and the
+/// next unused sequence number.
+pub fn explode_txn(entry: &TxnEntry, mut next_seq: SeqNo) -> (Vec<LogRecord>, SeqNo) {
+    let txn_len = entry.writes.len() as u32;
+    let mut records = Vec::with_capacity(entry.writes.len());
+    for (idx, write) in entry.writes.iter().enumerate() {
+        next_seq = next_seq.next();
+        records.push(LogRecord {
+            txn: entry.txn,
+            seq: next_seq,
+            commit_ts: entry.commit_ts,
+            commit_wall_nanos: entry.commit_wall_nanos,
+            prev_seq: SeqNo::ZERO,
+            write: write.clone(),
+            idx_in_txn: idx as u32,
+            txn_len,
+        });
+    }
+    (records, next_seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c5_common::{RowRef, Value};
+
+    fn entry(txn: u64, n: usize) -> TxnEntry {
+        let writes = (0..n)
+            .map(|i| RowWrite::insert(RowRef::new(0, i as u64), Value::from_u64(i as u64)))
+            .collect();
+        TxnEntry::new(TxnId(txn), Timestamp(txn), writes)
+    }
+
+    #[test]
+    fn explode_assigns_contiguous_seq_numbers() {
+        let e = entry(1, 3);
+        let (records, next) = explode_txn(&e, SeqNo::ZERO);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].seq, SeqNo(1));
+        assert_eq!(records[2].seq, SeqNo(3));
+        assert_eq!(next, SeqNo(3));
+        assert!(records[0].is_txn_first());
+        assert!(!records[0].is_txn_last());
+        assert!(records[2].is_txn_last());
+        assert!(records.iter().all(|r| r.prev_seq == SeqNo::ZERO));
+    }
+
+    #[test]
+    fn explode_continues_from_given_seq() {
+        let e1 = entry(1, 2);
+        let e2 = entry(2, 2);
+        let (_, next) = explode_txn(&e1, SeqNo::ZERO);
+        let (records, next2) = explode_txn(&e2, next);
+        assert_eq!(records[0].seq, SeqNo(3));
+        assert_eq!(next2, SeqNo(4));
+    }
+
+    #[test]
+    fn empty_txn_produces_no_records() {
+        let e = TxnEntry::new(TxnId(9), Timestamp(9), vec![]);
+        assert!(e.is_empty());
+        let (records, next) = explode_txn(&e, SeqNo(10));
+        assert!(records.is_empty());
+        assert_eq!(next, SeqNo(10));
+    }
+
+    #[test]
+    fn commit_wall_nanos_is_monotone_enough() {
+        let a = now_nanos();
+        let b = now_nanos();
+        assert!(b >= a);
+        assert!(a > 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Log shipping between the primary and the backup.
+//!
+//! The paper assumes the log is delivered promptly (Section 2.4, Section 3.1
+//! assumes instantaneous delivery); the interesting dynamics are entirely in
+//! how fast the backup can *apply* it. The shipper is therefore a thin
+//! bounded channel with an optional artificial per-segment delay used only by
+//! tests that need to exercise slow-network behaviour.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, SendError, Sender, TryRecvError};
+use parking_lot::Mutex;
+
+use crate::segment::Segment;
+
+/// Sending half of the replication channel (owned by the primary's logger).
+///
+/// Cloning a shipper clones the underlying sender; the receiver observes
+/// end-of-log once every clone has been closed or dropped.
+#[derive(Clone)]
+pub struct LogShipper {
+    tx: Arc<Mutex<Option<Sender<Segment>>>>,
+    delay: Option<Duration>,
+}
+
+/// Receiving half of the replication channel (owned by the backup replica).
+#[derive(Clone)]
+pub struct LogReceiver {
+    rx: Receiver<Segment>,
+}
+
+impl LogShipper {
+    fn from_sender(tx: Sender<Segment>) -> LogShipper {
+        LogShipper {
+            tx: Arc::new(Mutex::new(Some(tx))),
+            delay: None,
+        }
+    }
+
+    /// Creates a bounded shipping channel. Bounded so that a hopelessly slow
+    /// replica exerts backpressure on benchmark drivers instead of buffering
+    /// the whole run in memory.
+    pub fn bounded(capacity: usize) -> (LogShipper, LogReceiver) {
+        let (tx, rx) = channel::bounded(capacity);
+        (Self::from_sender(tx), LogReceiver { rx })
+    }
+
+    /// Creates an unbounded shipping channel. Used by experiments that
+    /// specifically measure how far a replica falls behind (backpressure
+    /// would mask the lag the experiment wants to expose).
+    pub fn unbounded() -> (LogShipper, LogReceiver) {
+        let (tx, rx) = channel::unbounded();
+        (Self::from_sender(tx), LogReceiver { rx })
+    }
+
+    /// Adds an artificial delay before each shipped segment.
+    pub fn with_delay(mut self, delay: Duration) -> Self {
+        self.delay = if delay.is_zero() { None } else { Some(delay) };
+        self
+    }
+
+    /// Ships a segment. Blocks if the channel is full. Segments shipped after
+    /// [`LogShipper::close`] or into a dropped receiver are discarded.
+    pub fn ship(&self, segment: Segment) {
+        if let Some(d) = self.delay {
+            std::thread::sleep(d);
+        }
+        // Clone the sender out of the mutex so a full (blocking) channel does
+        // not hold the lock and deadlock against `close()`.
+        let sender = self.tx.lock().clone();
+        if let Some(sender) = sender {
+            match sender.send(segment) {
+                Ok(()) => {}
+                Err(SendError(_)) => {
+                    // Receiver dropped; nothing useful to do.
+                }
+            }
+        }
+    }
+
+    /// Closes this shipper handle. Once every clone sharing this handle is
+    /// closed (or dropped), the receiver observes end-of-log.
+    pub fn close(&self) {
+        self.tx.lock().take();
+    }
+}
+
+impl LogReceiver {
+    /// Blocks until the next segment arrives or the log ends.
+    pub fn recv(&self) -> Option<Segment> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Segment> {
+        match self.rx.try_recv() {
+            Ok(seg) => Some(seg),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocks with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Segment> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Number of segments currently queued.
+    pub fn try_len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Drains every remaining segment, blocking until the channel closes.
+    pub fn drain(&self) -> Vec<Segment> {
+        let mut out = Vec::new();
+        while let Some(seg) = self.recv() {
+            out.push(seg);
+        }
+        out
+    }
+
+    /// Drains whatever is currently available without blocking.
+    pub fn drain_available(&self) -> Vec<Segment> {
+        let mut out = Vec::new();
+        while let Some(seg) = self.try_recv() {
+            out.push(seg);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{explode_txn, TxnEntry};
+    use c5_common::{RowRef, RowWrite, SeqNo, Timestamp, TxnId, Value};
+
+    fn segment(id: u64) -> Segment {
+        let entry = TxnEntry::new(
+            TxnId(id),
+            Timestamp(id),
+            vec![RowWrite::insert(RowRef::new(0, id), Value::from_u64(id))],
+        );
+        let (records, _) = explode_txn(&entry, SeqNo(id * 10));
+        Segment::new(id, records)
+    }
+
+    #[test]
+    fn ship_and_receive_in_order() {
+        let (tx, rx) = LogShipper::bounded(8);
+        tx.ship(segment(1));
+        tx.ship(segment(2));
+        drop(tx);
+        let got = rx.drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].header.id, 1);
+        assert_eq!(got[1].header.id, 2);
+    }
+
+    #[test]
+    fn receiver_sees_end_of_log_when_all_senders_drop() {
+        let (tx, rx) = LogShipper::bounded(8);
+        let tx2 = tx.clone();
+        tx.ship(segment(1));
+        drop(tx);
+        // Another sender still exists, so the channel is not closed.
+        assert!(rx.recv().is_some());
+        drop(tx2);
+        assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    fn try_recv_does_not_block() {
+        let (_tx, rx) = LogShipper::bounded(8);
+        assert!(rx.try_recv().is_none());
+        assert_eq!(rx.try_len(), 0);
+    }
+
+    #[test]
+    fn shipping_into_dropped_receiver_does_not_panic() {
+        let (tx, rx) = LogShipper::bounded(1);
+        drop(rx);
+        tx.ship(segment(1));
+    }
+
+    #[test]
+    fn delayed_shipper_still_delivers() {
+        let (tx, rx) = LogShipper::bounded(8);
+        let tx = tx.with_delay(Duration::from_millis(1));
+        tx.ship(segment(7));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap().header.id, 7);
+    }
+}

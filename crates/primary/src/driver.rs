@@ -1,0 +1,245 @@
+//! Closed-loop workload drivers.
+//!
+//! The paper's experiments generate load "with a fixed number of closed-loop
+//! clients" (Section 6): each client repeatedly draws the next transaction
+//! from the workload mix, submits it, waits for the result, and immediately
+//! submits the next one. [`ClosedLoopDriver`] reproduces that for both
+//! primary engines; every client owns a seeded RNG so runs are reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::mvtso::MvtsoEngine;
+use crate::stats::PrimaryRunStats;
+use crate::tpl::TplEngine;
+use crate::txn::StoredProcedure;
+
+/// Produces the next transaction for a client. Implemented by every workload
+/// in `c5-workloads`.
+pub trait TxnFactory: Send + Sync {
+    /// Returns the stored procedure the given client should run next.
+    fn next_txn(&self, client: usize, rng: &mut StdRng) -> Box<dyn StoredProcedure>;
+
+    /// A short label for reports.
+    fn label(&self) -> &'static str {
+        "workload"
+    }
+}
+
+/// How long a driver run lasts.
+#[derive(Debug, Clone, Copy)]
+pub enum RunLength {
+    /// Run for a wall-clock duration.
+    Timed(Duration),
+    /// Run until each client has submitted this many transactions.
+    PerClientCount(u64),
+}
+
+/// Closed-loop driver for the primary engines.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClosedLoopDriver {
+    /// Base RNG seed; client `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl ClosedLoopDriver {
+    /// Creates a driver with a fixed base seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Drives the 2PL engine with `clients` closed-loop clients.
+    pub fn run_tpl(
+        &self,
+        engine: &Arc<TplEngine>,
+        factory: &Arc<dyn TxnFactory>,
+        clients: usize,
+        length: RunLength,
+    ) -> PrimaryRunStats {
+        let committed_before = engine.committed();
+        let aborted_before = engine.aborted();
+        let (wall, failed) = self.run_clients(factory, clients, length, |client, proc| {
+            let _ = client;
+            engine.execute(proc.as_ref()).is_err()
+        });
+        PrimaryRunStats {
+            committed: engine.committed() - committed_before,
+            aborted: engine.aborted() - aborted_before,
+            failed,
+            wall,
+        }
+    }
+
+    /// Drives the MVTSO engine with `threads` client threads (client `i` is
+    /// bound to engine thread `i`, matching Cicada's thread-per-client model).
+    pub fn run_mvtso(
+        &self,
+        engine: &Arc<MvtsoEngine>,
+        factory: &Arc<dyn TxnFactory>,
+        threads: usize,
+        length: RunLength,
+    ) -> PrimaryRunStats {
+        assert!(
+            threads <= engine.config().threads,
+            "driver threads must not exceed engine threads"
+        );
+        let committed_before = engine.committed();
+        let aborted_before = engine.aborted();
+        let (wall, failed) = self.run_clients(factory, threads, length, |client, proc| {
+            engine.execute_on(client, proc.as_ref()).is_err()
+        });
+        PrimaryRunStats {
+            committed: engine.committed() - committed_before,
+            aborted: engine.aborted() - aborted_before,
+            failed,
+            wall,
+        }
+    }
+
+    /// Runs `clients` closed-loop clients, calling `submit` for every
+    /// generated transaction. `submit` returns whether the transaction
+    /// ultimately failed. Returns the wall time and the failure count.
+    fn run_clients<F>(
+        &self,
+        factory: &Arc<dyn TxnFactory>,
+        clients: usize,
+        length: RunLength,
+        submit: F,
+    ) -> (Duration, u64)
+    where
+        F: Fn(usize, Box<dyn StoredProcedure>) -> bool + Sync,
+    {
+        assert!(clients > 0, "at least one client is required");
+        let start = Instant::now();
+        let failed = AtomicU64::new(0);
+        let submit = &submit;
+        let failed_ref = &failed;
+        let seed = self.seed;
+
+        std::thread::scope(|scope| {
+            for client in 0..clients {
+                let factory = Arc::clone(factory);
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(client as u64));
+                    let mut submitted = 0u64;
+                    loop {
+                        match length {
+                            RunLength::Timed(d) => {
+                                if start.elapsed() >= d {
+                                    break;
+                                }
+                            }
+                            RunLength::PerClientCount(n) => {
+                                if submitted >= n {
+                                    break;
+                                }
+                            }
+                        }
+                        let proc = factory.next_txn(client, &mut rng);
+                        if submit(client, proc) {
+                            failed_ref.fetch_add(1, Ordering::Relaxed);
+                        }
+                        submitted += 1;
+                    }
+                });
+            }
+        });
+        (start.elapsed(), failed.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::TxnCtx;
+    use c5_common::{PrimaryConfig, Result, RowRef, Value};
+    use c5_log::{LogShipper, StreamingLogger};
+    use c5_storage::MvStore;
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+
+    /// A workload whose transactions insert unique rows.
+    struct UniqueInserts {
+        next: StdAtomicU64,
+    }
+
+    impl TxnFactory for UniqueInserts {
+        fn next_txn(&self, _client: usize, _rng: &mut StdRng) -> Box<dyn StoredProcedure> {
+            let key = self.next.fetch_add(1, Ordering::Relaxed);
+            Box::new(move |ctx: &mut dyn TxnCtx| -> Result<()> {
+                ctx.insert(RowRef::new(0, key), Value::from_u64(key))
+            })
+        }
+        fn label(&self) -> &'static str {
+            "unique-inserts"
+        }
+    }
+
+    fn tpl_engine(threads: usize) -> Arc<TplEngine> {
+        let (shipper, _receiver) = LogShipper::unbounded();
+        let logger = StreamingLogger::new(64, shipper);
+        Arc::new(TplEngine::new(
+            Arc::new(MvStore::default()),
+            PrimaryConfig::default().with_threads(threads),
+            logger,
+        ))
+    }
+
+    #[test]
+    fn per_client_count_run_commits_exactly_that_many() {
+        let engine = tpl_engine(2);
+        let factory: Arc<dyn TxnFactory> = Arc::new(UniqueInserts {
+            next: StdAtomicU64::new(0),
+        });
+        let stats = ClosedLoopDriver::with_seed(7).run_tpl(
+            &engine,
+            &factory,
+            2,
+            RunLength::PerClientCount(50),
+        );
+        assert_eq!(stats.committed, 100);
+        assert_eq!(stats.failed, 0);
+        assert!(stats.throughput() > 0.0);
+    }
+
+    #[test]
+    fn timed_run_finishes_near_the_deadline() {
+        let engine = tpl_engine(2);
+        let factory: Arc<dyn TxnFactory> = Arc::new(UniqueInserts {
+            next: StdAtomicU64::new(1_000_000),
+        });
+        let stats = ClosedLoopDriver::with_seed(7).run_tpl(
+            &engine,
+            &factory,
+            2,
+            RunLength::Timed(Duration::from_millis(50)),
+        );
+        assert!(stats.committed > 0);
+        assert!(stats.wall >= Duration::from_millis(50));
+        assert!(stats.wall < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn mvtso_driver_binds_clients_to_threads() {
+        let store = Arc::new(MvStore::default());
+        let engine = Arc::new(MvtsoEngine::new(
+            store,
+            PrimaryConfig::default().with_threads(2),
+        ));
+        let factory: Arc<dyn TxnFactory> = Arc::new(UniqueInserts {
+            next: StdAtomicU64::new(0),
+        });
+        let stats = ClosedLoopDriver::with_seed(1).run_mvtso(
+            &engine,
+            &factory,
+            2,
+            RunLength::PerClientCount(25),
+        );
+        assert_eq!(stats.committed, 50);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(factory.label(), "unique-inserts");
+    }
+}

@@ -1,0 +1,93 @@
+//! Run statistics reported by the closed-loop drivers.
+
+use std::time::Duration;
+
+/// Outcome of driving a primary engine for some interval.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PrimaryRunStats {
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Transaction attempts aborted by the concurrency control protocol
+    /// (each retry of the same logical transaction counts once).
+    pub aborted: u64,
+    /// Transactions that ultimately failed (exhausted retries or hit a
+    /// non-retryable error).
+    pub failed: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+impl PrimaryRunStats {
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.committed as f64 / self.wall.as_secs_f64()
+        }
+    }
+
+    /// Fraction of attempts that aborted: `aborted / (aborted + committed)`.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.aborted + self.committed;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / attempts as f64
+        }
+    }
+
+    /// Merges per-client statistics into a whole-run total. The wall time is
+    /// the maximum of the two (clients run concurrently).
+    pub fn merge(&mut self, other: &PrimaryRunStats) {
+        self.committed += other.committed;
+        self.aborted += other.aborted;
+        self.failed += other.failed;
+        self.wall = self.wall.max(other.wall);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_abort_rate() {
+        let stats = PrimaryRunStats {
+            committed: 100,
+            aborted: 25,
+            failed: 0,
+            wall: Duration::from_secs(2),
+        };
+        assert!((stats.throughput() - 50.0).abs() < 1e-9);
+        assert!((stats.abort_rate() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let stats = PrimaryRunStats::default();
+        assert_eq!(stats.throughput(), 0.0);
+        assert_eq!(stats.abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_takes_max_wall() {
+        let mut a = PrimaryRunStats {
+            committed: 10,
+            aborted: 1,
+            failed: 0,
+            wall: Duration::from_secs(1),
+        };
+        let b = PrimaryRunStats {
+            committed: 20,
+            aborted: 2,
+            failed: 3,
+            wall: Duration::from_secs(2),
+        };
+        a.merge(&b);
+        assert_eq!(a.committed, 30);
+        assert_eq!(a.aborted, 3);
+        assert_eq!(a.failed, 3);
+        assert_eq!(a.wall, Duration::from_secs(2));
+    }
+}

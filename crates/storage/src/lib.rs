@@ -1,0 +1,36 @@
+//! In-memory multi-version storage engine for the C5 reproduction.
+//!
+//! The paper's two implementations sit on top of two very different storage
+//! engines:
+//!
+//! * **Cicada** (Section 7.1) stores each row as a list of versions in
+//!   descending timestamp order; workers can install versions at explicit
+//!   timestamps, and a read at timestamp `t` observes the newest version with
+//!   write timestamp `<= t`. This is what makes the faithful three-snapshot
+//!   design of Section 4.2 cheap to implement.
+//! * **RocksDB under MyRocks** (Section 5.2) only offers snapshots of "the
+//!   current state of the database" — there is no way to ask for a snapshot
+//!   as of an arbitrary point, which is why C5-MyRocks must briefly block its
+//!   workers when it takes a cut.
+//!
+//! [`MvStore`] is the multi-version engine (the Cicada role). It also
+//! supports the restricted MyRocks-style usage through
+//! [`snapshot::DbSnapshot`], which can only capture the *currently committed*
+//! state. [`logical`] implements the paper's Table 2 interface literally (a
+//! snapshot is a sequence of writes; snapshots can be merged), which the unit
+//! tests and the design documentation reference. [`reference::ReferenceStore`]
+//! is a deliberately simple single-threaded store used by the
+//! monotonic-prefix-consistency checker and by property tests as the oracle.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod logical;
+pub mod mvstore;
+pub mod reference;
+pub mod snapshot;
+
+pub use logical::{LogicalSnapshot, SnapshotStore};
+pub use mvstore::{MvStore, MvStoreConfig, MvStoreStats};
+pub use reference::ReferenceStore;
+pub use snapshot::DbSnapshot;

@@ -1,0 +1,295 @@
+//! The paper's Table 2 logical storage interface, implemented literally.
+//!
+//! > "Logically, a snapshot is a sequence of writes, so it is initially
+//! > empty. Writes directly modify a snapshot. Two snapshots S1 and S2 can be
+//! > merged to produce a third S3 that reflects the writes applied to both,
+//! > with all writes in S1 ordered before those in S2. Finally, the latest
+//! > version of a row's value can be read from a snapshot." (Section 4.2)
+//!
+//! [`LogicalSnapshot`] is exactly that: an ordered sequence of
+//! [`RowWrite`]s plus an index from row to its latest write, so reads are
+//! O(1). [`SnapshotStore`] owns the snapshots and hands out ids, mirroring
+//! the `NewSnapshot(D) -> S` signature.
+//!
+//! The production implementations do not materialise snapshots this way —
+//! C5-Cicada realises them as timestamp ranges inside [`crate::MvStore`] and
+//! C5-MyRocks as whole-database cuts — but this literal implementation is the
+//! specification both are tested against (see the property tests at the
+//! bottom of this module and in `c5-core`).
+
+use std::collections::HashMap;
+
+use c5_common::{RowRef, RowWrite, Value, WriteKind};
+
+/// A snapshot as defined by Table 2: an ordered sequence of writes.
+#[derive(Debug, Clone, Default)]
+pub struct LogicalSnapshot {
+    writes: Vec<RowWrite>,
+    /// Index of the latest write per row (position in `writes`).
+    latest: HashMap<RowRef, usize>,
+}
+
+impl LogicalSnapshot {
+    /// `NewSnapshot(D) -> S`: creates an empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of writes recorded in the snapshot.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Whether the snapshot holds no writes.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// `Insert(S, r, v)`.
+    pub fn insert(&mut self, row: RowRef, value: Value) {
+        self.push(RowWrite::insert(row, value));
+    }
+
+    /// `Update(S, r, v)`.
+    pub fn update(&mut self, row: RowRef, value: Value) {
+        self.push(RowWrite::update(row, value));
+    }
+
+    /// `Delete(S, r, v)`.
+    pub fn delete(&mut self, row: RowRef) {
+        self.push(RowWrite::delete(row));
+    }
+
+    /// Appends an arbitrary write.
+    pub fn push(&mut self, write: RowWrite) {
+        let idx = self.writes.len();
+        self.latest.insert(write.row, idx);
+        self.writes.push(write);
+    }
+
+    /// `Read(S, r) -> v`: the latest value written to `row` in this snapshot.
+    /// Returns `None` if the row was never written or its latest write is a
+    /// delete.
+    pub fn read(&self, row: RowRef) -> Option<Value> {
+        let idx = *self.latest.get(&row)?;
+        let write = &self.writes[idx];
+        if write.kind == WriteKind::Delete {
+            None
+        } else {
+            write.value.clone()
+        }
+    }
+
+    /// `Merge(S1, S2) -> S3`: all writes of `self` ordered before all writes
+    /// of `other`.
+    pub fn merge(mut self, other: LogicalSnapshot) -> LogicalSnapshot {
+        for write in other.writes {
+            self.push(write);
+        }
+        self
+    }
+
+    /// Iterates over the writes in order.
+    pub fn iter(&self) -> impl Iterator<Item = &RowWrite> {
+        self.writes.iter()
+    }
+
+    /// The set of rows with a live (non-deleted) latest value, with those
+    /// values. Used by consistency checks to compare snapshots against a
+    /// reference state.
+    pub fn materialize(&self) -> HashMap<RowRef, Value> {
+        let mut state = HashMap::with_capacity(self.latest.len());
+        for (&row, &idx) in &self.latest {
+            let write = &self.writes[idx];
+            match write.kind {
+                WriteKind::Delete => {}
+                _ => {
+                    if let Some(v) = &write.value {
+                        state.insert(row, v.clone());
+                    }
+                }
+            }
+        }
+        state
+    }
+}
+
+/// Owns a set of snapshots and hands out identifiers, mirroring the shape of
+/// Table 2's API where snapshots are created *from the database*.
+#[derive(Debug, Default)]
+pub struct SnapshotStore {
+    snapshots: Vec<Option<LogicalSnapshot>>,
+}
+
+/// Identifier of a snapshot within a [`SnapshotStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SnapshotId(usize);
+
+impl SnapshotStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `NewSnapshot(D) -> S`.
+    pub fn new_snapshot(&mut self) -> SnapshotId {
+        self.snapshots.push(Some(LogicalSnapshot::new()));
+        SnapshotId(self.snapshots.len() - 1)
+    }
+
+    /// Mutable access to a snapshot (workers add writes through this).
+    pub fn get_mut(&mut self, id: SnapshotId) -> Option<&mut LogicalSnapshot> {
+        self.snapshots.get_mut(id.0).and_then(Option::as_mut)
+    }
+
+    /// Shared access to a snapshot (read-only transactions read through
+    /// this).
+    pub fn get(&self, id: SnapshotId) -> Option<&LogicalSnapshot> {
+        self.snapshots.get(id.0).and_then(Option::as_ref)
+    }
+
+    /// `Merge(S1, S2) -> S3`. Consumes both inputs and returns the id of the
+    /// merged snapshot.
+    pub fn merge(&mut self, s1: SnapshotId, s2: SnapshotId) -> Option<SnapshotId> {
+        let a = self.snapshots.get_mut(s1.0)?.take()?;
+        let b = self.snapshots.get_mut(s2.0)?.take()?;
+        self.snapshots.push(Some(a.merge(b)));
+        Some(SnapshotId(self.snapshots.len() - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(k: u64) -> RowRef {
+        RowRef::new(0, k)
+    }
+
+    #[test]
+    fn new_snapshot_is_empty() {
+        let s = LogicalSnapshot::new();
+        assert!(s.is_empty());
+        assert_eq!(s.read(row(1)), None);
+    }
+
+    #[test]
+    fn read_returns_latest_write() {
+        let mut s = LogicalSnapshot::new();
+        s.insert(row(1), Value::from_u64(1));
+        s.update(row(1), Value::from_u64(2));
+        assert_eq!(s.read(row(1)).unwrap().as_u64(), Some(2));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn delete_hides_row() {
+        let mut s = LogicalSnapshot::new();
+        s.insert(row(1), Value::from_u64(1));
+        s.delete(row(1));
+        assert_eq!(s.read(row(1)), None);
+        assert!(s.materialize().is_empty());
+    }
+
+    #[test]
+    fn merge_orders_s1_before_s2() {
+        let mut s1 = LogicalSnapshot::new();
+        s1.insert(row(1), Value::from_u64(1));
+        s1.insert(row(2), Value::from_u64(20));
+        let mut s2 = LogicalSnapshot::new();
+        s2.update(row(1), Value::from_u64(2));
+
+        let s3 = s1.merge(s2);
+        // Row 1's latest value comes from s2; row 2 is untouched.
+        assert_eq!(s3.read(row(1)).unwrap().as_u64(), Some(2));
+        assert_eq!(s3.read(row(2)).unwrap().as_u64(), Some(20));
+        assert_eq!(s3.len(), 3);
+    }
+
+    #[test]
+    fn merge_is_associative_on_materialized_state() {
+        let mut a = LogicalSnapshot::new();
+        a.insert(row(1), Value::from_u64(1));
+        let mut b = LogicalSnapshot::new();
+        b.update(row(1), Value::from_u64(2));
+        b.insert(row(2), Value::from_u64(9));
+        let mut c = LogicalSnapshot::new();
+        c.delete(row(2));
+        c.insert(row(3), Value::from_u64(3));
+
+        let left = a.clone().merge(b.clone()).merge(c.clone());
+        let right = a.merge(b.merge(c));
+        assert_eq!(left.materialize(), right.materialize());
+    }
+
+    #[test]
+    fn snapshot_store_merge_consumes_inputs() {
+        let mut store = SnapshotStore::new();
+        let s1 = store.new_snapshot();
+        let s2 = store.new_snapshot();
+        store.get_mut(s1).unwrap().insert(row(1), Value::from_u64(1));
+        store.get_mut(s2).unwrap().update(row(1), Value::from_u64(2));
+
+        let s3 = store.merge(s1, s2).unwrap();
+        assert!(store.get(s1).is_none());
+        assert!(store.get(s2).is_none());
+        assert_eq!(store.get(s3).unwrap().read(row(1)).unwrap().as_u64(), Some(2));
+        // Merging an already-consumed snapshot fails gracefully.
+        assert!(store.merge(s1, s3).is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A small script of writes over a bounded key space.
+    fn arb_writes() -> impl Strategy<Value = Vec<RowWrite>> {
+        prop::collection::vec(
+            (0u64..16, 0u64..1000, 0usize..3).prop_map(|(k, v, kind)| {
+                let row = RowRef::new(0, k);
+                match kind {
+                    0 => RowWrite::insert(row, Value::from_u64(v)),
+                    1 => RowWrite::update(row, Value::from_u64(v)),
+                    _ => RowWrite::delete(row),
+                }
+            }),
+            0..64,
+        )
+    }
+
+    proptest! {
+        /// Merging two snapshots is equivalent to applying all of S1's writes
+        /// then all of S2's writes to a single snapshot — the defining
+        /// property of Table 2's Merge.
+        #[test]
+        fn merge_equals_sequential_application(w1 in arb_writes(), w2 in arb_writes()) {
+            let mut s1 = LogicalSnapshot::new();
+            for w in &w1 { s1.push(w.clone()); }
+            let mut s2 = LogicalSnapshot::new();
+            for w in &w2 { s2.push(w.clone()); }
+
+            let merged = s1.merge(s2);
+
+            let mut seq = LogicalSnapshot::new();
+            for w in w1.iter().chain(w2.iter()) { seq.push(w.clone()); }
+
+            prop_assert_eq!(merged.materialize(), seq.materialize());
+        }
+
+        /// Read always returns the payload of the last non-delete write, or
+        /// None if the last write was a delete / never happened.
+        #[test]
+        fn read_matches_naive_replay(writes in arb_writes(), key in 0u64..16) {
+            let row = RowRef::new(0, key);
+            let mut s = LogicalSnapshot::new();
+            for w in &writes { s.push(w.clone()); }
+
+            let expected = writes.iter().rev().find(|w| w.row == row).and_then(|w| {
+                if w.kind == WriteKind::Delete { None } else { w.value.clone() }
+            });
+            prop_assert_eq!(s.read(row), expected);
+        }
+    }
+}

@@ -1,0 +1,635 @@
+//! The multi-version store.
+//!
+//! A [`MvStore`] maps [`RowRef`]s to version chains. Each version carries a
+//! write timestamp; a read at timestamp `t` observes the newest version whose
+//! write timestamp is `<= t`. Chains also carry a read timestamp (the largest
+//! timestamp of any transaction that has read the row), which the MVTSO
+//! primary uses for commit validation, exactly as Cicada does (Section 7.1).
+//!
+//! The store is sharded: rows are spread over a fixed number of shards, each
+//! protected by a `parking_lot::RwLock`. The C5 workers only ever touch one
+//! row at a time, so per-shard locking gives them the row-granularity
+//! parallelism the protocol is designed to exploit while keeping the
+//! implementation dependency-light.
+
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use c5_common::{Error, Key, Result, RowRef, RowWrite, TableId, Timestamp, Value, WriteKind};
+
+/// Configuration for [`MvStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct MvStoreConfig {
+    /// Number of shards. More shards means less lock contention between
+    /// workers touching unrelated rows. Must be non-zero.
+    pub shards: usize,
+}
+
+impl Default for MvStoreConfig {
+    fn default() -> Self {
+        Self { shards: 256 }
+    }
+}
+
+/// A single row version.
+#[derive(Debug, Clone)]
+struct Version {
+    /// Commit timestamp of the transaction that produced this version.
+    write_ts: Timestamp,
+    /// `true` if this version is a delete marker.
+    tombstone: bool,
+    /// Payload (`None` for tombstones).
+    value: Option<Value>,
+}
+
+/// A row's chain of versions, ordered by ascending write timestamp.
+#[derive(Debug, Default)]
+struct VersionChain {
+    versions: Vec<Version>,
+    /// Largest timestamp of any read of this row (Cicada's per-version read
+    /// timestamp, collapsed to per-row, which is a conservative
+    /// over-approximation that never admits an invalid schedule).
+    read_ts: Timestamp,
+}
+
+impl VersionChain {
+    /// Latest write timestamp in the chain, or `Timestamp::ZERO` if empty.
+    fn latest_ts(&self) -> Timestamp {
+        self.versions.last().map(|v| v.write_ts).unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Returns the newest version with `write_ts <= ts`.
+    fn version_at(&self, ts: Timestamp) -> Option<&Version> {
+        // Versions are sorted ascending; search from the end because reads
+        // overwhelmingly target recent versions.
+        self.versions.iter().rev().find(|v| v.write_ts <= ts)
+    }
+
+    /// Inserts a version, keeping the ascending order. The common case is an
+    /// append (per-row writes arrive in timestamp order on both the primary
+    /// and, thanks to the C5 scheduler, the backup); out-of-order installs
+    /// are still handled correctly because the MVTSO primary may commit
+    /// transactions whose timestamps interleave across threads.
+    fn insert(&mut self, version: Version) {
+        match self.versions.last() {
+            Some(last) if last.write_ts <= version.write_ts => self.versions.push(version),
+            None => self.versions.push(version),
+            Some(_) => {
+                let pos = self
+                    .versions
+                    .partition_point(|v| v.write_ts <= version.write_ts);
+                self.versions.insert(pos, version);
+            }
+        }
+    }
+
+    /// Drops versions that can no longer be observed by any read at or after
+    /// `horizon`, always keeping at least the newest version.
+    fn gc(&mut self, horizon: Timestamp) -> usize {
+        if self.versions.len() <= 1 {
+            return 0;
+        }
+        // Keep the newest version whose write_ts <= horizon and everything
+        // after it.
+        let keep_from = self
+            .versions
+            .partition_point(|v| v.write_ts <= horizon)
+            .saturating_sub(1);
+        if keep_from == 0 {
+            return 0;
+        }
+        self.versions.drain(0..keep_from).count()
+    }
+}
+
+type Shard = RwLock<HashMap<RowRef, VersionChain>>;
+
+/// Aggregate statistics about a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MvStoreStats {
+    /// Number of distinct rows (live or deleted) present.
+    pub rows: usize,
+    /// Total number of versions retained across all chains.
+    pub versions: usize,
+}
+
+/// The sharded multi-version store.
+pub struct MvStore {
+    shards: Vec<Shard>,
+    hasher: RandomState,
+    /// Largest write timestamp ever installed. `DbSnapshot::of_current` uses
+    /// this to model RocksDB's "snapshot of the current state".
+    max_installed: AtomicU64,
+}
+
+impl std::fmt::Debug for MvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("MvStore")
+            .field("shards", &self.shards.len())
+            .field("rows", &stats.rows)
+            .field("versions", &stats.versions)
+            .finish()
+    }
+}
+
+impl Default for MvStore {
+    fn default() -> Self {
+        Self::new(MvStoreConfig::default())
+    }
+}
+
+impl MvStore {
+    /// Creates an empty store.
+    ///
+    /// # Panics
+    /// Panics if `config.shards` is zero.
+    pub fn new(config: MvStoreConfig) -> Self {
+        assert!(config.shards > 0, "MvStore requires at least one shard");
+        let shards = (0..config.shards)
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect();
+        Self {
+            shards,
+            hasher: RandomState::new(),
+            max_installed: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_index(&self, row: RowRef) -> usize {
+        let mut h = self.hasher.build_hasher();
+        row.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    fn shard_for(&self, row: RowRef) -> &Shard {
+        &self.shards[self.shard_index(row)]
+    }
+
+    fn bump_max_installed(&self, ts: Timestamp) {
+        self.max_installed.fetch_max(ts.as_u64(), Ordering::Release);
+    }
+
+    /// Largest write timestamp installed so far.
+    pub fn max_installed_ts(&self) -> Timestamp {
+        Timestamp(self.max_installed.load(Ordering::Acquire))
+    }
+
+    /// Reads the newest version of `row` visible at timestamp `ts`.
+    /// Returns `None` if the row does not exist at that timestamp or is
+    /// deleted there.
+    pub fn read_at(&self, row: RowRef, ts: Timestamp) -> Option<Value> {
+        let shard = self.shard_for(row).read();
+        let chain = shard.get(&row)?;
+        let version = chain.version_at(ts)?;
+        if version.tombstone {
+            None
+        } else {
+            version.value.clone()
+        }
+    }
+
+    /// Reads the newest committed version of `row`.
+    pub fn read_latest(&self, row: RowRef) -> Option<Value> {
+        self.read_at(row, Timestamp::MAX)
+    }
+
+    /// Whether the row exists (non-tombstone) at timestamp `ts`.
+    pub fn exists_at(&self, row: RowRef, ts: Timestamp) -> bool {
+        self.read_at(row, ts).is_some()
+    }
+
+    /// Latest write timestamp of `row`, or `Timestamp::ZERO` if the row has
+    /// never been written. This is the check C5-Cicada's workers use against
+    /// each log record's `prev_timestamp` (Section 7.2).
+    pub fn latest_write_ts(&self, row: RowRef) -> Timestamp {
+        let shard = self.shard_for(row).read();
+        shard.get(&row).map(|c| c.latest_ts()).unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Records that a transaction with timestamp `ts` read `row`, raising the
+    /// row's read timestamp if necessary.
+    pub fn observe_read(&self, row: RowRef, ts: Timestamp) {
+        let mut shard = self.shard_for(row).write();
+        let chain = shard.entry(row).or_default();
+        if chain.read_ts < ts {
+            chain.read_ts = ts;
+        }
+    }
+
+    /// Returns the row's current read timestamp.
+    pub fn read_ts_of(&self, row: RowRef) -> Timestamp {
+        let shard = self.shard_for(row).read();
+        shard.get(&row).map(|c| c.read_ts).unwrap_or(Timestamp::ZERO)
+    }
+
+    /// MVTSO write validation: a write at `ts` is admissible if no later
+    /// write already exists and no transaction with a later timestamp has
+    /// read the row.
+    pub fn validate_write(&self, row: RowRef, ts: Timestamp) -> bool {
+        let shard = self.shard_for(row).read();
+        match shard.get(&row) {
+            None => true,
+            Some(chain) => chain.latest_ts() < ts && chain.read_ts <= ts,
+        }
+    }
+
+    /// Installs a version of `row` at timestamp `ts`. This is the primitive
+    /// used by both the primary's commit step and the backup's workers; it
+    /// never fails (the log is authoritative — if it says the row was
+    /// written, the backup must apply it).
+    pub fn install(&self, row: RowRef, ts: Timestamp, kind: WriteKind, value: Option<Value>) {
+        let mut shard = self.shard_for(row).write();
+        let chain = shard.entry(row).or_default();
+        chain.insert(Version {
+            write_ts: ts,
+            tombstone: kind == WriteKind::Delete,
+            value,
+        });
+        drop(shard);
+        self.bump_max_installed(ts);
+    }
+
+    /// Installs a version only if the row's current latest write timestamp
+    /// equals `prev_ts`. Returns `true` if installed. This is the atomic
+    /// "is this write safe to execute" check-and-install used by C5-Cicada's
+    /// workers: a write is safe when the version at the head of the chain is
+    /// the one named by the log record's `prev_timestamp` (Section 7.2).
+    pub fn install_if_prev(
+        &self,
+        row: RowRef,
+        prev_ts: Timestamp,
+        ts: Timestamp,
+        kind: WriteKind,
+        value: Option<Value>,
+    ) -> bool {
+        let mut shard = self.shard_for(row).write();
+        let chain = shard.entry(row).or_default();
+        if chain.latest_ts() != prev_ts {
+            return false;
+        }
+        chain.insert(Version {
+            write_ts: ts,
+            tombstone: kind == WriteKind::Delete,
+            value,
+        });
+        drop(shard);
+        self.bump_max_installed(ts);
+        true
+    }
+
+    /// Atomically validates and installs a whole transaction's writes at
+    /// timestamp `ts`.
+    ///
+    /// Every written row must satisfy the MVTSO admission rule (no later
+    /// version installed, no later read recorded); if any row fails, nothing
+    /// is installed and `false` is returned. The shard locks of all touched
+    /// rows are held for the duration, which closes the window between
+    /// validation and installation that a validate-then-install sequence
+    /// would leave open (it is the moral equivalent of Cicada's pending
+    /// versions, collapsed into a short critical section).
+    pub fn install_all_validated(&self, writes: &[RowWrite], ts: Timestamp) -> bool {
+        if writes.is_empty() {
+            return true;
+        }
+        // Acquire the (deduplicated) shard locks in ascending index order to
+        // avoid deadlock against concurrent committers.
+        let mut shard_order: Vec<usize> = writes.iter().map(|w| self.shard_index(w.row)).collect();
+        shard_order.sort_unstable();
+        shard_order.dedup();
+        let mut guards: Vec<(usize, parking_lot::RwLockWriteGuard<'_, HashMap<RowRef, VersionChain>>)> =
+            Vec::with_capacity(shard_order.len());
+        for idx in shard_order {
+            guards.push((idx, self.shards[idx].write()));
+        }
+        let guard_for = |guards: &mut Vec<(usize, parking_lot::RwLockWriteGuard<'_, HashMap<RowRef, VersionChain>>)>,
+                         idx: usize|
+         -> usize {
+            guards
+                .iter()
+                .position(|(i, _)| *i == idx)
+                .expect("shard guard acquired above")
+        };
+
+        // Validate every write first.
+        for w in writes {
+            let idx = self.shard_index(w.row);
+            let pos = guard_for(&mut guards, idx);
+            if let Some(chain) = guards[pos].1.get(&w.row) {
+                if !(chain.latest_ts() < ts && chain.read_ts <= ts) {
+                    return false;
+                }
+            }
+        }
+        // Install.
+        for w in writes {
+            let idx = self.shard_index(w.row);
+            let pos = guard_for(&mut guards, idx);
+            let chain = guards[pos].1.entry(w.row).or_default();
+            chain.insert(Version {
+                write_ts: ts,
+                tombstone: w.kind == WriteKind::Delete,
+                value: w.value.clone(),
+            });
+        }
+        drop(guards);
+        self.bump_max_installed(ts);
+        true
+    }
+
+    /// Primary-side insert that fails if the row already exists (live) at the
+    /// latest timestamp.
+    pub fn insert_new(&self, row: RowRef, ts: Timestamp, value: Value) -> Result<()> {
+        {
+            let mut shard = self.shard_for(row).write();
+            let chain = shard.entry(row).or_default();
+            if let Some(latest) = chain.versions.last() {
+                if !latest.tombstone {
+                    return Err(Error::DuplicateRow(row));
+                }
+            }
+            chain.insert(Version {
+                write_ts: ts,
+                tombstone: false,
+                value: Some(value),
+            });
+        }
+        self.bump_max_installed(ts);
+        Ok(())
+    }
+
+    /// Garbage-collects versions that are no longer visible to any reader at
+    /// or after `horizon`. Returns the number of versions reclaimed.
+    pub fn gc(&self, horizon: Timestamp) -> usize {
+        let mut reclaimed = 0;
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            for chain in shard.values_mut() {
+                reclaimed += chain.gc(horizon);
+            }
+        }
+        reclaimed
+    }
+
+    /// Number of live rows in `table` visible at timestamp `ts`.
+    pub fn table_row_count_at(&self, table: TableId, ts: Timestamp) -> usize {
+        let mut count = 0;
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (row, chain) in shard.iter() {
+                if row.table == table {
+                    if let Some(v) = chain.version_at(ts) {
+                        if !v.tombstone {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Unordered scan of all live rows of `table` visible at `ts`.
+    pub fn scan_table_at(&self, table: TableId, ts: Timestamp) -> Vec<(RowRef, Value)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (row, chain) in shard.iter() {
+                if row.table == table {
+                    if let Some(v) = chain.version_at(ts) {
+                        if !v.tombstone {
+                            if let Some(val) = &v.value {
+                                out.push((*row, val.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Scans all live rows visible at `ts`, across every table. Used by the
+    /// monotonic-prefix-consistency checker to compare the backup's exposed
+    /// state against the reference replay.
+    pub fn scan_all_at(&self, ts: Timestamp) -> Vec<(RowRef, Value)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (row, chain) in shard.iter() {
+                if let Some(v) = chain.version_at(ts) {
+                    if !v.tombstone {
+                        if let Some(val) = &v.value {
+                            out.push((*row, val.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> MvStoreStats {
+        let mut rows = 0;
+        let mut versions = 0;
+        for shard in &self.shards {
+            let shard = shard.read();
+            rows += shard.len();
+            versions += shard.values().map(|c| c.versions.len()).sum::<usize>();
+        }
+        MvStoreStats { rows, versions }
+    }
+
+    /// Convenience constructor of a [`RowRef`].
+    pub fn row(table: u32, key: u64) -> RowRef {
+        RowRef {
+            table: TableId(table),
+            key: Key(key),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> MvStore {
+        MvStore::new(MvStoreConfig { shards: 8 })
+    }
+
+    #[test]
+    fn read_at_sees_timestamp_ordered_history() {
+        let s = store();
+        let row = MvStore::row(1, 1);
+        s.install(row, Timestamp(10), WriteKind::Insert, Some(Value::from_u64(1)));
+        s.install(row, Timestamp(20), WriteKind::Update, Some(Value::from_u64(2)));
+        s.install(row, Timestamp(30), WriteKind::Update, Some(Value::from_u64(3)));
+
+        assert_eq!(s.read_at(row, Timestamp(5)), None);
+        assert_eq!(s.read_at(row, Timestamp(10)).unwrap().as_u64(), Some(1));
+        assert_eq!(s.read_at(row, Timestamp(25)).unwrap().as_u64(), Some(2));
+        assert_eq!(s.read_latest(row).unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn delete_produces_tombstone_visibility() {
+        let s = store();
+        let row = MvStore::row(1, 7);
+        s.install(row, Timestamp(1), WriteKind::Insert, Some(Value::from_u64(9)));
+        s.install(row, Timestamp(2), WriteKind::Delete, None);
+        assert!(s.exists_at(row, Timestamp(1)));
+        assert!(!s.exists_at(row, Timestamp(2)));
+        assert_eq!(s.read_latest(row), None);
+    }
+
+    #[test]
+    fn out_of_order_install_is_sorted() {
+        let s = store();
+        let row = MvStore::row(1, 1);
+        s.install(row, Timestamp(20), WriteKind::Insert, Some(Value::from_u64(20)));
+        s.install(row, Timestamp(10), WriteKind::Insert, Some(Value::from_u64(10)));
+        assert_eq!(s.read_at(row, Timestamp(15)).unwrap().as_u64(), Some(10));
+        assert_eq!(s.read_latest(row).unwrap().as_u64(), Some(20));
+    }
+
+    #[test]
+    fn install_if_prev_enforces_per_row_order() {
+        let s = store();
+        let row = MvStore::row(1, 1);
+        // prev_ts = 0 means "first write to the row".
+        assert!(s.install_if_prev(row, Timestamp::ZERO, Timestamp(5), WriteKind::Insert, Some(Value::from_u64(1))));
+        // A write whose predecessor has not been installed yet must be deferred.
+        assert!(!s.install_if_prev(row, Timestamp(7), Timestamp(9), WriteKind::Update, Some(Value::from_u64(3))));
+        // The in-order successor applies.
+        assert!(s.install_if_prev(row, Timestamp(5), Timestamp(7), WriteKind::Update, Some(Value::from_u64(2))));
+        // Now the deferred write's turn.
+        assert!(s.install_if_prev(row, Timestamp(7), Timestamp(9), WriteKind::Update, Some(Value::from_u64(3))));
+        assert_eq!(s.read_latest(row).unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn insert_new_rejects_duplicates_but_allows_reinsert_after_delete() {
+        let s = store();
+        let row = MvStore::row(2, 2);
+        s.insert_new(row, Timestamp(1), Value::from_u64(1)).unwrap();
+        assert!(matches!(
+            s.insert_new(row, Timestamp(2), Value::from_u64(2)),
+            Err(Error::DuplicateRow(_))
+        ));
+        s.install(row, Timestamp(3), WriteKind::Delete, None);
+        s.insert_new(row, Timestamp(4), Value::from_u64(4)).unwrap();
+        assert_eq!(s.read_latest(row).unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn mvtso_validation_rules() {
+        let s = store();
+        let row = MvStore::row(1, 3);
+        s.install(row, Timestamp(10), WriteKind::Insert, Some(Value::from_u64(0)));
+        s.observe_read(row, Timestamp(15));
+
+        // A write below the read timestamp must be rejected.
+        assert!(!s.validate_write(row, Timestamp(12)));
+        // A write below the latest write timestamp must be rejected.
+        assert!(!s.validate_write(row, Timestamp(9)));
+        // A write above both is fine.
+        assert!(s.validate_write(row, Timestamp(16)));
+        assert_eq!(s.read_ts_of(row), Timestamp(15));
+    }
+
+    #[test]
+    fn max_installed_tracks_highest_timestamp() {
+        let s = store();
+        assert_eq!(s.max_installed_ts(), Timestamp::ZERO);
+        s.install(MvStore::row(1, 1), Timestamp(5), WriteKind::Insert, Some(Value::from_u64(1)));
+        s.install(MvStore::row(1, 2), Timestamp(3), WriteKind::Insert, Some(Value::from_u64(1)));
+        assert_eq!(s.max_installed_ts(), Timestamp(5));
+    }
+
+    #[test]
+    fn gc_keeps_visibility_at_horizon() {
+        let s = store();
+        let row = MvStore::row(1, 1);
+        for ts in 1..=10u64 {
+            s.install(row, Timestamp(ts), WriteKind::Update, Some(Value::from_u64(ts)));
+        }
+        let before = s.stats().versions;
+        let reclaimed = s.gc(Timestamp(8));
+        assert!(reclaimed > 0);
+        assert_eq!(s.stats().versions, before - reclaimed);
+        // Reads at or after the horizon are unaffected.
+        assert_eq!(s.read_at(row, Timestamp(8)).unwrap().as_u64(), Some(8));
+        assert_eq!(s.read_at(row, Timestamp(10)).unwrap().as_u64(), Some(10));
+    }
+
+    #[test]
+    fn table_scans_filter_by_table_and_timestamp() {
+        let s = store();
+        s.install(MvStore::row(1, 1), Timestamp(1), WriteKind::Insert, Some(Value::from_u64(1)));
+        s.install(MvStore::row(1, 2), Timestamp(5), WriteKind::Insert, Some(Value::from_u64(2)));
+        s.install(MvStore::row(2, 3), Timestamp(1), WriteKind::Insert, Some(Value::from_u64(3)));
+
+        assert_eq!(s.table_row_count_at(TableId(1), Timestamp(1)), 1);
+        assert_eq!(s.table_row_count_at(TableId(1), Timestamp(5)), 2);
+        assert_eq!(s.table_row_count_at(TableId(2), Timestamp(10)), 1);
+
+        let scan = s.scan_table_at(TableId(1), Timestamp(10));
+        assert_eq!(scan.len(), 2);
+        let all = s.scan_all_at(Timestamp(10));
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn stats_count_rows_and_versions() {
+        let s = store();
+        let row = MvStore::row(1, 1);
+        s.install(row, Timestamp(1), WriteKind::Insert, Some(Value::from_u64(1)));
+        s.install(row, Timestamp(2), WriteKind::Update, Some(Value::from_u64(2)));
+        s.install(MvStore::row(1, 2), Timestamp(1), WriteKind::Insert, Some(Value::from_u64(1)));
+        assert_eq!(s.stats(), MvStoreStats { rows: 2, versions: 3 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = MvStore::new(MvStoreConfig { shards: 0 });
+    }
+
+    #[test]
+    fn install_all_validated_is_all_or_nothing() {
+        let s = store();
+        let a = MvStore::row(1, 1);
+        let b = MvStore::row(1, 2);
+        s.install(a, Timestamp(10), WriteKind::Insert, Some(Value::from_u64(0)));
+        s.install(b, Timestamp(10), WriteKind::Insert, Some(Value::from_u64(0)));
+        // A later reader on row b blocks a commit at ts 15.
+        s.observe_read(b, Timestamp(20));
+
+        let writes = vec![
+            RowWrite::update(a, Value::from_u64(1)),
+            RowWrite::update(b, Value::from_u64(1)),
+        ];
+        assert!(!s.install_all_validated(&writes, Timestamp(15)));
+        // Neither row was touched.
+        assert_eq!(s.read_latest(a).unwrap().as_u64(), Some(0));
+        assert_eq!(s.read_latest(b).unwrap().as_u64(), Some(0));
+
+        // At a timestamp above the read, the commit goes through atomically.
+        assert!(s.install_all_validated(&writes, Timestamp(25)));
+        assert_eq!(s.read_latest(a).unwrap().as_u64(), Some(1));
+        assert_eq!(s.read_latest(b).unwrap().as_u64(), Some(1));
+        assert_eq!(s.max_installed_ts(), Timestamp(25));
+    }
+
+    #[test]
+    fn install_all_validated_empty_write_set_is_trivially_true() {
+        let s = store();
+        assert!(s.install_all_validated(&[], Timestamp(5)));
+        assert_eq!(s.max_installed_ts(), Timestamp::ZERO);
+    }
+}

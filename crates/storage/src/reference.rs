@@ -1,0 +1,123 @@
+//! A deliberately simple single-threaded reference store.
+//!
+//! The monotonic-prefix-consistency checker and many property tests need an
+//! oracle: "what should the database look like after serially executing the
+//! first `k` transactions of the log?" `ReferenceStore` answers that by
+//! applying writes one at a time to a `BTreeMap`. It has no concurrency, no
+//! versions, and no cleverness — which is exactly what makes it trustworthy
+//! as a specification.
+
+use std::collections::BTreeMap;
+
+use c5_common::{RowRef, RowWrite, Value, WriteKind};
+
+/// Single-threaded map from row to current value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReferenceStore {
+    rows: BTreeMap<RowRef, Value>,
+}
+
+impl ReferenceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies a single write.
+    pub fn apply(&mut self, write: &RowWrite) {
+        match write.kind {
+            WriteKind::Insert | WriteKind::Update => {
+                if let Some(v) = &write.value {
+                    self.rows.insert(write.row, v.clone());
+                }
+            }
+            WriteKind::Delete => {
+                self.rows.remove(&write.row);
+            }
+        }
+    }
+
+    /// Applies every write of a transaction, in order.
+    pub fn apply_all<'a>(&mut self, writes: impl IntoIterator<Item = &'a RowWrite>) {
+        for w in writes {
+            self.apply(w);
+        }
+    }
+
+    /// Current value of a row.
+    pub fn get(&self, row: RowRef) -> Option<&Value> {
+        self.rows.get(&row)
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over all live rows in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RowRef, &Value)> {
+        self.rows.iter()
+    }
+
+    /// Consumes the store and returns the underlying map.
+    pub fn into_inner(self) -> BTreeMap<RowRef, Value> {
+        self.rows
+    }
+
+    /// Returns a sorted copy of the live state; convenient for equality
+    /// assertions against other representations.
+    pub fn snapshot(&self) -> BTreeMap<RowRef, Value> {
+        self.rows.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(k: u64) -> RowRef {
+        RowRef::new(0, k)
+    }
+
+    #[test]
+    fn apply_insert_update_delete() {
+        let mut s = ReferenceStore::new();
+        s.apply(&RowWrite::insert(row(1), Value::from_u64(1)));
+        s.apply(&RowWrite::update(row(1), Value::from_u64(2)));
+        s.apply(&RowWrite::insert(row(2), Value::from_u64(9)));
+        s.apply(&RowWrite::delete(row(2)));
+
+        assert_eq!(s.get(row(1)).unwrap().as_u64(), Some(2));
+        assert_eq!(s.get(row(2)), None);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn apply_all_preserves_order() {
+        let mut s = ReferenceStore::new();
+        let writes = vec![
+            RowWrite::insert(row(1), Value::from_u64(1)),
+            RowWrite::update(row(1), Value::from_u64(2)),
+            RowWrite::update(row(1), Value::from_u64(3)),
+        ];
+        s.apply_all(&writes);
+        assert_eq!(s.get(row(1)).unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn equality_compares_live_state() {
+        let mut a = ReferenceStore::new();
+        a.apply(&RowWrite::insert(row(1), Value::from_u64(1)));
+        let mut b = ReferenceStore::new();
+        b.apply(&RowWrite::insert(row(1), Value::from_u64(1)));
+        assert_eq!(a, b);
+        b.apply(&RowWrite::update(row(1), Value::from_u64(2)));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,37 @@
+//! Workloads used by the paper's evaluation.
+//!
+//! Three workload families drive every experiment (Sections 6 and 7):
+//!
+//! * **TPC-C** ([`tpcc`]) — the order-entry benchmark, restricted (as in the
+//!   paper's experiments) to the NewOrder and Payment transactions, each in a
+//!   *standard* and an *optimized* variant. The optimization defers the
+//!   transaction's highest-contention write (the district next-order-id
+//!   increment for NewOrder, the warehouse year-to-date update for Payment)
+//!   as late as data dependencies allow, which increases the primary's
+//!   parallelism and is exactly the change that pushes transaction-
+//!   granularity backups into unbounded lag (Figure 6). The number of
+//!   districts per warehouse is a knob (Figure 10).
+//! * **Synthetic** ([`synthetic`]) — the insert-only workload (every
+//!   transaction inserts unique rows; nothing conflicts) and the adversarial
+//!   workload (every transaction inserts unique rows *and* updates one shared
+//!   row, so every transaction conflicts with every other while still
+//!   containing arbitrarily much parallel work). These bracket the contention
+//!   spectrum (Figures 7 and 11).
+//! * **Read-only point queries** ([`readonly`]) — closed-loop clients issuing
+//!   random primary-key lookups against a backup's exposed snapshot
+//!   (Figures 8 and 9).
+//!
+//! [`spike`] generates the diurnal load-spike shape of Figure 12.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod readonly;
+pub mod spike;
+pub mod synthetic;
+pub mod tpcc;
+
+pub use readonly::{run_point_read_clients, ReadRunStats};
+pub use spike::SpikeTrace;
+pub use synthetic::{AdversarialWorkload, InsertOnlyWorkload, SYNTHETIC_TABLE};
+pub use tpcc::{TpccConfig, TpccMix, TxnKind};

@@ -1,0 +1,100 @@
+//! The Figure 12 load-spike trace.
+//!
+//! Section 8 / Figure 12 shows a production shard whose insert load spikes
+//! every day: during the spike the primary's write rate exceeds what a
+//! single-threaded or table-granularity backup can apply, lag builds for the
+//! duration of the spike (reaching nearly two hours), and then takes as long
+//! again to drain. This module generates that shape as a sequence of
+//! per-bucket transaction counts which the experiment harness paces a primary
+//! with; the absolute scale is configurable because the reproduction runs
+//! time-compressed.
+
+use std::time::Duration;
+
+/// A diurnal load trace: a baseline rate with one elevated window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpikeTrace {
+    /// Number of time buckets in the trace.
+    pub buckets: usize,
+    /// Wall-clock length of one bucket when replayed.
+    pub bucket_duration: Duration,
+    /// Transactions per bucket outside the spike.
+    pub baseline_txns_per_bucket: u64,
+    /// Transactions per bucket during the spike.
+    pub spike_txns_per_bucket: u64,
+    /// First bucket of the spike (inclusive).
+    pub spike_start: usize,
+    /// First bucket after the spike (exclusive).
+    pub spike_end: usize,
+}
+
+impl SpikeTrace {
+    /// A time-compressed version of the Figure 12 shape: 40 buckets, with the
+    /// middle quarter carrying roughly eight times the baseline load.
+    pub fn paper_like(bucket_duration: Duration, baseline_txns_per_bucket: u64) -> Self {
+        Self {
+            buckets: 40,
+            bucket_duration,
+            baseline_txns_per_bucket,
+            spike_txns_per_bucket: baseline_txns_per_bucket * 8,
+            spike_start: 10,
+            spike_end: 20,
+        }
+    }
+
+    /// The number of transactions the primary should execute in `bucket`.
+    pub fn txns_in_bucket(&self, bucket: usize) -> u64 {
+        if bucket >= self.spike_start && bucket < self.spike_end {
+            self.spike_txns_per_bucket
+        } else {
+            self.baseline_txns_per_bucket
+        }
+    }
+
+    /// Whether `bucket` falls inside the spike window.
+    pub fn is_spike(&self, bucket: usize) -> bool {
+        bucket >= self.spike_start && bucket < self.spike_end
+    }
+
+    /// Iterator over `(bucket index, transactions)` pairs.
+    pub fn schedule(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        (0..self.buckets).map(move |b| (b, self.txns_in_bucket(b)))
+    }
+
+    /// Total number of transactions in the whole trace.
+    pub fn total_txns(&self) -> u64 {
+        self.schedule().map(|(_, n)| n).sum()
+    }
+
+    /// Total replay duration of the trace.
+    pub fn total_duration(&self) -> Duration {
+        self.bucket_duration * self.buckets as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_like_shape_has_one_elevated_window() {
+        let trace = SpikeTrace::paper_like(Duration::from_millis(50), 100);
+        assert_eq!(trace.buckets, 40);
+        assert!(trace.is_spike(10));
+        assert!(trace.is_spike(19));
+        assert!(!trace.is_spike(9));
+        assert!(!trace.is_spike(20));
+        assert_eq!(trace.txns_in_bucket(5), 100);
+        assert_eq!(trace.txns_in_bucket(15), 800);
+    }
+
+    #[test]
+    fn totals_are_consistent_with_the_schedule() {
+        let trace = SpikeTrace::paper_like(Duration::from_millis(10), 50);
+        let from_schedule: u64 = trace.schedule().map(|(_, n)| n).sum();
+        assert_eq!(trace.total_txns(), from_schedule);
+        // 30 baseline buckets + 10 spike buckets.
+        assert_eq!(from_schedule, 30 * 50 + 10 * 400);
+        assert_eq!(trace.total_duration(), Duration::from_millis(400));
+    }
+}

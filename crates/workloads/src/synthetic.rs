@@ -1,0 +1,228 @@
+//! The insert-only and adversarial synthetic workloads (Sections 6.2, 7.3).
+//!
+//! Both use a single table with an integer primary key and an integer value.
+//! In the insert-only workload each transaction performs a configurable
+//! number of inserts to globally unique keys, so no transactions conflict —
+//! it stresses raw scheduling and execution throughput on both the primary
+//! and the backup. In the adversarial workload each transaction additionally
+//! updates one shared row, so *every* transaction conflicts with every other
+//! while still carrying arbitrarily much non-conflicting work; the ratio of
+//! parallel work to serialized work grows with the number of inserts per
+//! transaction, which is exactly the knob Figures 7 and 11 sweep.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+
+use c5_common::{Result, RowRef, Value};
+use c5_primary::{StoredProcedure, TxnCtx, TxnFactory};
+
+/// The single table used by the synthetic workloads.
+pub const SYNTHETIC_TABLE: u32 = 100;
+
+/// The shared hot row updated by every adversarial transaction.
+pub const HOT_ROW_KEY: u64 = 0;
+
+/// Returns the hot row's reference.
+pub fn hot_row() -> RowRef {
+    RowRef::new(SYNTHETIC_TABLE, HOT_ROW_KEY)
+}
+
+/// The rows the adversarial workload expects to exist before the run starts
+/// (the hot row). The insert-only workload needs no initial population.
+pub fn adversarial_population() -> Vec<(RowRef, Value)> {
+    vec![(hot_row(), Value::from_u64(0))]
+}
+
+/// Insert-only workload: `inserts_per_txn` unique inserts per transaction.
+#[derive(Debug)]
+pub struct InsertOnlyWorkload {
+    inserts_per_txn: u64,
+    next_key: AtomicU64,
+}
+
+impl InsertOnlyWorkload {
+    /// Creates the workload. Keys start at 1 (key 0 is reserved for the
+    /// adversarial hot row so the two workloads can share a database).
+    pub fn new(inserts_per_txn: u64) -> Self {
+        assert!(inserts_per_txn > 0, "transactions must write something");
+        Self {
+            inserts_per_txn,
+            next_key: AtomicU64::new(1),
+        }
+    }
+
+    fn allocate(&self, n: u64) -> u64 {
+        self.next_key.fetch_add(n, Ordering::Relaxed)
+    }
+}
+
+struct InsertTxn {
+    first_key: u64,
+    count: u64,
+}
+
+impl StoredProcedure for InsertTxn {
+    fn execute(&self, ctx: &mut dyn TxnCtx) -> Result<()> {
+        for i in 0..self.count {
+            let key = self.first_key + i;
+            ctx.insert(RowRef::new(SYNTHETIC_TABLE, key), Value::from_u64(key))?;
+        }
+        Ok(())
+    }
+
+    fn label(&self) -> &'static str {
+        "insert-only"
+    }
+}
+
+impl TxnFactory for InsertOnlyWorkload {
+    fn next_txn(&self, _client: usize, _rng: &mut StdRng) -> Box<dyn StoredProcedure> {
+        let first_key = self.allocate(self.inserts_per_txn);
+        Box::new(InsertTxn {
+            first_key,
+            count: self.inserts_per_txn,
+        })
+    }
+
+    fn label(&self) -> &'static str {
+        "insert-only"
+    }
+}
+
+/// Adversarial workload: `inserts_per_txn` unique inserts plus one update to
+/// the shared hot row per transaction.
+#[derive(Debug)]
+pub struct AdversarialWorkload {
+    inserts_per_txn: u64,
+    next_key: AtomicU64,
+    next_value: AtomicU64,
+}
+
+impl AdversarialWorkload {
+    /// Creates the workload. The hot row (key 0) must be populated before the
+    /// run starts; see [`adversarial_population`].
+    pub fn new(inserts_per_txn: u64) -> Self {
+        Self {
+            inserts_per_txn,
+            next_key: AtomicU64::new(1),
+            next_value: AtomicU64::new(1),
+        }
+    }
+}
+
+struct AdversarialTxn {
+    first_key: u64,
+    count: u64,
+    hot_value: u64,
+}
+
+impl StoredProcedure for AdversarialTxn {
+    fn execute(&self, ctx: &mut dyn TxnCtx) -> Result<()> {
+        // The non-conflicting inserts precede the conflicting update, exactly
+        // as in Section 3.1's adversarial construction: the primary executes
+        // the inserts of concurrent transactions in parallel and serializes
+        // only on the final hot-row update.
+        for i in 0..self.count {
+            let key = self.first_key + i;
+            ctx.insert(RowRef::new(SYNTHETIC_TABLE, key), Value::from_u64(key))?;
+        }
+        ctx.read_for_update(hot_row())?;
+        ctx.update(hot_row(), Value::from_u64(self.hot_value))?;
+        Ok(())
+    }
+
+    fn label(&self) -> &'static str {
+        "adversarial"
+    }
+}
+
+impl TxnFactory for AdversarialWorkload {
+    fn next_txn(&self, _client: usize, _rng: &mut StdRng) -> Box<dyn StoredProcedure> {
+        let first_key = self.next_key.fetch_add(self.inserts_per_txn, Ordering::Relaxed);
+        let hot_value = self.next_value.fetch_add(1, Ordering::Relaxed);
+        Box::new(AdversarialTxn {
+            first_key,
+            count: self.inserts_per_txn,
+            hot_value,
+        })
+    }
+
+    fn label(&self) -> &'static str {
+        "adversarial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c5_common::PrimaryConfig;
+    use c5_log::{flatten, LogShipper, StreamingLogger};
+    use c5_primary::{ClosedLoopDriver, RunLength, TplEngine};
+    use c5_storage::MvStore;
+    use std::sync::Arc;
+
+    fn tpl_with_receiver() -> (Arc<TplEngine>, c5_log::LogReceiver) {
+        let (shipper, receiver) = LogShipper::unbounded();
+        let logger = StreamingLogger::new(64, shipper);
+        let engine = Arc::new(TplEngine::new(
+            Arc::new(MvStore::default()),
+            PrimaryConfig::default().with_threads(4),
+            logger,
+        ));
+        (engine, receiver)
+    }
+
+    #[test]
+    fn insert_only_transactions_never_conflict() {
+        let (engine, receiver) = tpl_with_receiver();
+        let factory: Arc<dyn c5_primary::TxnFactory> = Arc::new(InsertOnlyWorkload::new(4));
+        let stats = ClosedLoopDriver::with_seed(1).run_tpl(
+            &engine,
+            &factory,
+            4,
+            RunLength::PerClientCount(25),
+        );
+        engine.close_log();
+        assert_eq!(stats.committed, 100);
+        assert_eq!(stats.aborted, 0, "disjoint inserts cannot conflict");
+        let records = flatten(&receiver.drain());
+        assert_eq!(records.len(), 400);
+        // All keys unique.
+        let keys: std::collections::HashSet<u64> =
+            records.iter().map(|r| r.write.row.key.as_u64()).collect();
+        assert_eq!(keys.len(), 400);
+    }
+
+    #[test]
+    fn adversarial_transactions_all_conflict_on_the_hot_row() {
+        let (engine, receiver) = tpl_with_receiver();
+        for (row, value) in adversarial_population() {
+            engine.load_row(row, value);
+        }
+        let factory: Arc<dyn c5_primary::TxnFactory> = Arc::new(AdversarialWorkload::new(3));
+        let stats = ClosedLoopDriver::with_seed(1).run_tpl(
+            &engine,
+            &factory,
+            4,
+            RunLength::PerClientCount(25),
+        );
+        engine.close_log();
+        assert_eq!(stats.committed, 100);
+        let records = flatten(&receiver.drain());
+        // Each transaction logged 3 inserts + 1 hot update.
+        assert_eq!(records.len(), 400);
+        let hot_writes = records.iter().filter(|r| r.write.row == hot_row()).count();
+        assert_eq!(hot_writes, 100);
+        // Every transaction's last write is the hot-row update.
+        for r in records.iter().filter(|r| r.is_txn_last()) {
+            assert_eq!(r.write.row, hot_row());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must write something")]
+    fn zero_insert_transactions_are_rejected() {
+        let _ = InsertOnlyWorkload::new(0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests over the Section 3 model and the replica
+//! implementations.
+//!
+//! The model properties are the paper's theorems in executable form; the
+//! replica properties check that C5's concurrent execution always produces
+//! the serial-replay state for arbitrary logs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use c5_repro::lagmodel::{
+    simulate_backup, simulate_primary_2pl, BackupProtocol, LagSeries, ModelParams, ModelWorkload,
+};
+use c5_repro::prelude::*;
+
+/// A random small workload for the model: each transaction writes 1..=5 keys
+/// drawn from a small key space (so conflicts are common).
+fn arb_model_workload() -> impl Strategy<Value = ModelWorkload> {
+    prop::collection::vec(prop::collection::vec(0u64..12, 1..6), 1..60).prop_map(|txns| {
+        let txns = txns
+            .into_iter()
+            .enumerate()
+            .map(|(id, mut keys)| {
+                keys.dedup();
+                c5_repro::lagmodel::ModelTxn {
+                    id: id as u64,
+                    arrival: id as u64,
+                    keys,
+                }
+            })
+            .collect();
+        ModelWorkload { txns }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 2's consequence, on arbitrary workloads: the row-granularity
+    /// backup never finishes later than the transaction-granularity backup
+    /// (it is never more constrained), and never later than single-threaded
+    /// replay.
+    #[test]
+    fn row_granularity_is_never_more_constrained(workload in arb_model_workload()) {
+        let params = ModelParams::paper_like(8);
+        let primary = simulate_primary_2pl(&params, &workload);
+        let row = simulate_backup(&params, &primary, BackupProtocol::RowGranularity);
+        let txn = simulate_backup(&params, &primary, BackupProtocol::TxnGranularity);
+        let single = simulate_backup(&params, &primary, BackupProtocol::SingleThreaded);
+        prop_assert!(row.makespan() <= txn.makespan());
+        prop_assert!(txn.makespan() <= single.makespan());
+    }
+
+    /// Lag is non-negative and exposure is monotonic for every protocol on
+    /// every workload.
+    #[test]
+    fn model_exposure_is_monotonic_and_lag_nonnegative(workload in arb_model_workload()) {
+        let params = ModelParams::paper_like(4);
+        let primary = simulate_primary_2pl(&params, &workload);
+        for protocol in [
+            BackupProtocol::SingleThreaded,
+            BackupProtocol::TxnGranularity,
+            BackupProtocol::PageGranularity { rows_per_page: 4 },
+            BackupProtocol::RowGranularity,
+        ] {
+            let backup = simulate_backup(&params, &primary, protocol);
+            prop_assert!(backup.exposed.windows(2).all(|w| w[0] <= w[1]));
+            let lag = LagSeries::new(&primary, &backup);
+            // f_b is measured after f_p by construction.
+            prop_assert!(lag.lags.iter().all(|&l| l < u64::MAX / 2));
+        }
+    }
+
+    /// The C5 replica (faithful mode) converges to the serial replay of any
+    /// random log, including deletes and heavy row reuse, and exposes exactly
+    /// the final prefix.
+    #[test]
+    fn c5_converges_to_serial_replay_on_random_logs(
+        txn_specs in prop::collection::vec(prop::collection::vec((0u64..10, 0u64..1000, 0usize..8), 1..5), 1..40)
+    ) {
+        let mut entries = Vec::new();
+        for (i, writes) in txn_specs.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            let writes: Vec<RowWrite> = writes
+                .iter()
+                .filter(|(k, _, _)| seen.insert(*k))
+                .map(|&(k, v, kind)| {
+                    let row = RowRef::new(0, k);
+                    if kind == 0 {
+                        RowWrite::delete(row)
+                    } else {
+                        RowWrite::update(row, Value::from_u64(v))
+                    }
+                })
+                .collect();
+            entries.push(TxnEntry::new(TxnId(i as u64 + 1), Timestamp(i as u64 + 1), writes));
+        }
+        let segments = segments_from_entries(&entries, 8);
+
+        // Serial replay oracle.
+        let mut oracle = ReferenceStore::new();
+        for entry in &entries {
+            oracle.apply_all(&entry.writes);
+        }
+
+        // C5, two workers.
+        let store = Arc::new(MvStore::default());
+        let replica = C5Replica::new(
+            C5Mode::Faithful,
+            store,
+            ReplicaConfig::default()
+                .with_workers(2)
+                .with_snapshot_interval(Duration::from_micros(100)),
+        );
+        drive_segments(replica.as_ref(), segments);
+
+        let view = replica.read_view();
+        let observed: std::collections::BTreeMap<RowRef, Value> = view.scan_all().into_iter().collect();
+        prop_assert_eq!(observed, oracle.snapshot());
+    }
+}

@@ -1,0 +1,213 @@
+//! End-to-end integration tests: primary → log → backup, across protocols.
+//!
+//! These tests exercise the full pipeline the paper describes in Figure 1:
+//! closed-loop clients drive a primary engine; committed transactions stream
+//! through the replication log; a cloned concurrency control protocol applies
+//! them on the backup; and the backup's final state must equal the primary's.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use c5_repro::prelude::*;
+use c5_repro::workloads::synthetic::{adversarial_population, hot_row};
+use c5_repro::workloads::tpcc::{self, population};
+
+/// Builds a 2PL primary with a streaming log and preloads `rows`.
+fn primary_with(rows: &[(RowRef, Value)], threads: usize) -> (Arc<TplEngine>, LogReceiver) {
+    let (shipper, receiver) = LogShipper::unbounded();
+    let logger = StreamingLogger::new(64, shipper);
+    let engine = Arc::new(TplEngine::new(
+        Arc::new(MvStore::default()),
+        PrimaryConfig::default().with_threads(threads),
+        logger,
+    ));
+    for (row, value) in rows {
+        engine.load_row(*row, value.clone());
+    }
+    (engine, receiver)
+}
+
+/// Builds a backup of the given kind over a store preloaded with `rows`.
+fn backup_with(kind: &str, rows: &[(RowRef, Value)]) -> Arc<dyn ClonedConcurrencyControl> {
+    let store = Arc::new(MvStore::default());
+    for (row, value) in rows {
+        store.install(*row, Timestamp::ZERO, WriteKind::Insert, Some(value.clone()));
+    }
+    let config = ReplicaConfig::default()
+        .with_workers(2)
+        .with_snapshot_interval(Duration::from_millis(1));
+    match kind {
+        "c5" => C5Replica::new(C5Mode::Faithful, store, config),
+        "c5-myrocks" => C5Replica::new(C5Mode::OneWorkerPerTxn, store, config),
+        "kuafu" => KuaFuReplica::new(store, config, KuaFuConfig::default()),
+        "single" => SingleThreadedReplica::new(store, config),
+        "table" => CoarseGrainReplica::new(Granularity::Table, store, config),
+        "page" => CoarseGrainReplica::new(Granularity::Page { rows_per_page: 16 }, store, config),
+        other => panic!("unknown backup kind {other}"),
+    }
+}
+
+/// Every protocol must converge to the primary's exact state on the
+/// adversarial workload (non-conflicting inserts plus a shared hot row).
+#[test]
+fn every_protocol_converges_to_the_primary_state() {
+    for kind in ["c5", "c5-myrocks", "kuafu", "single", "table", "page"] {
+        let rows = adversarial_population();
+        let (primary, receiver) = primary_with(&rows, 4);
+        let backup = backup_with(kind, &rows);
+
+        let driver = {
+            let backup = Arc::clone(&backup);
+            std::thread::spawn(move || drive_from_receiver(backup.as_ref(), receiver))
+        };
+
+        let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(3));
+        let stats = ClosedLoopDriver::with_seed(5).run_tpl(&primary, &factory, 4, RunLength::PerClientCount(50));
+        assert_eq!(stats.committed, 200, "{kind}: primary must commit everything");
+        primary.close_log();
+        driver.join().unwrap();
+
+        // The backup applied exactly the committed transactions.
+        assert_eq!(backup.metrics().applied_txns, 200, "{kind}");
+        assert_eq!(backup.exposed_seq(), backup.applied_seq(), "{kind}");
+
+        // Full-state comparison against the primary.
+        let view = backup.read_view();
+        let primary_state = primary.store().scan_all_at(Timestamp::MAX);
+        assert_eq!(view.scan_all().len(), primary_state.len(), "{kind}: row counts differ");
+        for (row, value) in primary_state {
+            assert_eq!(
+                view.get(row).as_ref(),
+                Some(&value),
+                "{kind}: row {row} differs between primary and backup"
+            );
+        }
+        // The hot row in particular carries the last committed value.
+        assert_eq!(
+            view.get(hot_row()).unwrap().as_u64(),
+            primary.store().read_latest(hot_row()).unwrap().as_u64(),
+            "{kind}"
+        );
+        // One replication-lag sample per transaction was collected.
+        assert_eq!(backup.lag().len(), 200, "{kind}");
+    }
+}
+
+/// TPC-C through the full pipeline: the C5 backup's warehouse/district
+/// aggregates equal the primary's after replication.
+#[test]
+fn tpcc_replicates_exactly_through_c5() {
+    let config = TpccConfig {
+        warehouses: 1,
+        districts_per_warehouse: 4,
+        items: 100,
+        customers_per_district: 20,
+        optimized: true,
+    };
+    let rows = population(&config);
+    let (primary, receiver) = primary_with(&rows, 4);
+    let backup = backup_with("c5", &rows);
+
+    let driver = {
+        let backup = Arc::clone(&backup);
+        std::thread::spawn(move || drive_from_receiver(backup.as_ref(), receiver))
+    };
+    let factory: Arc<dyn TxnFactory> = Arc::new(TpccMix::half_and_half(config));
+    let stats = ClosedLoopDriver::with_seed(9).run_tpl(&primary, &factory, 4, RunLength::PerClientCount(40));
+    assert_eq!(stats.committed, 160);
+    primary.close_log();
+    driver.join().unwrap();
+
+    let view = backup.read_view();
+    // Warehouse year-to-date and every district's next order id match.
+    let warehouse = tpcc::warehouse_row(0);
+    assert_eq!(
+        view.get(warehouse).unwrap().as_u64(),
+        primary.store().read_latest(warehouse).unwrap().as_u64()
+    );
+    for d in 0..config.districts_per_warehouse {
+        let district = tpcc::district_row(0, d);
+        assert_eq!(
+            view.get(district).unwrap().as_u64(),
+            primary.store().read_latest(district).unwrap().as_u64(),
+            "district {d} diverged"
+        );
+    }
+    // Order rows replicated one-for-one.
+    assert_eq!(
+        view.scan_table(TableId(tpcc::table::ORDERS)).len(),
+        primary
+            .store()
+            .scan_table_at(TableId(tpcc::table::ORDERS), Timestamp::MAX)
+            .len()
+    );
+}
+
+/// The MVTSO (Cicada-style) pipeline: run the primary, coalesce its
+/// per-thread logs, replay into C5, and compare states.
+#[test]
+fn mvtso_offline_pipeline_converges() {
+    let rows = adversarial_population();
+    let store = Arc::new(MvStore::default());
+    for (row, value) in &rows {
+        store.install(*row, Timestamp(1), WriteKind::Insert, Some(value.clone()));
+    }
+    let engine = Arc::new(MvtsoEngine::new(store, PrimaryConfig::default().with_threads(2)));
+    let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(4));
+    let stats = ClosedLoopDriver::with_seed(3).run_mvtso(&engine, &factory, 2, RunLength::PerClientCount(100));
+    assert_eq!(stats.committed, 200);
+
+    let segments = engine.take_segments(64);
+    let backup = backup_with("c5", &rows);
+    drive_segments(backup.as_ref(), segments);
+
+    assert_eq!(backup.metrics().applied_txns, 200);
+    let view = backup.read_view();
+    assert_eq!(
+        view.get(hot_row()).unwrap().as_u64(),
+        engine.store().read_latest(hot_row()).unwrap().as_u64()
+    );
+    assert_eq!(view.scan_all().len(), engine.store().scan_all_at(Timestamp::MAX).len());
+}
+
+/// Replication lag is measured for every committed transaction and stays
+/// finite: every transaction becomes visible on the backup within the run's
+/// overall envelope.
+///
+/// The paper's quantitative bounded-lag claims are covered by the model tests
+/// (`c5-lagmodel`, Theorem 1/2) and by the Figure 8 experiment; this test
+/// deliberately avoids asserting absolute latencies because the CI host may
+/// have a single core, where the primary's closed-loop clients and the
+/// backup's workers time-share the same CPU and wall-clock lag mostly
+/// measures scheduler fairness.
+#[test]
+fn c5_lag_is_measured_for_every_transaction() {
+    let rows = adversarial_population();
+    let (primary, receiver) = primary_with(&rows, 2);
+    let backup = backup_with("c5", &rows);
+    let driver = {
+        let backup = Arc::clone(&backup);
+        std::thread::spawn(move || drive_from_receiver(backup.as_ref(), receiver))
+    };
+    let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(4));
+    let run = Duration::from_millis(800);
+    let start = std::time::Instant::now();
+    let stats = ClosedLoopDriver::with_seed(1).run_tpl(&primary, &factory, 2, RunLength::Timed(run));
+    primary.close_log();
+    driver.join().unwrap();
+    let envelope_ms = start.elapsed().as_millis() as f64;
+
+    let lag = backup.lag().stats().expect("lag samples exist");
+    // One sample per committed transaction.
+    assert_eq!(lag.count as u64, stats.committed);
+    assert!(lag.count > 10);
+    // Every transaction became visible within the run's envelope (plus a
+    // small grace for the final snapshot advance).
+    assert!(
+        lag.max_ms <= envelope_ms + 500.0,
+        "max lag {} ms exceeds the {} ms run envelope",
+        lag.max_ms,
+        envelope_ms
+    );
+    assert!(lag.min_ms >= 0.0 && lag.p50_ms <= lag.max_ms);
+}
