@@ -78,7 +78,9 @@ impl CoarseGrainReplica {
     /// Creates and starts a coarse-grain replica with `config.workers`
     /// workers.
     pub fn new(granularity: Granularity, store: Arc<MvStore>, config: ReplicaConfig) -> Arc<Self> {
-        config.validate().expect("replica configuration must be valid");
+        config
+            .validate()
+            .expect("replica configuration must be valid");
         let shared = BaselineShared::new(store, config.op_cost);
         let mut worker_txs = Vec::with_capacity(config.workers);
         let mut threads = Vec::with_capacity(config.workers);
@@ -276,7 +278,10 @@ mod tests {
         );
         let page = Granularity::Page { rows_per_page: 8 };
         assert_eq!(page.conflict_group(row_a), page.conflict_group(row_b));
-        assert_ne!(page.conflict_group(row_a), page.conflict_group(RowRef::new(1, 100)));
+        assert_ne!(
+            page.conflict_group(row_a),
+            page.conflict_group(RowRef::new(1, 100))
+        );
         assert_ne!(
             Granularity::Row.conflict_group(row_a),
             Granularity::Row.conflict_group(row_b)

@@ -196,7 +196,11 @@ impl ClonedConcurrencyControl for KuaFuReplica {
                     }
                     dispatch.last_writer.insert(r.write.row, index);
                 }
-                let _ = work_tx.send(TxnWork { index, deps, records });
+                let _ = work_tx.send(TxnWork {
+                    index,
+                    deps,
+                    records,
+                });
             }
         }
     }
@@ -343,8 +347,16 @@ mod tests {
         // state reflects txn3's writes even with many workers racing.
         let (_store, replica) = replica(4, KuaFuConfig::default());
         let entries = vec![
-            TxnEntry::new(TxnId(1), Timestamp(1), vec![RowWrite::update(row(1), Value::from_u64(1))]),
-            TxnEntry::new(TxnId(2), Timestamp(2), vec![RowWrite::update(row(2), Value::from_u64(2))]),
+            TxnEntry::new(
+                TxnId(1),
+                Timestamp(1),
+                vec![RowWrite::update(row(1), Value::from_u64(1))],
+            ),
+            TxnEntry::new(
+                TxnId(2),
+                Timestamp(2),
+                vec![RowWrite::update(row(2), Value::from_u64(2))],
+            ),
             TxnEntry::new(
                 TxnId(3),
                 Timestamp(3),

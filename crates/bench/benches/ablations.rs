@@ -26,7 +26,12 @@ fn mixed_log(txns: u64) -> Vec<Segment> {
     let entries: Vec<TxnEntry> = (1..=txns)
         .map(|t| {
             let mut writes: Vec<RowWrite> = (0..4)
-                .map(|i| RowWrite::insert(RowRef::new(hot.table.as_u32(), 1 + t * 4 + i), Value::from_u64(i)))
+                .map(|i| {
+                    RowWrite::insert(
+                        RowRef::new(hot.table.as_u32(), 1 + t * 4 + i),
+                        Value::from_u64(i),
+                    )
+                })
                 .collect();
             writes.push(RowWrite::update(hot, Value::from_u64(t)));
             TxnEntry::new(TxnId(t), Timestamp(t), writes)
@@ -79,20 +84,24 @@ fn bench_execution_modes(c: &mut Criterion) {
     let segments = mixed_log(2_000);
     group.throughput(Throughput::Elements(2_000));
     for spec in [ReplicaSpec::C5Faithful, ReplicaSpec::C5MyRocks] {
-        group.bench_with_input(BenchmarkId::from_parameter(spec.name()), &segments, |b, segments| {
-            b.iter(|| {
-                let store = Arc::new(MvStore::default());
-                preload(&store, &adversarial_population());
-                let replica = spec.build(
-                    store,
-                    ReplicaConfig::default()
-                        .with_workers(2)
-                        .with_snapshot_interval(Duration::from_millis(1)),
-                );
-                drive_segments(replica.as_ref(), segments.clone());
-                replica.metrics().applied_txns
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.name()),
+            &segments,
+            |b, segments| {
+                b.iter(|| {
+                    let store = Arc::new(MvStore::default());
+                    preload(&store, &adversarial_population());
+                    let replica = spec.build(
+                        store,
+                        ReplicaConfig::default()
+                            .with_workers(2)
+                            .with_snapshot_interval(Duration::from_millis(1)),
+                    );
+                    drive_segments(replica.as_ref(), segments.clone());
+                    replica.metrics().applied_txns
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -127,5 +136,10 @@ fn bench_snapshot_interval(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_design_vs_embedded, bench_execution_modes, bench_snapshot_interval);
+criterion_group!(
+    benches,
+    bench_design_vs_embedded,
+    bench_execution_modes,
+    bench_snapshot_interval
+);
 criterion_main!(benches);

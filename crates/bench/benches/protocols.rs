@@ -45,24 +45,30 @@ fn bench_protocols(c: &mut Criterion) {
     for spec in [
         ReplicaSpec::C5Faithful,
         ReplicaSpec::C5MyRocks,
-        ReplicaSpec::KuaFu { ignore_constraints: false },
+        ReplicaSpec::KuaFu {
+            ignore_constraints: false,
+        },
         ReplicaSpec::SingleThreaded,
         ReplicaSpec::PageGranularity { rows_per_page: 64 },
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(spec.name()), &segments, |b, segments| {
-            b.iter(|| {
-                let store = Arc::new(MvStore::default());
-                preload(&store, &adversarial_population());
-                let replica = spec.build(
-                    store,
-                    ReplicaConfig::default()
-                        .with_workers(2)
-                        .with_snapshot_interval(std::time::Duration::from_millis(1)),
-                );
-                drive_segments(replica.as_ref(), segments.clone());
-                replica.metrics().applied_txns
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.name()),
+            &segments,
+            |b, segments| {
+                b.iter(|| {
+                    let store = Arc::new(MvStore::default());
+                    preload(&store, &adversarial_population());
+                    let replica = spec.build(
+                        store,
+                        ReplicaConfig::default()
+                            .with_workers(2)
+                            .with_snapshot_interval(std::time::Duration::from_millis(1)),
+                    );
+                    drive_segments(replica.as_ref(), segments.clone());
+                    replica.metrics().applied_txns
+                })
+            },
+        );
     }
     group.finish();
 }

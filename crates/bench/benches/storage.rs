@@ -17,7 +17,12 @@ fn bench_storage(c: &mut Criterion) {
         b.iter(|| {
             let store = MvStore::new(MvStoreConfig { shards: 64 });
             for i in 0..n {
-                store.install(MvStore::row(0, i), Timestamp(i + 1), WriteKind::Insert, Some(Value::from_u64(i)));
+                store.install(
+                    MvStore::row(0, i),
+                    Timestamp(i + 1),
+                    WriteKind::Insert,
+                    Some(Value::from_u64(i)),
+                );
             }
             store.stats().versions
         })
@@ -32,7 +37,13 @@ fn bench_storage(c: &mut Criterion) {
             let mut prev = Timestamp::ZERO;
             for i in 1..=n {
                 let ts = Timestamp(i);
-                assert!(store.install_if_prev(row, prev, ts, WriteKind::Update, Some(Value::from_u64(i))));
+                assert!(store.install_if_prev(
+                    row,
+                    prev,
+                    ts,
+                    WriteKind::Update,
+                    Some(Value::from_u64(i))
+                ));
                 prev = ts;
             }
             store.latest_write_ts(row)
@@ -41,7 +52,12 @@ fn bench_storage(c: &mut Criterion) {
 
     let store = Arc::new(MvStore::new(MvStoreConfig { shards: 64 }));
     for i in 0..n {
-        store.install(MvStore::row(0, i), Timestamp(i + 1), WriteKind::Insert, Some(Value::from_u64(i)));
+        store.install(
+            MvStore::row(0, i),
+            Timestamp(i + 1),
+            WriteKind::Insert,
+            Some(Value::from_u64(i)),
+        );
     }
     group.bench_function("read_at", |b| {
         b.iter(|| {

@@ -37,7 +37,9 @@ fn main() {
     println!(
         "# C5 reproduction experiments — command: {command}, scale: {} (host cores: {})",
         if full { "full" } else { "quick" },
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
 
     let run_one = |name: &str| match name {

@@ -15,7 +15,9 @@ use c5_primary::TxnFactory;
 use c5_workloads::tpcc::{population, TpccMix};
 
 use crate::experiments::recorder::record_workload;
-use crate::harness::{fmt_ratio, fmt_tps, print_table, run_offline_mvtso, OfflineSetup, ReplicaSpec};
+use crate::harness::{
+    fmt_ratio, fmt_tps, print_table, run_offline_mvtso, OfflineSetup, ReplicaSpec,
+};
 use crate::scale::Scale;
 
 /// District counts swept by Figure 10.
@@ -59,7 +61,9 @@ pub fn run(scale: &Scale, ablation: bool) {
         let kuafu_out = run_offline_mvtso(
             &setup,
             Arc::clone(&factory),
-            ReplicaSpec::KuaFu { ignore_constraints: false },
+            ReplicaSpec::KuaFu {
+                ignore_constraints: false,
+            },
         );
         let mut row = vec![
             districts.to_string(),
@@ -72,7 +76,9 @@ pub fn run(scale: &Scale, ablation: bool) {
             let unconstrained = run_offline_mvtso(
                 &setup,
                 factory,
-                ReplicaSpec::KuaFu { ignore_constraints: true },
+                ReplicaSpec::KuaFu {
+                    ignore_constraints: true,
+                },
             );
             row.push(fmt_ratio(unconstrained.relative_throughput()));
         }
@@ -84,7 +90,13 @@ pub fn run(scale: &Scale, ablation: bool) {
         &["districts", "primary", "c5 relative", "kuafu relative"],
         &model_rows,
     );
-    let mut headers = vec!["districts", "primary txns/s", "abort rate", "c5 relative", "kuafu relative"];
+    let mut headers = vec![
+        "districts",
+        "primary txns/s",
+        "abort rate",
+        "c5 relative",
+        "kuafu relative",
+    ];
     if ablation {
         headers.push("kuafu-unconstrained relative");
     }

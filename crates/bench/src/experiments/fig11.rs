@@ -7,11 +7,15 @@
 
 use std::sync::Arc;
 
-use c5_lagmodel::{simulate_backup, simulate_primary_2pl, BackupProtocol, ModelParams, ModelWorkload};
+use c5_lagmodel::{
+    simulate_backup, simulate_primary_2pl, BackupProtocol, ModelParams, ModelWorkload,
+};
 use c5_primary::TxnFactory;
 use c5_workloads::synthetic::{adversarial_population, AdversarialWorkload};
 
-use crate::harness::{fmt_ratio, fmt_tps, print_table, run_offline_mvtso, OfflineSetup, ReplicaSpec};
+use crate::harness::{
+    fmt_ratio, fmt_tps, print_table, run_offline_mvtso, OfflineSetup, ReplicaSpec,
+};
 use crate::scale::Scale;
 
 /// Inserts-per-transaction sweep of Figure 11.
@@ -39,7 +43,11 @@ pub fn run(scale: &Scale) {
         // Keep the total write volume roughly constant across the sweep so the
         // quick scale stays quick.
         let txns_per_thread = (scale.offline_txns_per_thread / (1 + n / 4)).max(50);
-        let mut setup = OfflineSetup::new(scale.primary_threads, txns_per_thread, scale.replica_workers);
+        let mut setup = OfflineSetup::new(
+            scale.primary_threads,
+            txns_per_thread,
+            scale.replica_workers,
+        );
         setup.population = adversarial_population();
         setup.segment_records = scale.segment_records;
         let c5_out = run_offline_mvtso(
@@ -50,7 +58,9 @@ pub fn run(scale: &Scale) {
         let kuafu_out = run_offline_mvtso(
             &setup,
             Arc::new(AdversarialWorkload::new(n)) as Arc<dyn TxnFactory>,
-            ReplicaSpec::KuaFu { ignore_constraints: false },
+            ReplicaSpec::KuaFu {
+                ignore_constraints: false,
+            },
         );
         measured_rows.push(vec![
             n.to_string(),
@@ -68,7 +78,13 @@ pub fn run(scale: &Scale) {
     );
     print_table(
         "Figure 11 (measured, MVTSO primary on this host): adversarial workload",
-        &["inserts/txn", "primary txns/s", "abort rate", "c5 relative", "kuafu relative"],
+        &[
+            "inserts/txn",
+            "primary txns/s",
+            "abort rate",
+            "c5 relative",
+            "kuafu relative",
+        ],
         &measured_rows,
     );
 }

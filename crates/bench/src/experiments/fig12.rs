@@ -13,7 +13,9 @@
 //! and row-granularity C5). The printed series is lag over time, which is
 //! what the paper's figure conveys through the widening throughput gap.
 
-use c5_lagmodel::{simulate_backup, simulate_primary_2pl, BackupProtocol, ModelParams, ModelTxn, ModelWorkload};
+use c5_lagmodel::{
+    simulate_backup, simulate_primary_2pl, BackupProtocol, ModelParams, ModelTxn, ModelWorkload,
+};
 use c5_workloads::SpikeTrace;
 
 use crate::harness::print_table;
@@ -55,7 +57,12 @@ pub fn run(_scale: &Scale) {
 
     let protocols = [
         ("single-threaded", BackupProtocol::SingleThreaded),
-        ("table-granularity", BackupProtocol::PageGranularity { rows_per_page: u64::MAX }),
+        (
+            "table-granularity",
+            BackupProtocol::PageGranularity {
+                rows_per_page: u64::MAX,
+            },
+        ),
         ("c5 (row)", BackupProtocol::RowGranularity),
     ];
     let outcomes: Vec<_> = protocols
@@ -76,7 +83,11 @@ pub fn run(_scale: &Scale) {
                 .partition_point(|t| t.finish <= bucket as u64 * bucket_units);
         let mut row = vec![
             bucket.to_string(),
-            if trace.is_spike(bucket) { "spike".into() } else { "".into() },
+            if trace.is_spike(bucket) {
+                "spike".into()
+            } else {
+                "".into()
+            },
             committed_this_bucket.to_string(),
         ];
         for outcome in &outcomes {
@@ -96,7 +107,14 @@ pub fn run(_scale: &Scale) {
 
     print_table(
         "Figure 12 (model): lag over time under a daily load spike [lag in buckets]",
-        &["bucket", "phase", "primary txns", "single-threaded lag", "table-gran lag", "c5 lag"],
+        &[
+            "bucket",
+            "phase",
+            "primary txns",
+            "single-threaded lag",
+            "table-gran lag",
+            "c5 lag",
+        ],
         &rows,
     );
     println!(

@@ -28,7 +28,8 @@ pub fn run(scale: &Scale) {
 
             // --- Model series -------------------------------------------------
             let mix = TpccMix::new(cfg, new_order_pct);
-            let recorded = record_workload(&mix, &population(&cfg), 2_000, 6 + new_order_pct as u64);
+            let recorded =
+                record_workload(&mix, &population(&cfg), 2_000, 6 + new_order_pct as u64);
             let primary = simulate_primary_2pl(&params, &recorded);
             let kuafu = simulate_backup(&params, &primary, BackupProtocol::TxnGranularity);
             let c5 = simulate_backup(&params, &primary, BackupProtocol::RowGranularity);
@@ -42,12 +43,29 @@ pub fn run(scale: &Scale) {
             ]);
 
             // --- Measured series ----------------------------------------------
-            let mut setup = StreamingSetup::new(scale.duration, scale.primary_threads, scale.replica_workers);
+            let mut setup =
+                StreamingSetup::new(scale.duration, scale.primary_threads, scale.replica_workers);
             setup.population = population(&cfg);
             setup.segment_records = scale.segment_records;
             let factory: Arc<dyn TxnFactory> = Arc::new(TpccMix::new(cfg, new_order_pct));
-            let c5_out = run_streaming(&setup, Arc::clone(&factory), ReplicaSpec::C5MyRocks, 0, 0, 0);
-            let kuafu_out = run_streaming(&setup, factory, ReplicaSpec::KuaFu { ignore_constraints: false }, 0, 0, 0);
+            let c5_out = run_streaming(
+                &setup,
+                Arc::clone(&factory),
+                ReplicaSpec::C5MyRocks,
+                0,
+                0,
+                0,
+            );
+            let kuafu_out = run_streaming(
+                &setup,
+                factory,
+                ReplicaSpec::KuaFu {
+                    ignore_constraints: false,
+                },
+                0,
+                0,
+                0,
+            );
             measured_rows.push(vec![
                 workload_name.to_string(),
                 variant.to_string(),
@@ -68,11 +86,24 @@ pub fn run(scale: &Scale) {
     );
     print_table(
         "Figure 6 (measured on this host): primary vs backup apply throughput [txns/s]",
-        &["workload", "variant", "primary", "c5", "c5/primary", "kuafu", "kuafu/primary", "kuafu keeps up?"],
+        &[
+            "workload",
+            "variant",
+            "primary",
+            "c5",
+            "c5/primary",
+            "kuafu",
+            "kuafu/primary",
+            "kuafu keeps up?",
+        ],
         &measured_rows,
     );
 }
 
 fn yes_no(v: bool) -> String {
-    if v { "yes".into() } else { "no".into() }
+    if v {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }

@@ -7,7 +7,9 @@
 
 use std::sync::Arc;
 
-use c5_lagmodel::{simulate_backup, simulate_primary_2pl, BackupProtocol, ModelParams, ModelWorkload};
+use c5_lagmodel::{
+    simulate_backup, simulate_primary_2pl, BackupProtocol, ModelParams, ModelWorkload,
+};
 use c5_primary::TxnFactory;
 use c5_workloads::synthetic::{adversarial_population, AdversarialWorkload, SYNTHETIC_TABLE};
 
@@ -38,7 +40,8 @@ pub fn run(scale: &Scale) {
         ]);
 
         // --- Measured series ---------------------------------------------------
-        let mut setup = StreamingSetup::new(scale.duration, scale.primary_threads, scale.replica_workers);
+        let mut setup =
+            StreamingSetup::new(scale.duration, scale.primary_threads, scale.replica_workers);
         setup.population = adversarial_population();
         setup.segment_records = scale.segment_records;
         let c5_out = run_streaming(
@@ -52,7 +55,9 @@ pub fn run(scale: &Scale) {
         let kuafu_out = run_streaming(
             &setup,
             Arc::new(AdversarialWorkload::new(n)) as Arc<dyn TxnFactory>,
-            ReplicaSpec::KuaFu { ignore_constraints: false },
+            ReplicaSpec::KuaFu {
+                ignore_constraints: false,
+            },
             0,
             SYNTHETIC_TABLE,
             0,
@@ -72,7 +77,12 @@ pub fn run(scale: &Scale) {
     );
     print_table(
         "Figure 7 (measured on this host): adversarial workload",
-        &["inserts/txn", "primary txns/s", "c5 relative", "kuafu relative"],
+        &[
+            "inserts/txn",
+            "primary txns/s",
+            "c5 relative",
+            "kuafu relative",
+        ],
         &measured_rows,
     );
 }

@@ -28,7 +28,8 @@ pub fn run(scale: &Scale) {
     let mut tput_rows = Vec::new();
 
     for &clients in READ_CLIENTS {
-        let mut setup = StreamingSetup::new(scale.duration, scale.primary_threads, scale.replica_workers);
+        let mut setup =
+            StreamingSetup::new(scale.duration, scale.primary_threads, scale.replica_workers);
         setup.segment_records = scale.segment_records;
         // Snapshots every 10 ms, as in the paper's experiment.
         setup.snapshot_interval = std::time::Duration::from_millis(10);
@@ -89,7 +90,11 @@ pub fn run(scale: &Scale) {
         }
 
         // Figure 9: read and write throughput.
-        let read_tput = outcome.reads.as_ref().map(|r| r.throughput()).unwrap_or(0.0);
+        let read_tput = outcome
+            .reads
+            .as_ref()
+            .map(|r| r.throughput())
+            .unwrap_or(0.0);
         tput_rows.push(vec![
             clients.to_string(),
             fmt_tps(outcome.primary_throughput()),
@@ -100,7 +105,15 @@ pub fn run(scale: &Scale) {
 
     print_table(
         "Figure 8 (measured): replication lag distribution on C5-MyRocks vs read-only clients [ms]",
-        &["read clients", "window", "min", "p25", "median", "p75", "max"],
+        &[
+            "read clients",
+            "window",
+            "min",
+            "p25",
+            "median",
+            "p75",
+            "max",
+        ],
         &lag_rows,
     );
     print_table(

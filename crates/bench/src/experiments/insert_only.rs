@@ -21,7 +21,9 @@ use crate::scale::Scale;
 pub const SPECS: &[ReplicaSpec] = &[
     ReplicaSpec::C5MyRocks,
     ReplicaSpec::C5Faithful,
-    ReplicaSpec::KuaFu { ignore_constraints: false },
+    ReplicaSpec::KuaFu {
+        ignore_constraints: false,
+    },
     ReplicaSpec::SingleThreaded,
     ReplicaSpec::TableGranularity,
     ReplicaSpec::PageGranularity { rows_per_page: 64 },
@@ -31,7 +33,8 @@ pub const SPECS: &[ReplicaSpec] = &[
 pub fn run_myrocks(scale: &Scale) {
     let mut rows = Vec::new();
     for spec in SPECS {
-        let mut setup = StreamingSetup::new(scale.duration, scale.primary_threads, scale.replica_workers);
+        let mut setup =
+            StreamingSetup::new(scale.duration, scale.primary_threads, scale.replica_workers);
         setup.segment_records = scale.segment_records;
         let factory: Arc<dyn TxnFactory> = Arc::new(InsertOnlyWorkload::new(4));
         let out = run_streaming(&setup, factory, *spec, 0, SYNTHETIC_TABLE, 0);
@@ -40,7 +43,11 @@ pub fn run_myrocks(scale: &Scale) {
             fmt_tps(out.primary_throughput()),
             fmt_tps(out.replica_throughput()),
             fmt_ratio(out.relative_throughput()),
-            if out.keeps_up() { "yes".into() } else { "no".into() },
+            if out.keeps_up() {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     print_table(
@@ -56,7 +63,9 @@ pub fn run_cicada(scale: &Scale) {
     let mut rows = Vec::new();
     for spec in &[
         ReplicaSpec::C5Faithful,
-        ReplicaSpec::KuaFu { ignore_constraints: false },
+        ReplicaSpec::KuaFu {
+            ignore_constraints: false,
+        },
     ] {
         let mut setup = OfflineSetup::new(
             scale.primary_threads,

@@ -131,7 +131,10 @@ mod tests {
         assert_eq!(w.len(), 10);
         let warehouse = pack_row(c5_workloads::tpcc::warehouse_row(0));
         for txn in &w.txns {
-            assert!(txn.keys.contains(&warehouse), "every payment hits the warehouse");
+            assert!(
+                txn.keys.contains(&warehouse),
+                "every payment hits the warehouse"
+            );
             // Unoptimized payments write the warehouse first.
             assert_eq!(txn.keys[0], warehouse);
         }

@@ -6,7 +6,9 @@
 //! workload from the impossibility proofs) through the Section 3 model, and
 //! the resulting "keeps up?" column reproduces the table.
 
-use c5_lagmodel::{simulate_backup, simulate_primary_2pl, BackupProtocol, LagSeries, ModelParams, ModelWorkload};
+use c5_lagmodel::{
+    simulate_backup, simulate_primary_2pl, BackupProtocol, LagSeries, ModelParams, ModelWorkload,
+};
 
 use crate::harness::print_table;
 use crate::scale::Scale;
@@ -20,8 +22,14 @@ pub fn run(_scale: &Scale) {
     let sizes = [500u64, 1_000, 2_000];
     let protocols: [(&str, BackupProtocol); 4] = [
         ("single-threaded", BackupProtocol::SingleThreaded),
-        ("transaction granularity (KuaFu, MySQL 8)", BackupProtocol::TxnGranularity),
-        ("page granularity (redo shipping)", BackupProtocol::PageGranularity { rows_per_page: 64 }),
+        (
+            "transaction granularity (KuaFu, MySQL 8)",
+            BackupProtocol::TxnGranularity,
+        ),
+        (
+            "page granularity (redo shipping)",
+            BackupProtocol::PageGranularity { rows_per_page: 64 },
+        ),
         ("row granularity (C5)", BackupProtocol::RowGranularity),
     ];
 
@@ -44,7 +52,11 @@ pub fn run(_scale: &Scale) {
         let keeps_up = final_lags.windows(2).all(|w| w[1] < w[0] + w[0] / 4 + 100);
         rows.push(vec![
             name.to_string(),
-            final_lags.iter().map(u64::to_string).collect::<Vec<_>>().join(" / "),
+            final_lags
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(" / "),
             if keeps_up { "yes".into() } else { "no".into() },
         ]);
     }

@@ -32,7 +32,13 @@ pub fn run_thm1(_scale: &Scale) {
     print_table(
         "Theorem 1 (model): transaction granularity cannot bound lag; row granularity can \
          [final lag in model time units; slope in units/txn]",
-        &["txns", "txn-gran final lag", "txn-gran slope", "row-gran final lag", "row-gran slope"],
+        &[
+            "txns",
+            "txn-gran final lag",
+            "txn-gran slope",
+            "row-gran final lag",
+            "row-gran slope",
+        ],
         &rows,
     );
     println!(
@@ -48,9 +54,14 @@ pub fn run_thm_page(_scale: &Scale) {
     let rows_per_page = 64;
     let mut rows = Vec::new();
     for &txns in &[250u64, 500, 1_000, 2_000] {
-        let workload = ModelWorkload::page_adversarial(txns, 4, rows_per_page, params.primary_op_cost);
+        let workload =
+            ModelWorkload::page_adversarial(txns, 4, rows_per_page, params.primary_op_cost);
         let primary = simulate_primary_2pl(&params, &workload);
-        let page = simulate_backup(&params, &primary, BackupProtocol::PageGranularity { rows_per_page });
+        let page = simulate_backup(
+            &params,
+            &primary,
+            BackupProtocol::PageGranularity { rows_per_page },
+        );
         let row = simulate_backup(&params, &primary, BackupProtocol::RowGranularity);
         let page_lag = LagSeries::new(&primary, &page);
         let row_lag = LagSeries::new(&primary, &row);
@@ -64,7 +75,13 @@ pub fn run_thm_page(_scale: &Scale) {
     }
     print_table(
         "Section 3.1.1 (model): page granularity cannot bound lag (64 rows/page)",
-        &["txns", "page-gran final lag", "page-gran slope", "row-gran final lag", "row-gran slope"],
+        &[
+            "txns",
+            "page-gran final lag",
+            "page-gran slope",
+            "row-gran final lag",
+            "row-gran slope",
+        ],
         &rows,
     );
 }
@@ -76,8 +93,14 @@ pub fn run_thm_page(_scale: &Scale) {
 pub fn run_thm2(_scale: &Scale) {
     let params = ModelParams::paper_like(20);
     let workloads: Vec<(&str, ModelWorkload)> = vec![
-        ("uniform (no conflicts)", ModelWorkload::uniform(2_000, 4, params.primary_op_cost)),
-        ("adversarial (hot row)", ModelWorkload::theorem1(2_000, 4, params.primary_op_cost)),
+        (
+            "uniform (no conflicts)",
+            ModelWorkload::uniform(2_000, 4, params.primary_op_cost),
+        ),
+        (
+            "adversarial (hot row)",
+            ModelWorkload::theorem1(2_000, 4, params.primary_op_cost),
+        ),
         (
             "hot page",
             ModelWorkload::page_adversarial(2_000, 4, 64, params.primary_op_cost),
@@ -101,5 +124,7 @@ pub fn run_thm2(_scale: &Scale) {
         &["workload", "primary makespan", "backup makespan", "ratio", "max lag"],
         &rows,
     );
-    println!("expected: ratio <= ~1.0 (d <= e) and max lag bounded by a small constant, on every row.");
+    println!(
+        "expected: ratio <= ~1.0 (d <= e) and max lag bounded by a small constant, on every row."
+    );
 }

@@ -3,12 +3,21 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use c5_baselines::{CoarseGrainReplica, Granularity, KuaFuConfig, KuaFuReplica, SingleThreadedReplica};
-use c5_common::{OpCost, PrimaryConfig, ReplicaConfig, RowRef, SnapshotMode, Timestamp, Value, WriteKind};
+use c5_baselines::{
+    CoarseGrainReplica, Granularity, KuaFuConfig, KuaFuReplica, SingleThreadedReplica,
+};
+use c5_common::{
+    OpCost, PrimaryConfig, ReplicaConfig, RowRef, SnapshotMode, Timestamp, Value, WriteKind,
+};
 use c5_core::lag::LagStats;
-use c5_core::replica::{drive_from_receiver, drive_segments, C5Mode, C5Replica, ClonedConcurrencyControl, ReplicaMetrics};
+use c5_core::replica::{
+    drive_from_receiver, drive_segments, C5Mode, C5Replica, ClonedConcurrencyControl,
+    ReplicaMetrics,
+};
 use c5_log::{LogShipper, StreamingLogger};
-use c5_primary::{ClosedLoopDriver, MvtsoEngine, PrimaryRunStats, RunLength, TplEngine, TxnFactory};
+use c5_primary::{
+    ClosedLoopDriver, MvtsoEngine, PrimaryRunStats, RunLength, TplEngine, TxnFactory,
+};
 use c5_storage::MvStore;
 use c5_workloads::readonly::{run_point_read_clients, ReadRunStats};
 
@@ -42,8 +51,12 @@ impl ReplicaSpec {
         match self {
             ReplicaSpec::C5Faithful => "c5",
             ReplicaSpec::C5MyRocks => "c5-myrocks",
-            ReplicaSpec::KuaFu { ignore_constraints: false } => "kuafu",
-            ReplicaSpec::KuaFu { ignore_constraints: true } => "kuafu-unconstrained",
+            ReplicaSpec::KuaFu {
+                ignore_constraints: false,
+            } => "kuafu",
+            ReplicaSpec::KuaFu {
+                ignore_constraints: true,
+            } => "kuafu-unconstrained",
             ReplicaSpec::SingleThreaded => "single-threaded",
             ReplicaSpec::TableGranularity => "table-granularity",
             ReplicaSpec::PageGranularity { .. } => "page-granularity",
@@ -57,9 +70,11 @@ impl ReplicaSpec {
         config: ReplicaConfig,
     ) -> Arc<dyn ClonedConcurrencyControl> {
         match self {
-            ReplicaSpec::C5Faithful => {
-                C5Replica::new(C5Mode::Faithful, store, config.with_snapshot_mode(SnapshotMode::Timestamped))
-            }
+            ReplicaSpec::C5Faithful => C5Replica::new(
+                C5Mode::Faithful,
+                store,
+                config.with_snapshot_mode(SnapshotMode::Timestamped),
+            ),
             ReplicaSpec::C5MyRocks => C5Replica::new(
                 C5Mode::OneWorkerPerTxn,
                 store,
@@ -90,7 +105,12 @@ impl ReplicaSpec {
 /// Installs an initial population into a store at the pre-log timestamp.
 pub fn preload(store: &MvStore, population: &[(RowRef, Value)]) {
     for (row, value) in population {
-        store.install(*row, Timestamp::ZERO, WriteKind::Insert, Some(value.clone()));
+        store.install(
+            *row,
+            Timestamp::ZERO,
+            WriteKind::Insert,
+            Some(value.clone()),
+        );
     }
 }
 
@@ -239,7 +259,14 @@ pub fn run_streaming(
             let duration = setup.duration;
             let seed = setup.seed;
             scope.spawn(move || {
-                run_point_read_clients(replica_ref, read_clients, duration, read_table, read_key_space, seed)
+                run_point_read_clients(
+                    replica_ref,
+                    read_clients,
+                    duration,
+                    read_table,
+                    read_key_space,
+                    seed,
+                )
             })
         });
 
@@ -414,7 +441,12 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         let line: Vec<String> = row
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{c:>width$}",
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect();
         println!("{}", line.join("  "));
     }
@@ -433,7 +465,9 @@ pub fn fmt_ratio(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use c5_workloads::synthetic::{adversarial_population, AdversarialWorkload, InsertOnlyWorkload, SYNTHETIC_TABLE};
+    use c5_workloads::synthetic::{
+        adversarial_population, AdversarialWorkload, InsertOnlyWorkload, SYNTHETIC_TABLE,
+    };
 
     #[test]
     fn streaming_experiment_runs_end_to_end() {
@@ -441,9 +475,19 @@ mod tests {
         setup.op_cost = OpCost::free();
         setup.population = adversarial_population();
         let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(2));
-        let outcome = run_streaming(&setup, factory, ReplicaSpec::C5Faithful, 1, SYNTHETIC_TABLE, 1000);
+        let outcome = run_streaming(
+            &setup,
+            factory,
+            ReplicaSpec::C5Faithful,
+            1,
+            SYNTHETIC_TABLE,
+            1000,
+        );
         assert!(outcome.primary.committed > 0);
-        assert_eq!(outcome.replica_metrics.applied_txns, outcome.primary.committed);
+        assert_eq!(
+            outcome.replica_metrics.applied_txns,
+            outcome.primary.committed
+        );
         assert!(outcome.lag.is_some());
         assert!(outcome.reads.is_some());
         assert!(outcome.replica_throughput() > 0.0);
@@ -454,7 +498,13 @@ mod tests {
     fn offline_experiment_runs_end_to_end() {
         let setup = OfflineSetup::new(2, 200, 2);
         let factory: Arc<dyn TxnFactory> = Arc::new(InsertOnlyWorkload::new(4));
-        let outcome = run_offline_mvtso(&setup, factory, ReplicaSpec::KuaFu { ignore_constraints: false });
+        let outcome = run_offline_mvtso(
+            &setup,
+            factory,
+            ReplicaSpec::KuaFu {
+                ignore_constraints: false,
+            },
+        );
         assert_eq!(outcome.primary.committed, 400);
         assert_eq!(outcome.replica_metrics.applied_txns, 400);
         assert!(outcome.replica_throughput() > 0.0);
@@ -466,7 +516,9 @@ mod tests {
         for spec in [
             ReplicaSpec::C5Faithful,
             ReplicaSpec::C5MyRocks,
-            ReplicaSpec::KuaFu { ignore_constraints: false },
+            ReplicaSpec::KuaFu {
+                ignore_constraints: false,
+            },
             ReplicaSpec::SingleThreaded,
             ReplicaSpec::TableGranularity,
             ReplicaSpec::PageGranularity { rows_per_page: 16 },
@@ -474,7 +526,12 @@ mod tests {
             let setup = OfflineSetup::new(2, 50, 2);
             let factory: Arc<dyn TxnFactory> = Arc::new(InsertOnlyWorkload::new(2));
             let outcome = run_offline_mvtso(&setup, factory, spec);
-            assert_eq!(outcome.replica_metrics.applied_txns, 100, "{} failed", spec.name());
+            assert_eq!(
+                outcome.replica_metrics.applied_txns,
+                100,
+                "{} failed",
+                spec.name()
+            );
         }
     }
 }

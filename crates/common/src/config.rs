@@ -2,8 +2,6 @@
 
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
-
 use crate::cost::OpCost;
 use crate::error::{Error, Result};
 
@@ -13,7 +11,7 @@ use crate::error::{Error, Result};
 /// stress the backup" (Section 6); the formal model assumes serializable.
 /// Both are supported: under read committed, read locks are released as soon
 /// as the read completes, which increases primary parallelism.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IsolationLevel {
     /// Shared locks are held only for the duration of each read.
     ReadCommitted,
@@ -28,7 +26,7 @@ pub enum IsolationLevel {
 /// multi-version store) and Section 5.2 (MyRocks/RocksDB can only snapshot
 /// "the current state of the whole database", forcing the snapshotter to
 /// briefly block workers at every cut).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SnapshotMode {
     /// Timestamped snapshots: the faithful design (C5-Cicada).
     Timestamped,
@@ -39,7 +37,7 @@ pub enum SnapshotMode {
 }
 
 /// Configuration for a primary engine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PrimaryConfig {
     /// Number of executor threads (the paper's `m` cores).
     pub threads: usize,
@@ -78,7 +76,7 @@ impl PrimaryConfig {
 
 /// Configuration for a backup replica (any cloned concurrency control
 /// protocol).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ReplicaConfig {
     /// Number of worker threads applying writes. The paper never uses more
     /// workers than the primary has threads.

@@ -15,11 +15,9 @@
 
 use std::time::{Duration, Instant};
 
-use serde::{Deserialize, Serialize};
-
 /// Models the per-row-operation execution cost on the primary (`e`) and on
 /// the backup (`d`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpCost {
     /// Time to execute one row operation on the primary (`e` in the paper).
     pub primary_ns: u64,

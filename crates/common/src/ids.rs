@@ -7,12 +7,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a table in the database.
 ///
 /// The synthetic workloads use a single table; TPC-C uses nine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TableId(pub u32);
 
 impl TableId {
@@ -36,7 +34,7 @@ impl fmt::Display for TableId {
 /// `(warehouse, district)` pairs) into a single 64-bit integer, which keeps
 /// the hot scheduler paths free of allocations and hashing of variable-length
 /// data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Key(pub u64);
 
 impl Key {
@@ -57,7 +55,7 @@ impl fmt::Display for Key {
 ///
 /// This is the unit of conflict in C5's row-granularity protocol: two writes
 /// conflict if and only if their `RowRef`s are equal (Section 4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RowRef {
     /// The table containing the row.
     pub table: TableId,
@@ -94,7 +92,7 @@ impl fmt::Display for RowRef {
 /// Transaction ids are unique per run but carry no ordering meaning; the
 /// commit order is defined by the log ([`SeqNo`]) and, for the MVTSO engine,
 /// by [`Timestamp`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxnId(pub u64);
 
 impl fmt::Display for TxnId {
@@ -110,9 +108,7 @@ impl fmt::Display for TxnId {
 /// serial schedule (Section 7.1). Version chains in the storage engine are
 /// ordered by descending write timestamp. Timestamp `0` is reserved for "no
 /// previous write" in the scheduler's embedded per-row FIFOs.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {
@@ -148,9 +144,7 @@ impl fmt::Display for Timestamp {
 /// The C5 scheduler assigns each *write* a sequence number reflecting its
 /// position in the log (Section 4.1); the snapshotter's `c` and `n` counters
 /// are sequence numbers as well.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SeqNo(pub u64);
 
 impl SeqNo {
@@ -180,7 +174,7 @@ impl fmt::Display for SeqNo {
 }
 
 /// Identifies a backup worker thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WorkerId(pub usize);
 
 impl fmt::Display for WorkerId {

@@ -3,7 +3,6 @@
 use std::fmt;
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 
 use crate::ids::RowRef;
 
@@ -83,21 +82,8 @@ impl From<u64> for Value {
     }
 }
 
-impl Serialize for Value {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_bytes(&self.0)
-    }
-}
-
-impl<'de> Deserialize<'de> for Value {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let bytes = <Vec<u8>>::deserialize(deserializer)?;
-        Ok(Value::from(bytes))
-    }
-}
-
 /// The kind of a row write (Section 2.2: inserts, updates, and deletes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WriteKind {
     /// A new row is added.
     Insert,
@@ -117,7 +103,7 @@ impl WriteKind {
 
 /// A single row write as it appears in a transaction's write set and in the
 /// replication log.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RowWrite {
     /// The row being written.
     pub row: RowRef,

@@ -33,7 +33,8 @@ impl LagSample {
     /// granularity can make the two stamps appear reversed for sub-
     /// microsecond lags).
     pub fn lag_nanos(&self) -> u64 {
-        self.exposed_at_nanos.saturating_sub(self.committed_at_nanos)
+        self.exposed_at_nanos
+            .saturating_sub(self.committed_at_nanos)
     }
 
     /// The replication lag in milliseconds.
@@ -127,19 +128,30 @@ impl LagTracker {
 
     /// Summary statistics over every sample.
     pub fn stats(&self) -> Option<LagStats> {
-        LagStats::from_millis(self.samples.lock().iter().map(LagSample::lag_millis).collect())
+        LagStats::from_millis(
+            self.samples
+                .lock()
+                .iter()
+                .map(LagSample::lag_millis)
+                .collect(),
+        )
     }
 
     /// Summary statistics over the samples whose *exposure* time falls within
     /// `[window_start_nanos, window_end_nanos)` — the per-window breakdown of
     /// Figure 8 ("0–30 s", "30–60 s", "60–90 s").
-    pub fn stats_in_window(&self, window_start_nanos: u64, window_end_nanos: u64) -> Option<LagStats> {
+    pub fn stats_in_window(
+        &self,
+        window_start_nanos: u64,
+        window_end_nanos: u64,
+    ) -> Option<LagStats> {
         LagStats::from_millis(
             self.samples
                 .lock()
                 .iter()
                 .filter(|s| {
-                    s.exposed_at_nanos >= window_start_nanos && s.exposed_at_nanos < window_end_nanos
+                    s.exposed_at_nanos >= window_start_nanos
+                        && s.exposed_at_nanos < window_end_nanos
                 })
                 .map(LagSample::lag_millis)
                 .collect(),

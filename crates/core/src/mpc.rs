@@ -165,13 +165,20 @@ mod tests {
 
     impl ReadView for FakeView {
         fn get(&self, row: RowRef) -> Option<Value> {
-            self.rows.iter().find(|(r, _)| *r == row).map(|(_, v)| v.clone())
+            self.rows
+                .iter()
+                .find(|(r, _)| *r == row)
+                .map(|(_, v)| v.clone())
         }
         fn as_of(&self) -> SeqNo {
             self.as_of
         }
         fn scan_table(&self, table: TableId) -> Vec<(RowRef, Value)> {
-            self.rows.iter().filter(|(r, _)| r.table == table).cloned().collect()
+            self.rows
+                .iter()
+                .filter(|(r, _)| r.table == table)
+                .cloned()
+                .collect()
         }
         fn scan_all(&self) -> Vec<(RowRef, Value)> {
             self.rows.clone()
@@ -189,7 +196,11 @@ mod tests {
                     RowWrite::insert(row(2), Value::from_u64(20)),
                 ],
             ),
-            TxnEntry::new(TxnId(2), Timestamp(2), vec![RowWrite::update(row(1), Value::from_u64(11))]),
+            TxnEntry::new(
+                TxnId(2),
+                Timestamp(2),
+                vec![RowWrite::update(row(1), Value::from_u64(11))],
+            ),
             TxnEntry::new(TxnId(3), Timestamp(3), vec![RowWrite::delete(row(2))]),
         ];
         segments_from_entries(&entries, 2)
@@ -202,7 +213,10 @@ mod tests {
 
         // Empty prefix.
         checker
-            .verify_view(&FakeView { as_of: SeqNo::ZERO, rows: vec![] })
+            .verify_view(&FakeView {
+                as_of: SeqNo::ZERO,
+                rows: vec![],
+            })
             .unwrap();
         // After txn1.
         checker
@@ -257,7 +271,10 @@ mod tests {
             })
             .unwrap();
         let err = checker
-            .verify_view(&FakeView { as_of: SeqNo::ZERO, rows: vec![] })
+            .verify_view(&FakeView {
+                as_of: SeqNo::ZERO,
+                rows: vec![],
+            })
             .unwrap_err();
         assert!(err.to_string().contains("backwards"));
     }
@@ -266,7 +283,10 @@ mod tests {
     fn cut_beyond_log_is_rejected() {
         let mut checker = MpcChecker::new(&[], &log());
         let err = checker
-            .verify_view(&FakeView { as_of: SeqNo(99), rows: vec![] })
+            .verify_view(&FakeView {
+                as_of: SeqNo(99),
+                rows: vec![],
+            })
             .unwrap_err();
         assert!(matches!(err, Error::ConsistencyViolation(_)));
     }
@@ -284,7 +304,10 @@ mod tests {
         // Forgetting the preloaded row is a violation.
         let mut checker2 = MpcChecker::new(&initial, &log());
         assert!(checker2
-            .verify_view(&FakeView { as_of: SeqNo::ZERO, rows: vec![] })
+            .verify_view(&FakeView {
+                as_of: SeqNo::ZERO,
+                rows: vec![]
+            })
             .is_err());
     }
 }

@@ -114,7 +114,10 @@ pub trait ClonedConcurrencyControl: Send + Sync {
 
 /// Drives a replica from a log receiver until the log ends, then finishes it.
 /// Returns the wall-clock time spent.
-pub fn drive_from_receiver(replica: &dyn ClonedConcurrencyControl, receiver: LogReceiver) -> Duration {
+pub fn drive_from_receiver(
+    replica: &dyn ClonedConcurrencyControl,
+    receiver: LogReceiver,
+) -> Duration {
     let start = Instant::now();
     while let Some(segment) = receiver.recv() {
         replica.apply_segment(segment);
@@ -245,7 +248,9 @@ impl C5Replica {
     /// Creates and starts a C5 replica over `store` (which should already
     /// hold the initial database population, installed at `Timestamp::ZERO`).
     pub fn new(mode: C5Mode, store: Arc<MvStore>, config: ReplicaConfig) -> Arc<Self> {
-        config.validate().expect("replica configuration must be valid");
+        config
+            .validate()
+            .expect("replica configuration must be valid");
         let cursor = match mode {
             C5Mode::Faithful => SnapshotCursor::timestamped(Arc::clone(&store)),
             C5Mode::OneWorkerPerTxn => SnapshotCursor::whole_database(Arc::clone(&store)),
@@ -461,14 +466,20 @@ fn scheduler_loop(
         match mode {
             C5Mode::Faithful => {
                 let last = segment.last_seq();
+                // Only the one-worker-per-txn snapshotter reads this counter
+                // (the faithful cursor advances via boundary_watermark), but
+                // keep it maintained with the same store-before-send ordering
+                // so it stays a safe cut bound in both modes.
+                if let Some(last) = last {
+                    shared
+                        .dispatched_boundary
+                        .store(last.as_u64(), Ordering::Release);
+                }
                 let item = WorkItem::Segment(Arc::new(segment));
                 if worker_txs[next_worker].send(item).is_err() {
                     workers_gone = true;
                 }
                 next_worker = (next_worker + 1) % worker_txs.len();
-                if let Some(last) = last {
-                    shared.dispatched_boundary.store(last.as_u64(), Ordering::Release);
-                }
             }
             C5Mode::OneWorkerPerTxn => {
                 // Split the segment into whole transactions and push them to
@@ -480,11 +491,17 @@ fn scheduler_loop(
                     current.push(record.clone());
                     if is_last {
                         let txn = std::mem::take(&mut current);
+                        // Publish the boundary BEFORE the send: the moment a
+                        // transaction is in the queue a worker may install its
+                        // writes, and the snapshotter's choose_n must never
+                        // pick a cut below an already-installed write.
+                        shared
+                            .dispatched_boundary
+                            .store(seq.as_u64(), Ordering::Release);
                         if worker_txs[0].send(WorkItem::Txn(txn)).is_err() {
                             workers_gone = true;
                             break;
                         }
-                        shared.dispatched_boundary.store(seq.as_u64(), Ordering::Release);
                     }
                 }
                 debug_assert!(
@@ -646,7 +663,12 @@ mod tests {
 
     fn replica(mode: C5Mode, workers: usize) -> Arc<C5Replica> {
         let store = Arc::new(MvStore::default());
-        store.install(row(0), Timestamp::ZERO, c5_common::WriteKind::Insert, Some(Value::from_u64(0)));
+        store.install(
+            row(0),
+            Timestamp::ZERO,
+            c5_common::WriteKind::Insert,
+            Some(Value::from_u64(0)),
+        );
         let config = ReplicaConfig::default()
             .with_workers(workers)
             .with_snapshot_interval(Duration::from_millis(1));
@@ -754,10 +776,7 @@ mod tests {
         // The view taken earlier still answers as of its own cut.
         assert_eq!(view_before.as_of(), as_of_before);
         // A fresh view sees the final state.
-        assert_eq!(
-            replica.read_view().get(row(0)).unwrap().as_u64(),
-            Some(10)
-        );
+        assert_eq!(replica.read_view().get(row(0)).unwrap().as_u64(), Some(10));
     }
 
     #[test]
@@ -769,6 +788,9 @@ mod tests {
         let stats = lag.stats().expect("samples exist");
         assert_eq!(stats.count, 20);
         assert!(stats.min_ms >= 0.0);
-        assert!(stats.max_ms < 60_000.0, "lag should be far below a minute in tests");
+        assert!(
+            stats.max_ms < 60_000.0,
+            "lag should be far below a minute in tests"
+        );
     }
 }

@@ -104,8 +104,8 @@ pub fn preprocess_segment(segment: &mut Segment) -> SchedulerStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use c5_log::{explode_txn, TxnEntry};
     use c5_common::{RowWrite, Timestamp, TxnId, Value};
+    use c5_log::{explode_txn, TxnEntry};
 
     fn row(k: u64) -> RowRef {
         RowRef::new(0, k)
@@ -182,8 +182,8 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use c5_log::{explode_txn, TxnEntry};
     use c5_common::{RowWrite, Timestamp, TxnId, Value};
+    use c5_log::{explode_txn, TxnEntry};
     use proptest::prelude::*;
     use std::collections::HashMap as StdHashMap;
 

@@ -99,7 +99,9 @@ impl SnapshotCursor {
     pub fn exposed(&self) -> SeqNo {
         match self {
             SnapshotCursor::Timestamped { exposed, .. }
-            | SnapshotCursor::WholeDatabase { exposed, .. } => SeqNo(exposed.load(Ordering::Acquire)),
+            | SnapshotCursor::WholeDatabase { exposed, .. } => {
+                SeqNo(exposed.load(Ordering::Acquire))
+            }
         }
     }
 
@@ -112,7 +114,9 @@ impl SnapshotCursor {
                 store: Arc::clone(store),
                 as_of: SeqNo(exposed.load(Ordering::Acquire)),
             }),
-            SnapshotCursor::WholeDatabase { current, exposed, .. } => Box::new(WholeDbView {
+            SnapshotCursor::WholeDatabase {
+                current, exposed, ..
+            } => Box::new(WholeDbView {
                 snapshot: current.read().clone(),
                 as_of: SeqNo(exposed.load(Ordering::Acquire)),
             }),
@@ -170,11 +174,7 @@ impl SnapshotCursor {
     /// write up to the returned position has been installed.
     ///
     /// Returns the new exposed cut.
-    pub fn cut(
-        &self,
-        choose_n: impl FnOnce() -> SeqNo,
-        wait_applied: impl FnOnce(SeqNo),
-    ) -> SeqNo {
+    pub fn cut(&self, choose_n: impl FnOnce() -> SeqNo, wait_applied: impl FnOnce(SeqNo)) -> SeqNo {
         match self {
             SnapshotCursor::Timestamped { .. } => {
                 panic!("timestamped cursors advance through advance()")
@@ -226,7 +226,8 @@ impl ReadView for TimestampedView {
     }
 
     fn scan_table(&self, table: TableId) -> Vec<(RowRef, Value)> {
-        self.store.scan_table_at(table, Timestamp(self.as_of.as_u64()))
+        self.store
+            .scan_table_at(table, Timestamp(self.as_of.as_u64()))
     }
 
     fn scan_all(&self) -> Vec<(RowRef, Value)> {
@@ -268,7 +269,12 @@ mod tests {
     }
 
     fn install(store: &MvStore, seq: u64, key: u64, value: u64) {
-        store.install(row(key), Timestamp(seq), WriteKind::Update, Some(Value::from_u64(value)));
+        store.install(
+            row(key),
+            Timestamp(seq),
+            WriteKind::Update,
+            Some(Value::from_u64(value)),
+        );
     }
 
     #[test]
@@ -299,7 +305,11 @@ mod tests {
         let cursor = SnapshotCursor::timestamped(store);
         cursor.advance(SeqNo(5));
         cursor.advance(SeqNo(3));
-        assert_eq!(cursor.exposed(), SeqNo(5), "a lower advance must be ignored");
+        assert_eq!(
+            cursor.exposed(),
+            SeqNo(5),
+            "a lower advance must be ignored"
+        );
         cursor.advance(SeqNo(8));
         assert_eq!(cursor.exposed(), SeqNo(8));
     }
@@ -366,7 +376,12 @@ mod tests {
     #[test]
     fn whole_database_initial_snapshot_contains_preloaded_state() {
         let store = Arc::new(MvStore::default());
-        store.install(row(7), Timestamp::ZERO, WriteKind::Insert, Some(Value::from_u64(7)));
+        store.install(
+            row(7),
+            Timestamp::ZERO,
+            WriteKind::Insert,
+            Some(Value::from_u64(7)),
+        );
         let cursor = SnapshotCursor::whole_database(Arc::clone(&store));
         assert_eq!(cursor.read_view().get(row(7)).unwrap().as_u64(), Some(7));
         assert_eq!(cursor.exposed(), SeqNo::ZERO);

@@ -112,7 +112,9 @@ pub fn simulate_backup(
             }
         }
         BackupProtocol::PageGranularity { rows_per_page } => {
-            finish = fine_grained(params, primary, d, &mut core_free, |key| key / rows_per_page.max(1));
+            finish = fine_grained(params, primary, d, &mut core_free, |key| {
+                key / rows_per_page.max(1)
+            });
         }
         BackupProtocol::RowGranularity => {
             finish = fine_grained(params, primary, d, &mut core_free, |key| key);
@@ -218,7 +220,11 @@ mod tests {
         let p = params();
         let w = ModelWorkload::page_adversarial(200, 4, 64, p.primary_op_cost);
         let primary = simulate_primary_2pl(&p, &w);
-        let page = simulate_backup(&p, &primary, BackupProtocol::PageGranularity { rows_per_page: 64 });
+        let page = simulate_backup(
+            &p,
+            &primary,
+            BackupProtocol::PageGranularity { rows_per_page: 64 },
+        );
         let row = simulate_backup(&p, &primary, BackupProtocol::RowGranularity);
         let page_lag = LagSeries::new(&primary, &page);
         let row_lag = LagSeries::new(&primary, &row);

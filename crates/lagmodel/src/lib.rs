@@ -96,9 +96,21 @@ mod tests {
     fn lag_series_statistics() {
         let primary = PrimaryOutcome {
             log: vec![
-                LoggedTxn { id: 1, finish: 10, keys: vec![1] },
-                LoggedTxn { id: 2, finish: 20, keys: vec![2] },
-                LoggedTxn { id: 3, finish: 30, keys: vec![3] },
+                LoggedTxn {
+                    id: 1,
+                    finish: 10,
+                    keys: vec![1],
+                },
+                LoggedTxn {
+                    id: 2,
+                    finish: 20,
+                    keys: vec![2],
+                },
+                LoggedTxn {
+                    id: 3,
+                    finish: 30,
+                    keys: vec![3],
+                },
             ],
         };
         let backup = BackupOutcome {

@@ -81,7 +81,12 @@ impl ModelWorkload {
     /// Consecutive transactions therefore write *different rows* of the same
     /// page: the row-locking primary runs them in parallel, a page-granularity
     /// backup serializes every one of them.
-    pub fn page_adversarial(count: u64, writes_per_txn: u64, rows_per_page: u64, interarrival: u64) -> Self {
+    pub fn page_adversarial(
+        count: u64,
+        writes_per_txn: u64,
+        rows_per_page: u64,
+        interarrival: u64,
+    ) -> Self {
         assert!(writes_per_txn >= 1 && rows_per_page >= 1);
         let mut txns = Vec::with_capacity(count as usize);
         // Unique keys start past the hot page so they never share it.

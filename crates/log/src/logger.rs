@@ -165,7 +165,10 @@ pub fn segments_from_entries(entries: &[TxnEntry], segment_records: usize) -> Ve
 /// Flattens segments back into a single record stream (useful for tests and
 /// for the reference replay in the consistency checker).
 pub fn flatten(segments: &[Segment]) -> Vec<LogRecord> {
-    segments.iter().flat_map(|s| s.records.iter().cloned()).collect()
+    segments
+        .iter()
+        .flat_map(|s| s.records.iter().cloned())
+        .collect()
 }
 
 #[cfg(test)]

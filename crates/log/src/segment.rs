@@ -147,7 +147,12 @@ mod tests {
 
     fn txn_records(txn: u64, n: usize, start: SeqNo) -> (Vec<LogRecord>, SeqNo) {
         let writes = (0..n)
-            .map(|i| RowWrite::insert(RowRef::new(0, txn * 100 + i as u64), Value::from_u64(i as u64)))
+            .map(|i| {
+                RowWrite::insert(
+                    RowRef::new(0, txn * 100 + i as u64),
+                    Value::from_u64(i as u64),
+                )
+            })
             .collect();
         let entry = TxnEntry::new(TxnId(txn), Timestamp(txn), writes);
         explode_txn(&entry, start)

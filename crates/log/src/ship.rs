@@ -188,6 +188,9 @@ mod tests {
         let (tx, rx) = LogShipper::bounded(8);
         let tx = tx.with_delay(Duration::from_millis(1));
         tx.ship(segment(7));
-        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap().header.id, 7);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap().header.id,
+            7
+        );
     }
 }

@@ -92,7 +92,9 @@ mod tests {
         for t in 0..4 {
             let clocks = Arc::clone(&clocks);
             handles.push(std::thread::spawn(move || {
-                (0..1000).map(|_| clocks.next_timestamp(t)).collect::<Vec<_>>()
+                (0..1000)
+                    .map(|_| clocks.next_timestamp(t))
+                    .collect::<Vec<_>>()
             }));
         }
         let mut all = HashSet::new();

@@ -9,7 +9,7 @@
 
 use std::collections::hash_map::RandomState;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::hash::{BuildHasher, Hash, Hasher};
+use std::hash::BuildHasher;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
@@ -71,7 +71,9 @@ impl LockEntry {
     }
 
     fn position_in_queue(&self, txn: TxnId, mode: LockMode) -> Option<usize> {
-        self.waiters.iter().position(|&(t, m)| t == txn && m == mode)
+        self.waiters
+            .iter()
+            .position(|&(t, m)| t == txn && m == mode)
     }
 }
 
@@ -121,9 +123,7 @@ impl LockManager {
     }
 
     fn shard_for(&self, row: RowRef) -> &Shard {
-        let mut h = self.hasher.build_hasher();
-        row.hash(&mut h);
-        let idx = (h.finish() as usize) % self.shards.len();
+        let idx = (self.hasher.hash_one(row) as usize) % self.shards.len();
         &self.shards[idx]
     }
 
@@ -163,7 +163,10 @@ impl LockManager {
                     return Ok(());
                 }
             }
-            let timed_out = shard.cv.wait_for(&mut entries, self.wait_timeout).timed_out();
+            let timed_out = shard
+                .cv
+                .wait_for(&mut entries, self.wait_timeout)
+                .timed_out();
             if timed_out {
                 let entry = entries.get_mut(&row).expect("entry exists while queued");
                 // Re-check once more after the timeout: we may have become
@@ -313,7 +316,9 @@ mod tests {
     fn lock_wait_timeout_aborts_the_waiter() {
         let lm = Arc::new(LockManager::new(8, Duration::from_millis(30)));
         lm.acquire(TxnId(1), row(1), LockMode::Exclusive).unwrap();
-        let err = lm.acquire(TxnId(2), row(1), LockMode::Exclusive).unwrap_err();
+        let err = lm
+            .acquire(TxnId(2), row(1), LockMode::Exclusive)
+            .unwrap_err();
         assert!(err.is_retryable());
         // The holder is unaffected and can still release.
         lm.release(TxnId(1), row(1));

@@ -120,7 +120,12 @@ impl MvtsoEngine {
         }
     }
 
-    fn try_execute(&self, thread: usize, txn: TxnId, proc: &dyn StoredProcedure) -> Result<Timestamp> {
+    fn try_execute(
+        &self,
+        thread: usize,
+        txn: TxnId,
+        proc: &dyn StoredProcedure,
+    ) -> Result<Timestamp> {
         let ts = self.clocks.next_timestamp(thread);
         let mut ctx = MvtsoCtx {
             engine: self,
@@ -131,7 +136,13 @@ impl MvtsoEngine {
         self.commit(thread, txn, ts, ctx.writes)
     }
 
-    fn commit(&self, thread: usize, txn: TxnId, ts: Timestamp, writes: WriteSet) -> Result<Timestamp> {
+    fn commit(
+        &self,
+        thread: usize,
+        txn: TxnId,
+        ts: Timestamp,
+        writes: WriteSet,
+    ) -> Result<Timestamp> {
         let writes = writes.into_writes();
         // Validate and install atomically: either every write is admissible
         // at `ts` and all versions appear, or nothing does and we abort.
@@ -244,8 +255,10 @@ mod tests {
     #[test]
     fn committed_writes_become_visible() {
         let e = engine(1);
-        e.execute_on(0, &|ctx: &mut dyn TxnCtx| ctx.insert(row(1), Value::from_u64(5)))
-            .unwrap();
+        e.execute_on(0, &|ctx: &mut dyn TxnCtx| {
+            ctx.insert(row(1), Value::from_u64(5))
+        })
+        .unwrap();
         let ts = e
             .execute_on(0, &|ctx: &mut dyn TxnCtx| {
                 let v = ctx.read_expected(row(1))?.as_u64().unwrap();
@@ -260,8 +273,10 @@ mod tests {
     #[test]
     fn concurrent_counter_increments_never_lose_updates() {
         let e = engine(4);
-        e.execute_on(0, &|ctx: &mut dyn TxnCtx| ctx.insert(row(0), Value::from_u64(0)))
-            .unwrap();
+        e.execute_on(0, &|ctx: &mut dyn TxnCtx| {
+            ctx.insert(row(0), Value::from_u64(0))
+        })
+        .unwrap();
 
         let mut handles = Vec::new();
         for t in 0..4usize {
@@ -281,10 +296,7 @@ mod tests {
         }
         // MVTSO validation guarantees no lost updates: the final counter must
         // equal the number of successful increments.
-        assert_eq!(
-            e.store().read_latest(row(0)).unwrap().as_u64(),
-            Some(200)
-        );
+        assert_eq!(e.store().read_latest(row(0)).unwrap().as_u64(), Some(200));
     }
 
     #[test]
@@ -297,8 +309,10 @@ mod tests {
             .with_threads(4)
             .with_op_cost(c5_common::OpCost::symmetric(50_000));
         let e = Arc::new(MvtsoEngine::new(store, config));
-        e.execute_on(0, &|ctx: &mut dyn TxnCtx| ctx.insert(row(0), Value::from_u64(0)))
-            .unwrap();
+        e.execute_on(0, &|ctx: &mut dyn TxnCtx| {
+            ctx.insert(row(0), Value::from_u64(0))
+        })
+        .unwrap();
         let mut handles = Vec::new();
         for t in 0..4usize {
             let e = Arc::clone(&e);
@@ -314,7 +328,10 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert!(e.aborted() > 0, "a contended counter should cause MVTSO aborts");
+        assert!(
+            e.aborted() > 0,
+            "a contended counter should cause MVTSO aborts"
+        );
     }
 
     #[test]
@@ -332,7 +349,10 @@ mod tests {
         let records = flatten(&segments);
         assert_eq!(records.len(), 20);
         let commit_ts: Vec<u64> = records.iter().map(|r| r.commit_ts.as_u64()).collect();
-        assert!(commit_ts.windows(2).all(|w| w[0] <= w[1]), "log must be timestamp ordered");
+        assert!(
+            commit_ts.windows(2).all(|w| w[0] <= w[1]),
+            "log must be timestamp ordered"
+        );
         // Taking segments again yields nothing (logs are consumed).
         assert!(e.take_segments(8).is_empty());
     }
@@ -340,10 +360,14 @@ mod tests {
     #[test]
     fn duplicate_insert_rejected_without_retry_storm() {
         let e = engine(1);
-        e.execute_on(0, &|ctx: &mut dyn TxnCtx| ctx.insert(row(7), Value::from_u64(1)))
-            .unwrap();
+        e.execute_on(0, &|ctx: &mut dyn TxnCtx| {
+            ctx.insert(row(7), Value::from_u64(1))
+        })
+        .unwrap();
         let err = e
-            .execute_on(0, &|ctx: &mut dyn TxnCtx| ctx.insert(row(7), Value::from_u64(2)))
+            .execute_on(0, &|ctx: &mut dyn TxnCtx| {
+                ctx.insert(row(7), Value::from_u64(2))
+            })
             .unwrap_err();
         assert!(matches!(err, Error::DuplicateRow(_)));
     }
@@ -351,8 +375,10 @@ mod tests {
     #[test]
     fn read_only_transactions_produce_no_log_entries() {
         let e = engine(1);
-        e.execute_on(0, &|ctx: &mut dyn TxnCtx| ctx.insert(row(1), Value::from_u64(1)))
-            .unwrap();
+        e.execute_on(0, &|ctx: &mut dyn TxnCtx| {
+            ctx.insert(row(1), Value::from_u64(1))
+        })
+        .unwrap();
         e.execute_on(0, &|ctx: &mut dyn TxnCtx| {
             let _ = ctx.read(row(1))?;
             Ok(())

@@ -12,7 +12,7 @@
 //!   while the transaction still holds its write locks, so per-row log order
 //!   always equals per-row lock order.
 //!
-//! Stored procedures run through [`TplCtx`]; the engine retries transactions
+//! Stored procedures run through `TplCtx`; the engine retries transactions
 //! aborted by lock-wait timeouts (the stand-in for deadlock handling, as in
 //! production MySQL).
 
@@ -84,8 +84,12 @@ impl TplEngine {
     /// the log. Used to install the initial database population (the paper's
     /// backups start from a copy of the primary's state).
     pub fn load_row(&self, row: RowRef, value: Value) {
-        self.store
-            .install(row, Timestamp::ZERO.next(), c5_common::WriteKind::Insert, Some(value));
+        self.store.install(
+            row,
+            Timestamp::ZERO.next(),
+            c5_common::WriteKind::Insert,
+            Some(value),
+        );
     }
 
     /// Executes a stored procedure, retrying on protocol-induced aborts up to
@@ -164,9 +168,7 @@ impl TplCtx<'_> {
     }
 
     fn release_everything(&mut self) {
-        self.engine
-            .locks
-            .release_all(self.txn, self.held.iter());
+        self.engine.locks.release_all(self.txn, self.held.iter());
         self.held.clear();
     }
 
@@ -316,7 +318,10 @@ mod tests {
             .unwrap();
         engine.close_log();
 
-        assert_eq!(engine.store().read_latest(row(1)).unwrap().as_u64(), Some(11));
+        assert_eq!(
+            engine.store().read_latest(row(1)).unwrap().as_u64(),
+            Some(11)
+        );
         assert_eq!(engine.committed(), 2);
 
         let records = flatten(&receiver.drain());
@@ -379,7 +384,12 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let final_value = engine.store().read_latest(row(0)).unwrap().as_u64().unwrap();
+        let final_value = engine
+            .store()
+            .read_latest(row(0))
+            .unwrap()
+            .as_u64()
+            .unwrap();
         assert_eq!(final_value, (threads * per_thread) as u64);
     }
 
@@ -455,7 +465,10 @@ mod tests {
         let (engine, receiver) = engine_with_receiver(1);
         engine.load_row(row(9), Value::from_u64(9));
         engine.close_log();
-        assert_eq!(engine.store().read_latest(row(9)).unwrap().as_u64(), Some(9));
+        assert_eq!(
+            engine.store().read_latest(row(9)).unwrap().as_u64(),
+            Some(9)
+        );
         assert!(flatten(&receiver.drain()).is_empty());
     }
 }

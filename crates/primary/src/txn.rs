@@ -120,7 +120,11 @@ impl WriteSet {
     pub fn into_writes(mut self) -> Vec<c5_common::RowWrite> {
         self.order
             .iter()
-            .map(|row| self.writes.remove(row).expect("ordered row must be present"))
+            .map(|row| {
+                self.writes
+                    .remove(row)
+                    .expect("ordered row must be present")
+            })
             .collect()
     }
 
@@ -152,7 +156,10 @@ mod tests {
         ws.push(RowWrite::update(row(1), Value::from_u64(10)));
 
         assert_eq!(ws.len(), 2);
-        assert_eq!(ws.get(row(1)).unwrap().value.as_ref().unwrap().as_u64(), Some(10));
+        assert_eq!(
+            ws.get(row(1)).unwrap().value.as_ref().unwrap().as_u64(),
+            Some(10)
+        );
         let writes = ws.into_writes();
         // Row 1 keeps its original position even though it was overwritten.
         assert_eq!(writes[0].row, row(1));

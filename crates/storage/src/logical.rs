@@ -227,13 +227,22 @@ mod tests {
         let mut store = SnapshotStore::new();
         let s1 = store.new_snapshot();
         let s2 = store.new_snapshot();
-        store.get_mut(s1).unwrap().insert(row(1), Value::from_u64(1));
-        store.get_mut(s2).unwrap().update(row(1), Value::from_u64(2));
+        store
+            .get_mut(s1)
+            .unwrap()
+            .insert(row(1), Value::from_u64(1));
+        store
+            .get_mut(s2)
+            .unwrap()
+            .update(row(1), Value::from_u64(2));
 
         let s3 = store.merge(s1, s2).unwrap();
         assert!(store.get(s1).is_none());
         assert!(store.get(s2).is_none());
-        assert_eq!(store.get(s3).unwrap().read(row(1)).unwrap().as_u64(), Some(2));
+        assert_eq!(
+            store.get(s3).unwrap().read(row(1)).unwrap().as_u64(),
+            Some(2)
+        );
         // Merging an already-consumed snapshot fails gracefully.
         assert!(store.merge(s1, s3).is_none());
     }

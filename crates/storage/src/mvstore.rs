@@ -14,7 +14,7 @@
 
 use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
-use std::hash::{BuildHasher, Hash, Hasher};
+use std::hash::BuildHasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
@@ -59,7 +59,10 @@ struct VersionChain {
 impl VersionChain {
     /// Latest write timestamp in the chain, or `Timestamp::ZERO` if empty.
     fn latest_ts(&self) -> Timestamp {
-        self.versions.last().map(|v| v.write_ts).unwrap_or(Timestamp::ZERO)
+        self.versions
+            .last()
+            .map(|v| v.write_ts)
+            .unwrap_or(Timestamp::ZERO)
     }
 
     /// Returns the newest version with `write_ts <= ts`.
@@ -161,9 +164,7 @@ impl MvStore {
     }
 
     fn shard_index(&self, row: RowRef) -> usize {
-        let mut h = self.hasher.build_hasher();
-        row.hash(&mut h);
-        (h.finish() as usize) % self.shards.len()
+        (self.hasher.hash_one(row) as usize) % self.shards.len()
     }
 
     fn shard_for(&self, row: RowRef) -> &Shard {
@@ -208,7 +209,10 @@ impl MvStore {
     /// each log record's `prev_timestamp` (Section 7.2).
     pub fn latest_write_ts(&self, row: RowRef) -> Timestamp {
         let shard = self.shard_for(row).read();
-        shard.get(&row).map(|c| c.latest_ts()).unwrap_or(Timestamp::ZERO)
+        shard
+            .get(&row)
+            .map(|c| c.latest_ts())
+            .unwrap_or(Timestamp::ZERO)
     }
 
     /// Records that a transaction with timestamp `ts` read `row`, raising the
@@ -224,7 +228,10 @@ impl MvStore {
     /// Returns the row's current read timestamp.
     pub fn read_ts_of(&self, row: RowRef) -> Timestamp {
         let shard = self.shard_for(row).read();
-        shard.get(&row).map(|c| c.read_ts).unwrap_or(Timestamp::ZERO)
+        shard
+            .get(&row)
+            .map(|c| c.read_ts)
+            .unwrap_or(Timestamp::ZERO)
     }
 
     /// MVTSO write validation: a write at `ts` is admissible if no later
@@ -301,12 +308,17 @@ impl MvStore {
         let mut shard_order: Vec<usize> = writes.iter().map(|w| self.shard_index(w.row)).collect();
         shard_order.sort_unstable();
         shard_order.dedup();
-        let mut guards: Vec<(usize, parking_lot::RwLockWriteGuard<'_, HashMap<RowRef, VersionChain>>)> =
-            Vec::with_capacity(shard_order.len());
+        let mut guards: Vec<(
+            usize,
+            parking_lot::RwLockWriteGuard<'_, HashMap<RowRef, VersionChain>>,
+        )> = Vec::with_capacity(shard_order.len());
         for idx in shard_order {
             guards.push((idx, self.shards[idx].write()));
         }
-        let guard_for = |guards: &mut Vec<(usize, parking_lot::RwLockWriteGuard<'_, HashMap<RowRef, VersionChain>>)>,
+        let guard_for = |guards: &mut Vec<(
+            usize,
+            parking_lot::RwLockWriteGuard<'_, HashMap<RowRef, VersionChain>>,
+        )>,
                          idx: usize|
          -> usize {
             guards
@@ -466,9 +478,24 @@ mod tests {
     fn read_at_sees_timestamp_ordered_history() {
         let s = store();
         let row = MvStore::row(1, 1);
-        s.install(row, Timestamp(10), WriteKind::Insert, Some(Value::from_u64(1)));
-        s.install(row, Timestamp(20), WriteKind::Update, Some(Value::from_u64(2)));
-        s.install(row, Timestamp(30), WriteKind::Update, Some(Value::from_u64(3)));
+        s.install(
+            row,
+            Timestamp(10),
+            WriteKind::Insert,
+            Some(Value::from_u64(1)),
+        );
+        s.install(
+            row,
+            Timestamp(20),
+            WriteKind::Update,
+            Some(Value::from_u64(2)),
+        );
+        s.install(
+            row,
+            Timestamp(30),
+            WriteKind::Update,
+            Some(Value::from_u64(3)),
+        );
 
         assert_eq!(s.read_at(row, Timestamp(5)), None);
         assert_eq!(s.read_at(row, Timestamp(10)).unwrap().as_u64(), Some(1));
@@ -480,7 +507,12 @@ mod tests {
     fn delete_produces_tombstone_visibility() {
         let s = store();
         let row = MvStore::row(1, 7);
-        s.install(row, Timestamp(1), WriteKind::Insert, Some(Value::from_u64(9)));
+        s.install(
+            row,
+            Timestamp(1),
+            WriteKind::Insert,
+            Some(Value::from_u64(9)),
+        );
         s.install(row, Timestamp(2), WriteKind::Delete, None);
         assert!(s.exists_at(row, Timestamp(1)));
         assert!(!s.exists_at(row, Timestamp(2)));
@@ -491,8 +523,18 @@ mod tests {
     fn out_of_order_install_is_sorted() {
         let s = store();
         let row = MvStore::row(1, 1);
-        s.install(row, Timestamp(20), WriteKind::Insert, Some(Value::from_u64(20)));
-        s.install(row, Timestamp(10), WriteKind::Insert, Some(Value::from_u64(10)));
+        s.install(
+            row,
+            Timestamp(20),
+            WriteKind::Insert,
+            Some(Value::from_u64(20)),
+        );
+        s.install(
+            row,
+            Timestamp(10),
+            WriteKind::Insert,
+            Some(Value::from_u64(10)),
+        );
         assert_eq!(s.read_at(row, Timestamp(15)).unwrap().as_u64(), Some(10));
         assert_eq!(s.read_latest(row).unwrap().as_u64(), Some(20));
     }
@@ -502,13 +544,37 @@ mod tests {
         let s = store();
         let row = MvStore::row(1, 1);
         // prev_ts = 0 means "first write to the row".
-        assert!(s.install_if_prev(row, Timestamp::ZERO, Timestamp(5), WriteKind::Insert, Some(Value::from_u64(1))));
+        assert!(s.install_if_prev(
+            row,
+            Timestamp::ZERO,
+            Timestamp(5),
+            WriteKind::Insert,
+            Some(Value::from_u64(1))
+        ));
         // A write whose predecessor has not been installed yet must be deferred.
-        assert!(!s.install_if_prev(row, Timestamp(7), Timestamp(9), WriteKind::Update, Some(Value::from_u64(3))));
+        assert!(!s.install_if_prev(
+            row,
+            Timestamp(7),
+            Timestamp(9),
+            WriteKind::Update,
+            Some(Value::from_u64(3))
+        ));
         // The in-order successor applies.
-        assert!(s.install_if_prev(row, Timestamp(5), Timestamp(7), WriteKind::Update, Some(Value::from_u64(2))));
+        assert!(s.install_if_prev(
+            row,
+            Timestamp(5),
+            Timestamp(7),
+            WriteKind::Update,
+            Some(Value::from_u64(2))
+        ));
         // Now the deferred write's turn.
-        assert!(s.install_if_prev(row, Timestamp(7), Timestamp(9), WriteKind::Update, Some(Value::from_u64(3))));
+        assert!(s.install_if_prev(
+            row,
+            Timestamp(7),
+            Timestamp(9),
+            WriteKind::Update,
+            Some(Value::from_u64(3))
+        ));
         assert_eq!(s.read_latest(row).unwrap().as_u64(), Some(3));
     }
 
@@ -530,7 +596,12 @@ mod tests {
     fn mvtso_validation_rules() {
         let s = store();
         let row = MvStore::row(1, 3);
-        s.install(row, Timestamp(10), WriteKind::Insert, Some(Value::from_u64(0)));
+        s.install(
+            row,
+            Timestamp(10),
+            WriteKind::Insert,
+            Some(Value::from_u64(0)),
+        );
         s.observe_read(row, Timestamp(15));
 
         // A write below the read timestamp must be rejected.
@@ -546,8 +617,18 @@ mod tests {
     fn max_installed_tracks_highest_timestamp() {
         let s = store();
         assert_eq!(s.max_installed_ts(), Timestamp::ZERO);
-        s.install(MvStore::row(1, 1), Timestamp(5), WriteKind::Insert, Some(Value::from_u64(1)));
-        s.install(MvStore::row(1, 2), Timestamp(3), WriteKind::Insert, Some(Value::from_u64(1)));
+        s.install(
+            MvStore::row(1, 1),
+            Timestamp(5),
+            WriteKind::Insert,
+            Some(Value::from_u64(1)),
+        );
+        s.install(
+            MvStore::row(1, 2),
+            Timestamp(3),
+            WriteKind::Insert,
+            Some(Value::from_u64(1)),
+        );
         assert_eq!(s.max_installed_ts(), Timestamp(5));
     }
 
@@ -556,7 +637,12 @@ mod tests {
         let s = store();
         let row = MvStore::row(1, 1);
         for ts in 1..=10u64 {
-            s.install(row, Timestamp(ts), WriteKind::Update, Some(Value::from_u64(ts)));
+            s.install(
+                row,
+                Timestamp(ts),
+                WriteKind::Update,
+                Some(Value::from_u64(ts)),
+            );
         }
         let before = s.stats().versions;
         let reclaimed = s.gc(Timestamp(8));
@@ -570,9 +656,24 @@ mod tests {
     #[test]
     fn table_scans_filter_by_table_and_timestamp() {
         let s = store();
-        s.install(MvStore::row(1, 1), Timestamp(1), WriteKind::Insert, Some(Value::from_u64(1)));
-        s.install(MvStore::row(1, 2), Timestamp(5), WriteKind::Insert, Some(Value::from_u64(2)));
-        s.install(MvStore::row(2, 3), Timestamp(1), WriteKind::Insert, Some(Value::from_u64(3)));
+        s.install(
+            MvStore::row(1, 1),
+            Timestamp(1),
+            WriteKind::Insert,
+            Some(Value::from_u64(1)),
+        );
+        s.install(
+            MvStore::row(1, 2),
+            Timestamp(5),
+            WriteKind::Insert,
+            Some(Value::from_u64(2)),
+        );
+        s.install(
+            MvStore::row(2, 3),
+            Timestamp(1),
+            WriteKind::Insert,
+            Some(Value::from_u64(3)),
+        );
 
         assert_eq!(s.table_row_count_at(TableId(1), Timestamp(1)), 1);
         assert_eq!(s.table_row_count_at(TableId(1), Timestamp(5)), 2);
@@ -588,10 +689,31 @@ mod tests {
     fn stats_count_rows_and_versions() {
         let s = store();
         let row = MvStore::row(1, 1);
-        s.install(row, Timestamp(1), WriteKind::Insert, Some(Value::from_u64(1)));
-        s.install(row, Timestamp(2), WriteKind::Update, Some(Value::from_u64(2)));
-        s.install(MvStore::row(1, 2), Timestamp(1), WriteKind::Insert, Some(Value::from_u64(1)));
-        assert_eq!(s.stats(), MvStoreStats { rows: 2, versions: 3 });
+        s.install(
+            row,
+            Timestamp(1),
+            WriteKind::Insert,
+            Some(Value::from_u64(1)),
+        );
+        s.install(
+            row,
+            Timestamp(2),
+            WriteKind::Update,
+            Some(Value::from_u64(2)),
+        );
+        s.install(
+            MvStore::row(1, 2),
+            Timestamp(1),
+            WriteKind::Insert,
+            Some(Value::from_u64(1)),
+        );
+        assert_eq!(
+            s.stats(),
+            MvStoreStats {
+                rows: 2,
+                versions: 3
+            }
+        );
     }
 
     #[test]
@@ -605,8 +727,18 @@ mod tests {
         let s = store();
         let a = MvStore::row(1, 1);
         let b = MvStore::row(1, 2);
-        s.install(a, Timestamp(10), WriteKind::Insert, Some(Value::from_u64(0)));
-        s.install(b, Timestamp(10), WriteKind::Insert, Some(Value::from_u64(0)));
+        s.install(
+            a,
+            Timestamp(10),
+            WriteKind::Insert,
+            Some(Value::from_u64(0)),
+        );
+        s.install(
+            b,
+            Timestamp(10),
+            WriteKind::Insert,
+            Some(Value::from_u64(0)),
+        );
         // A later reader on row b blocks a commit at ts 15.
         s.observe_read(b, Timestamp(20));
 

@@ -29,7 +29,9 @@ pub struct DbSnapshot {
 
 impl std::fmt::Debug for DbSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DbSnapshot").field("as_of", &self.as_of).finish()
+        f.debug_struct("DbSnapshot")
+            .field("as_of", &self.as_of)
+            .finish()
     }
 }
 
@@ -84,13 +86,23 @@ mod tests {
     fn snapshot_is_immutable_under_later_writes() {
         let store = Arc::new(MvStore::default());
         let row = MvStore::row(1, 1);
-        store.install(row, Timestamp(1), WriteKind::Insert, Some(Value::from_u64(1)));
+        store.install(
+            row,
+            Timestamp(1),
+            WriteKind::Insert,
+            Some(Value::from_u64(1)),
+        );
 
         let snap = DbSnapshot::of_current(&store);
         assert_eq!(snap.read(row).unwrap().as_u64(), Some(1));
 
         // Later writes are invisible to the existing snapshot...
-        store.install(row, Timestamp(2), WriteKind::Update, Some(Value::from_u64(2)));
+        store.install(
+            row,
+            Timestamp(2),
+            WriteKind::Update,
+            Some(Value::from_u64(2)),
+        );
         assert_eq!(snap.read(row).unwrap().as_u64(), Some(1));
 
         // ...but a fresh snapshot sees them.
@@ -102,9 +114,19 @@ mod tests {
     #[test]
     fn snapshot_scans_respect_the_cut() {
         let store = Arc::new(MvStore::default());
-        store.install(MvStore::row(1, 1), Timestamp(1), WriteKind::Insert, Some(Value::from_u64(1)));
+        store.install(
+            MvStore::row(1, 1),
+            Timestamp(1),
+            WriteKind::Insert,
+            Some(Value::from_u64(1)),
+        );
         let snap = DbSnapshot::of_current(&store);
-        store.install(MvStore::row(1, 2), Timestamp(2), WriteKind::Insert, Some(Value::from_u64(2)));
+        store.install(
+            MvStore::row(1, 2),
+            Timestamp(2),
+            WriteKind::Insert,
+            Some(Value::from_u64(2)),
+        );
 
         assert_eq!(snap.table_row_count(TableId(1)), 1);
         assert_eq!(snap.scan_table(TableId(1)).len(), 1);

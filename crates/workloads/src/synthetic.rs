@@ -139,7 +139,9 @@ impl StoredProcedure for AdversarialTxn {
 
 impl TxnFactory for AdversarialWorkload {
     fn next_txn(&self, _client: usize, _rng: &mut StdRng) -> Box<dyn StoredProcedure> {
-        let first_key = self.next_key.fetch_add(self.inserts_per_txn, Ordering::Relaxed);
+        let first_key = self
+            .next_key
+            .fetch_add(self.inserts_per_txn, Ordering::Relaxed);
         let hot_value = self.next_value.fetch_add(1, Ordering::Relaxed);
         Box::new(AdversarialTxn {
             first_key,

@@ -137,7 +137,10 @@ pub fn new_order_row(w: u64, d: u64, o: u64) -> RowRef {
 
 /// Order-line row.
 pub fn order_line_row(w: u64, d: u64, o: u64, ol: u64) -> RowRef {
-    RowRef::new(table::ORDER_LINE, ((w * 100 + d) * 100_000_000 + o) * 16 + ol)
+    RowRef::new(
+        table::ORDER_LINE,
+        ((w * 100 + d) * 100_000_000 + o) * 16 + ol,
+    )
 }
 
 /// History row (globally unique id).
@@ -218,7 +221,11 @@ impl StoredProcedure for NewOrderTxn {
             let price = ctx.read_expected(item_row(item))?.as_u64().unwrap_or(0);
             let stock = stock_row(self.w, item);
             let on_hand = ctx.read_for_update_expected(stock)?.as_u64().unwrap_or(0);
-            let new_on_hand = if on_hand >= qty + 10 { on_hand - qty } else { on_hand + 91 - qty };
+            let new_on_hand = if on_hand >= qty + 10 {
+                on_hand - qty
+            } else {
+                on_hand + 91 - qty
+            };
             stock_updates.push((stock, Value::from_u64(new_on_hand)));
             line_amounts.push(price * qty);
         }
@@ -282,20 +289,32 @@ struct PaymentTxn {
 
 impl PaymentTxn {
     fn update_warehouse(&self, ctx: &mut dyn TxnCtx) -> Result<()> {
-        let ytd = ctx.read_for_update_expected(warehouse_row(self.w))?.as_u64().unwrap_or(0);
+        let ytd = ctx
+            .read_for_update_expected(warehouse_row(self.w))?
+            .as_u64()
+            .unwrap_or(0);
         ctx.update(warehouse_row(self.w), Value::from_u64(ytd + self.amount))
     }
 
     fn update_district(&self, ctx: &mut dyn TxnCtx) -> Result<()> {
         let district = district_row(self.w, self.d);
         let (next_o_id, ytd) = decode_district(&ctx.read_for_update_expected(district)?);
-        ctx.update(district, district_value(next_o_id, ytd.wrapping_add(self.amount as u32)))
+        ctx.update(
+            district,
+            district_value(next_o_id, ytd.wrapping_add(self.amount as u32)),
+        )
     }
 
     fn update_customer(&self, ctx: &mut dyn TxnCtx) -> Result<()> {
         let customer = customer_row(self.w, self.d, self.c);
-        let balance = ctx.read_for_update_expected(customer)?.as_u64().unwrap_or(0);
-        ctx.update(customer, Value::from_u64(balance.saturating_sub(self.amount)))?;
+        let balance = ctx
+            .read_for_update_expected(customer)?
+            .as_u64()
+            .unwrap_or(0);
+        ctx.update(
+            customer,
+            Value::from_u64(balance.saturating_sub(self.amount)),
+        )?;
         ctx.insert(history_row(self.history_id), Value::from_u64(self.amount))
     }
 }
@@ -459,11 +478,26 @@ mod tests {
     fn population_contains_every_schema_row() {
         let cfg = small_config();
         let rows = population(&cfg);
-        let warehouses = rows.iter().filter(|(r, _)| r.table.as_u32() == table::WAREHOUSE).count();
-        let districts = rows.iter().filter(|(r, _)| r.table.as_u32() == table::DISTRICT).count();
-        let customers = rows.iter().filter(|(r, _)| r.table.as_u32() == table::CUSTOMER).count();
-        let items = rows.iter().filter(|(r, _)| r.table.as_u32() == table::ITEM).count();
-        let stock = rows.iter().filter(|(r, _)| r.table.as_u32() == table::STOCK).count();
+        let warehouses = rows
+            .iter()
+            .filter(|(r, _)| r.table.as_u32() == table::WAREHOUSE)
+            .count();
+        let districts = rows
+            .iter()
+            .filter(|(r, _)| r.table.as_u32() == table::DISTRICT)
+            .count();
+        let customers = rows
+            .iter()
+            .filter(|(r, _)| r.table.as_u32() == table::CUSTOMER)
+            .count();
+        let items = rows
+            .iter()
+            .filter(|(r, _)| r.table.as_u32() == table::ITEM)
+            .count();
+        let stock = rows
+            .iter()
+            .filter(|(r, _)| r.table.as_u32() == table::STOCK)
+            .count();
         assert_eq!(warehouses, 1);
         assert_eq!(districts, 2);
         assert_eq!(customers, 20);
@@ -505,7 +539,10 @@ mod tests {
 
         // Every committed NewOrder logged an order row and a new-order row.
         let records = flatten(&receiver.drain());
-        let orders = records.iter().filter(|r| r.write.row.table.as_u32() == table::ORDERS).count();
+        let orders = records
+            .iter()
+            .filter(|r| r.write.row.table.as_u32() == table::ORDERS)
+            .count();
         let new_orders = records
             .iter()
             .filter(|r| r.write.row.table.as_u32() == table::NEW_ORDER)
@@ -526,7 +563,12 @@ mod tests {
             RunLength::PerClientCount(10),
         );
         assert_eq!(stats.committed, 40);
-        let ytd = engine.store().read_latest(warehouse_row(0)).unwrap().as_u64().unwrap();
+        let ytd = engine
+            .store()
+            .read_latest(warehouse_row(0))
+            .unwrap()
+            .as_u64()
+            .unwrap();
         assert!(ytd > 0, "forty payments must have accumulated a balance");
     }
 
@@ -553,7 +595,12 @@ mod tests {
                     decode_district(&engine.store().read_latest(district_row(0, d)).unwrap());
                 orders += next_o_id as u64 - 3_001;
             }
-            let ytd = engine.store().read_latest(warehouse_row(0)).unwrap().as_u64().unwrap();
+            let ytd = engine
+                .store()
+                .read_latest(warehouse_row(0))
+                .unwrap()
+                .as_u64()
+                .unwrap();
             totals.push((orders, ytd));
         }
         assert_eq!(totals[0], totals[1]);

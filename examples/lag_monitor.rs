@@ -40,7 +40,9 @@ fn main() {
     let logger = StreamingLogger::new(128, shipper_c5);
     let primary = Arc::new(TplEngine::new(
         Arc::new(MvStore::default()),
-        PrimaryConfig::default().with_threads(2).with_op_cost(OpCost::paper_like(5_000)),
+        PrimaryConfig::default()
+            .with_threads(2)
+            .with_op_cost(OpCost::paper_like(5_000)),
         logger,
     ));
     for (row, value) in adversarial_population() {
@@ -75,7 +77,12 @@ fn main() {
         let primary = Arc::clone(&primary);
         move || {
             let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(8));
-            let stats = ClosedLoopDriver::with_seed(11).run_tpl(&primary, &factory, 2, RunLength::Timed(duration));
+            let stats = ClosedLoopDriver::with_seed(11).run_tpl(
+                &primary,
+                &factory,
+                2,
+                RunLength::Timed(duration),
+            );
             primary.close_log();
             stats
         }
@@ -83,7 +90,10 @@ fn main() {
 
     // The monitor: compare how far each backup's exposed prefix trails the
     // primary's log while the run is in progress.
-    println!("{:>6}  {:>14}  {:>14}  {:>14}", "t(ms)", "primary txns", "c5 behind", "single behind");
+    println!(
+        "{:>6}  {:>14}  {:>14}  {:>14}",
+        "t(ms)", "primary txns", "c5 behind", "single behind"
+    );
     let start = std::time::Instant::now();
     while start.elapsed() < duration {
         std::thread::sleep(Duration::from_millis(250));
@@ -103,7 +113,11 @@ fn main() {
     forwarder.join().expect("forwarder");
     single_driver.join().expect("single driver");
 
-    println!("\nprimary committed {} txns ({:.0} txns/s)", stats.committed, stats.throughput());
+    println!(
+        "\nprimary committed {} txns ({:.0} txns/s)",
+        stats.committed,
+        stats.throughput()
+    );
     for (name, replica) in [("c5", &c5), ("single-threaded", &single)] {
         let lag = replica.lag().stats();
         println!(

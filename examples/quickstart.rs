@@ -31,7 +31,8 @@ fn main() {
 
     // Apply the log on a background thread while the primary runs.
     let replica_for_driver = Arc::clone(&replica);
-    let driver = std::thread::spawn(move || drive_from_receiver(replica_for_driver.as_ref(), receiver));
+    let driver =
+        std::thread::spawn(move || drive_from_receiver(replica_for_driver.as_ref(), receiver));
 
     // --- Run some transactions -------------------------------------------------
     let account = |n: u64| RowRef::new(1, n);
@@ -59,7 +60,10 @@ fn main() {
     let view = replica.read_view();
     let a = view.get(account(1)).unwrap().as_u64().unwrap();
     let b = view.get(account(2)).unwrap().as_u64().unwrap();
-    println!("backup sees account 1 = {a}, account 2 = {b} (exposed through {})", view.as_of());
+    println!(
+        "backup sees account 1 = {a}, account 2 = {b} (exposed through {})",
+        view.as_of()
+    );
     assert_eq!(a + b, 150, "the invariant survived replication");
 
     // Replication lag per transaction, as the paper measures it (Section 2.4).

@@ -38,7 +38,12 @@ fn main() {
     primary.load_row(video(7), Value::from_u64(0));
 
     let backup_store = Arc::new(MvStore::default());
-    backup_store.install(video(7), Timestamp::ZERO, WriteKind::Insert, Some(Value::from_u64(0)));
+    backup_store.install(
+        video(7),
+        Timestamp::ZERO,
+        WriteKind::Insert,
+        Some(Value::from_u64(0)),
+    );
     let replica = C5Replica::new(
         C5Mode::Faithful,
         Arc::clone(&backup_store),
@@ -87,7 +92,8 @@ fn main() {
                 let visible_comments = view.scan_table(TableId(COMMENTS)).len() as u64;
                 // Invariant 1: the counter always matches the number of comments.
                 assert_eq!(
-                    counter, visible_comments,
+                    counter,
+                    visible_comments,
                     "snapshot at {} shows a counter/comment mismatch",
                     view.as_of()
                 );
@@ -117,6 +123,9 @@ fn main() {
     );
     println!("auditor checked {audits} snapshots (last counter it saw: {final_counter_seen}) — every one was consistent");
     if let Some(stats) = replica.lag().stats() {
-        println!("replication lag: median {:.3} ms, max {:.3} ms", stats.p50_ms, stats.max_ms);
+        println!(
+            "replication lag: median {:.3} ms, max {:.3} ms",
+            stats.p50_ms, stats.max_ms
+        );
     }
 }

@@ -28,7 +28,11 @@ fn main() {
     };
     println!(
         "TPC-C 50/50 NewOrder-Payment, {} transactions",
-        if optimized { "optimized (contention-deferred)" } else { "standard" }
+        if optimized {
+            "optimized (contention-deferred)"
+        } else {
+            "standard"
+        }
     );
 
     // Primary.
@@ -73,7 +77,12 @@ fn main() {
 
     // Generate load.
     let factory: Arc<dyn TxnFactory> = Arc::new(TpccMix::half_and_half(config));
-    let stats = ClosedLoopDriver::with_seed(7).run_tpl(&primary, &factory, 4, RunLength::Timed(Duration::from_secs(2)));
+    let stats = ClosedLoopDriver::with_seed(7).run_tpl(
+        &primary,
+        &factory,
+        4,
+        RunLength::Timed(Duration::from_secs(2)),
+    );
     primary.close_log();
     c5_driver.join().expect("c5 driver");
 
@@ -82,7 +91,11 @@ fn main() {
     for (row, value) in population(&config) {
         kuafu_store.install(row, Timestamp::ZERO, WriteKind::Insert, Some(value));
     }
-    let kuafu = KuaFuReplica::new(kuafu_store, ReplicaConfig::default().with_workers(4), KuaFuConfig::default());
+    let kuafu = KuaFuReplica::new(
+        kuafu_store,
+        ReplicaConfig::default().with_workers(4),
+        KuaFuConfig::default(),
+    );
     let replay = drive_segments(kuafu.as_ref(), recorded.take());
 
     // Report.
@@ -110,8 +123,14 @@ fn main() {
     let warehouse = c5_repro::workloads::tpcc::warehouse_row(0);
     let primary_ytd = primary.store().read_latest(warehouse).unwrap().as_u64();
     assert_eq!(c5.read_view().get(warehouse).unwrap().as_u64(), primary_ytd);
-    assert_eq!(kuafu.read_view().get(warehouse).unwrap().as_u64(), primary_ytd);
-    println!("warehouse YTD identical on primary and both backups: {:?}", primary_ytd);
+    assert_eq!(
+        kuafu.read_view().get(warehouse).unwrap().as_u64(),
+        primary_ytd
+    );
+    println!(
+        "warehouse YTD identical on primary and both backups: {:?}",
+        primary_ytd
+    );
 }
 
 /// A tiny thread-safe segment recording used to feed the same log to a second

@@ -1,0 +1,284 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Provides the API surface this workspace's benches use — benchmark groups,
+//! throughput annotation, `bench_function` / `bench_with_input`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! calibrate-then-measure timing loop instead of criterion's statistical
+//! machinery. Results print as `ns/iter` (plus derived element throughput
+//! when [`Throughput`] was set). No HTML reports, no outlier analysis; the
+//! point is that `cargo bench` runs and produces honest coarse numbers, and
+//! that the bench targets stay compiling. Swapping in the real crate
+//! requires no source changes.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifies a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id made of just a parameter (the group name provides the rest).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the timing loop.
+pub struct Bencher {
+    measured: Option<Duration>,
+    iters_done: u64,
+    target_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating an iteration count that fills the
+    /// measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: run once to estimate per-iteration cost.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let iters = (self.target_time.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some(start.elapsed());
+        self.iters_done = iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the sample count. Accepted for API compatibility; the shim's
+    /// single-shot measurement ignores it.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the target measurement time for each benchmark in the group.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.target_time = time;
+        self
+    }
+
+    /// Annotates how much work one iteration performs, enabling derived
+    /// throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<S: fmt::Display, F>(&mut self, id: S, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&full, self.throughput, |b| routine(b));
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&full, self.throughput, |b| routine(b, input));
+        self
+    }
+
+    /// Finishes the group. (The real crate generates reports here.)
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager: entry point mirrored from the real crate.
+pub struct Criterion {
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            // Short by design: the shim is for smoke-benching, not rigorous
+            // statistics.
+            target_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim has no CLI.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: fmt::Display>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `routine` directly, outside any group.
+    pub fn bench_function<S: fmt::Display, F>(&mut self, id: S, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.run_one(&name, None, |b| routine(b));
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        mut routine: F,
+    ) {
+        let mut bencher = Bencher {
+            measured: None,
+            iters_done: 0,
+            target_time: self.target_time,
+        };
+        routine(&mut bencher);
+        match bencher.measured {
+            Some(elapsed) if bencher.iters_done > 0 => {
+                let ns_per_iter = elapsed.as_nanos() as f64 / bencher.iters_done as f64;
+                let rate = match throughput {
+                    Some(Throughput::Elements(n)) => {
+                        let per_sec = n as f64 * 1e9 / ns_per_iter;
+                        format!("  ({per_sec:.0} elem/s)")
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        let per_sec = n as f64 * 1e9 / ns_per_iter;
+                        format!("  ({:.1} MiB/s)", per_sec / (1024.0 * 1024.0))
+                    }
+                    None => String::new(),
+                };
+                println!(
+                    "bench: {name:<50} {ns_per_iter:>14.1} ns/iter ({} iters){rate}",
+                    bencher.iters_done
+                );
+            }
+            _ => println!("bench: {name:<50} (no measurement: routine never called iter)"),
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(5),
+        };
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(10);
+            g.throughput(Throughput::Elements(1));
+            g.bench_function("noop", |b| {
+                b.iter(|| {
+                    ran += 1;
+                })
+            });
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("shim");
+        let mut seen = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter("7"), &7u64, |b, &input| {
+            b.iter(|| {
+                seen = input;
+            })
+        });
+        g.finish();
+        assert_eq!(seen, 7);
+    }
+}

@@ -74,18 +74,25 @@ pub use c5_workloads as workloads;
 
 /// Convenience re-exports of the types almost every user touches.
 pub mod prelude {
-    pub use c5_baselines::{CoarseGrainReplica, Granularity, KuaFuConfig, KuaFuReplica, SingleThreadedReplica};
+    pub use c5_baselines::{
+        CoarseGrainReplica, Granularity, KuaFuConfig, KuaFuReplica, SingleThreadedReplica,
+    };
     pub use c5_common::{
-        Error, IsolationLevel, Key, OpCost, PrimaryConfig, ReplicaConfig, Result, RowRef, RowWrite, SeqNo,
-        SnapshotMode, TableId, Timestamp, TxnId, Value, WriteKind,
+        Error, IsolationLevel, Key, OpCost, PrimaryConfig, ReplicaConfig, Result, RowRef, RowWrite,
+        SeqNo, SnapshotMode, TableId, Timestamp, TxnId, Value, WriteKind,
     };
     pub use c5_core::replica::{
         drive_from_receiver, drive_segments, C5Mode, C5Replica, ClonedConcurrencyControl, ReadView,
         ReplicaMetrics,
     };
     pub use c5_core::{LagSample, LagStats, LagTracker, MpcChecker, WatermarkTracker};
-    pub use c5_log::{coalesce, segments_from_entries, LogReceiver, LogShipper, Segment, StreamingLogger, TxnEntry};
-    pub use c5_primary::{ClosedLoopDriver, MvtsoEngine, RunLength, StoredProcedure, TplEngine, TxnCtx, TxnFactory};
+    pub use c5_log::{
+        coalesce, segments_from_entries, LogReceiver, LogShipper, Segment, StreamingLogger,
+        TxnEntry,
+    };
+    pub use c5_primary::{
+        ClosedLoopDriver, MvtsoEngine, RunLength, StoredProcedure, TplEngine, TxnCtx, TxnFactory,
+    };
     pub use c5_storage::{DbSnapshot, MvStore, MvStoreConfig, ReferenceStore};
     pub use c5_workloads::{
         AdversarialWorkload, InsertOnlyWorkload, SpikeTrace, TpccConfig, TpccMix, SYNTHETIC_TABLE,

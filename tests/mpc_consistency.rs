@@ -39,7 +39,12 @@ fn contended_log(txns: u64) -> (Vec<(RowRef, Value)>, Vec<Segment>) {
 fn build(kind: &str, rows: &[(RowRef, Value)]) -> Arc<dyn ClonedConcurrencyControl> {
     let store = Arc::new(MvStore::default());
     for (row, value) in rows {
-        store.install(*row, Timestamp::ZERO, WriteKind::Insert, Some(value.clone()));
+        store.install(
+            *row,
+            Timestamp::ZERO,
+            WriteKind::Insert,
+            Some(value.clone()),
+        );
     }
     let config = ReplicaConfig::default()
         .with_workers(3)
@@ -86,7 +91,11 @@ fn check_protocol(kind: &str) {
     }
     // ...and the final state must be the whole log.
     let final_view = replica.read_view();
-    assert_eq!(final_view.as_of(), checker.final_seq(), "{kind} did not expose the full log");
+    assert_eq!(
+        final_view.as_of(),
+        checker.final_seq(),
+        "{kind} did not expose the full log"
+    );
     checker
         .verify_state(final_view.as_of(), final_view.scan_all())
         .unwrap_or_else(|e| panic!("{kind}: final state: {e}"));
@@ -133,12 +142,19 @@ fn unconstrained_kuafu_is_caught_by_the_checker() {
     let (population, segments) = contended_log(400);
     let store = Arc::new(MvStore::default());
     for (row, value) in &population {
-        store.install(*row, Timestamp::ZERO, WriteKind::Insert, Some(value.clone()));
+        store.install(
+            *row,
+            Timestamp::ZERO,
+            WriteKind::Insert,
+            Some(value.clone()),
+        );
     }
     let replica = KuaFuReplica::new(
         store,
         ReplicaConfig::default().with_workers(4),
-        KuaFuConfig { ignore_constraints: true },
+        KuaFuConfig {
+            ignore_constraints: true,
+        },
     );
     let mut checker = MpcChecker::new(&population, &segments);
     drive_segments(replica.as_ref(), segments.clone());
@@ -149,6 +165,8 @@ fn unconstrained_kuafu_is_caught_by_the_checker() {
     // this ever passes spuriously the assertion below still documents what
     // "unconstrained" means rather than failing the build.
     if result.is_ok() {
-        eprintln!("note: unconstrained KuaFu happened to produce a serial-equivalent state this run");
+        eprintln!(
+            "note: unconstrained KuaFu happened to produce a serial-equivalent state this run"
+        );
     }
 }

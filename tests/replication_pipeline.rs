@@ -31,7 +31,12 @@ fn primary_with(rows: &[(RowRef, Value)], threads: usize) -> (Arc<TplEngine>, Lo
 fn backup_with(kind: &str, rows: &[(RowRef, Value)]) -> Arc<dyn ClonedConcurrencyControl> {
     let store = Arc::new(MvStore::default());
     for (row, value) in rows {
-        store.install(*row, Timestamp::ZERO, WriteKind::Insert, Some(value.clone()));
+        store.install(
+            *row,
+            Timestamp::ZERO,
+            WriteKind::Insert,
+            Some(value.clone()),
+        );
     }
     let config = ReplicaConfig::default()
         .with_workers(2)
@@ -62,8 +67,16 @@ fn every_protocol_converges_to_the_primary_state() {
         };
 
         let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(3));
-        let stats = ClosedLoopDriver::with_seed(5).run_tpl(&primary, &factory, 4, RunLength::PerClientCount(50));
-        assert_eq!(stats.committed, 200, "{kind}: primary must commit everything");
+        let stats = ClosedLoopDriver::with_seed(5).run_tpl(
+            &primary,
+            &factory,
+            4,
+            RunLength::PerClientCount(50),
+        );
+        assert_eq!(
+            stats.committed, 200,
+            "{kind}: primary must commit everything"
+        );
         primary.close_log();
         driver.join().unwrap();
 
@@ -74,7 +87,11 @@ fn every_protocol_converges_to_the_primary_state() {
         // Full-state comparison against the primary.
         let view = backup.read_view();
         let primary_state = primary.store().scan_all_at(Timestamp::MAX);
-        assert_eq!(view.scan_all().len(), primary_state.len(), "{kind}: row counts differ");
+        assert_eq!(
+            view.scan_all().len(),
+            primary_state.len(),
+            "{kind}: row counts differ"
+        );
         for (row, value) in primary_state {
             assert_eq!(
                 view.get(row).as_ref(),
@@ -113,7 +130,12 @@ fn tpcc_replicates_exactly_through_c5() {
         std::thread::spawn(move || drive_from_receiver(backup.as_ref(), receiver))
     };
     let factory: Arc<dyn TxnFactory> = Arc::new(TpccMix::half_and_half(config));
-    let stats = ClosedLoopDriver::with_seed(9).run_tpl(&primary, &factory, 4, RunLength::PerClientCount(40));
+    let stats = ClosedLoopDriver::with_seed(9).run_tpl(
+        &primary,
+        &factory,
+        4,
+        RunLength::PerClientCount(40),
+    );
     assert_eq!(stats.committed, 160);
     primary.close_log();
     driver.join().unwrap();
@@ -152,9 +174,17 @@ fn mvtso_offline_pipeline_converges() {
     for (row, value) in &rows {
         store.install(*row, Timestamp(1), WriteKind::Insert, Some(value.clone()));
     }
-    let engine = Arc::new(MvtsoEngine::new(store, PrimaryConfig::default().with_threads(2)));
+    let engine = Arc::new(MvtsoEngine::new(
+        store,
+        PrimaryConfig::default().with_threads(2),
+    ));
     let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(4));
-    let stats = ClosedLoopDriver::with_seed(3).run_mvtso(&engine, &factory, 2, RunLength::PerClientCount(100));
+    let stats = ClosedLoopDriver::with_seed(3).run_mvtso(
+        &engine,
+        &factory,
+        2,
+        RunLength::PerClientCount(100),
+    );
     assert_eq!(stats.committed, 200);
 
     let segments = engine.take_segments(64);
@@ -167,7 +197,10 @@ fn mvtso_offline_pipeline_converges() {
         view.get(hot_row()).unwrap().as_u64(),
         engine.store().read_latest(hot_row()).unwrap().as_u64()
     );
-    assert_eq!(view.scan_all().len(), engine.store().scan_all_at(Timestamp::MAX).len());
+    assert_eq!(
+        view.scan_all().len(),
+        engine.store().scan_all_at(Timestamp::MAX).len()
+    );
 }
 
 /// Replication lag is measured for every committed transaction and stays
@@ -192,7 +225,8 @@ fn c5_lag_is_measured_for_every_transaction() {
     let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(4));
     let run = Duration::from_millis(800);
     let start = std::time::Instant::now();
-    let stats = ClosedLoopDriver::with_seed(1).run_tpl(&primary, &factory, 2, RunLength::Timed(run));
+    let stats =
+        ClosedLoopDriver::with_seed(1).run_tpl(&primary, &factory, 2, RunLength::Timed(run));
     primary.close_log();
     driver.join().unwrap();
     let envelope_ms = start.elapsed().as_millis() as f64;
