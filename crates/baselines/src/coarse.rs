@@ -3,23 +3,20 @@
 //! Section 3.1.1 and Section 8: protocols that serialize all writes touching
 //! the same physical page (Aurora-style redo shipping) or the same table
 //! (Meta's pre-C5 internal protocol) are row-granularity protocols run with a
-//! coarser conflict key. This module implements exactly that: every write is
-//! routed to the worker owning its *conflict group*, so writes within a group
-//! apply strictly in log order while different groups proceed in parallel.
-//! With [`Granularity::Row`] the very same machinery becomes a (simplified)
+//! coarser conflict key. This module implements exactly that on the shared
+//! pipeline runtime: the schedule stage routes every write to the worker lane
+//! owning its *conflict group*, so writes within a group apply strictly in
+//! log order while different groups proceed in parallel. With
+//! [`Granularity::Row`] the very same machinery becomes a (simplified)
 //! row-granularity protocol, which the ablation benchmarks use as a sanity
 //! point.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
-
-use c5_common::{ReplicaConfig, RowRef, SeqNo};
-use c5_core::lag::LagTracker;
-use c5_core::replica::{ClonedConcurrencyControl, ReadView, ReplicaMetrics};
+use c5_common::{ReplicaConfig, RowRef};
+use c5_core::pipeline::{
+    PipelineOptions, PipelinePolicy, PipelineRuntime, PipelineSignals, QueuePlan, WorkSink,
+};
 use c5_log::{LogRecord, Segment};
 use c5_storage::MvStore;
 
@@ -64,14 +61,53 @@ impl Granularity {
     }
 }
 
+/// The coarse-grain ordering policy: route every write to the lane owning its
+/// conflict group.
+struct CoarsePolicy {
+    granularity: Granularity,
+    shared: Arc<BaselineShared>,
+}
+
+impl PipelinePolicy for CoarsePolicy {
+    type Item = LogRecord;
+
+    fn name(&self) -> &'static str {
+        self.granularity.name()
+    }
+
+    fn schedule(&self, segment: Segment, sink: &mut WorkSink<LogRecord>) {
+        self.shared.note_segment(&segment);
+        let lanes = sink.lanes() as u128;
+        for record in segment.records {
+            let group = self.granularity.conflict_group(record.write.row);
+            // Routing every write of a group to the same lane preserves the
+            // group's log order; sending in log order preserves it per queue.
+            sink.send_to((group % lanes) as usize, record);
+            if sink.workers_gone() {
+                return;
+            }
+        }
+    }
+
+    fn apply(&self, _worker: usize, record: LogRecord, _signals: &PipelineSignals) {
+        let is_boundary = record.is_txn_last();
+        self.shared.install_record(&record);
+        // Expose at transaction boundaries so lag is sampled the moment a
+        // transaction applies (the expose stage still drives periodic cuts
+        // and GC; expose_progress is safe to call concurrently).
+        if is_boundary {
+            self.shared.expose_progress();
+        }
+    }
+
+    crate::framework::baseline_policy_probes!();
+}
+
 /// A replica that serializes writes within each conflict group and
 /// parallelizes across groups.
 pub struct CoarseGrainReplica {
     granularity: Granularity,
-    shared: Arc<BaselineShared>,
-    worker_txs: Mutex<Option<Vec<Sender<LogRecord>>>>,
-    threads: Mutex<Vec<JoinHandle<()>>>,
-    finished: AtomicBool,
+    runtime: PipelineRuntime<CoarsePolicy>,
 }
 
 impl CoarseGrainReplica {
@@ -81,26 +117,21 @@ impl CoarseGrainReplica {
         config
             .validate()
             .expect("replica configuration must be valid");
-        let shared = BaselineShared::new(store, config.op_cost);
-        let mut worker_txs = Vec::with_capacity(config.workers);
-        let mut threads = Vec::with_capacity(config.workers);
-        for worker_id in 0..config.workers {
-            let (tx, rx) = bounded::<LogRecord>(4096);
-            worker_txs.push(tx);
-            let shared_w = Arc::clone(&shared);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("{}-worker-{worker_id}", granularity.name()))
-                    .spawn(move || worker_loop(shared_w, rx))
-                    .expect("spawn worker"),
-            );
-        }
-        Arc::new(Self {
+        let shared = BaselineShared::new(store, &config);
+        let policy = Arc::new(CoarsePolicy {
             granularity,
             shared,
-            worker_txs: Mutex::new(Some(worker_txs)),
-            threads: Mutex::new(threads),
-            finished: AtomicBool::new(false),
+        });
+        let options = PipelineOptions {
+            workers: config.workers,
+            queue: QueuePlan::PerWorker { capacity: 4096 },
+            ingest_capacity: config.segment_channel_capacity,
+            expose_interval: config.snapshot_interval,
+            label: granularity.name(),
+        };
+        Arc::new(Self {
+            granularity,
+            runtime: PipelineRuntime::start(policy, options),
         })
     }
 
@@ -110,86 +141,13 @@ impl CoarseGrainReplica {
     }
 }
 
-fn worker_loop(shared: Arc<BaselineShared>, rx: Receiver<LogRecord>) {
-    while let Ok(record) = rx.recv() {
-        let is_boundary = record.is_txn_last();
-        shared.install_record(&record);
-        if is_boundary {
-            shared.expose_progress();
-        }
-    }
-    // Channel closed: one final exposure in case the last record of the log
-    // was applied by this worker before earlier gaps filled in.
-    shared.expose_progress();
-}
-
-impl ClonedConcurrencyControl for CoarseGrainReplica {
-    fn name(&self) -> &'static str {
-        self.granularity.name()
-    }
-
-    fn apply_segment(&self, segment: Segment) {
-        self.shared.note_segment(&segment);
-        let guard = self.worker_txs.lock();
-        let Some(worker_txs) = guard.as_ref() else {
-            return;
-        };
-        let workers = worker_txs.len() as u128;
-        for record in &segment.records {
-            let group = self.granularity.conflict_group(record.write.row);
-            let worker = (group % workers) as usize;
-            // Routing every write of a group to the same worker preserves the
-            // group's log order; sending in log order preserves it per queue.
-            let _ = worker_txs[worker].send(record.clone());
-        }
-    }
-
-    fn finish(&self) {
-        if self.finished.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        self.worker_txs.lock().take();
-        for handle in self.threads.lock().drain(..) {
-            let _ = handle.join();
-        }
-        self.shared.wait_drained();
-    }
-
-    fn applied_seq(&self) -> SeqNo {
-        self.shared.tracker.applied_watermark()
-    }
-
-    fn exposed_seq(&self) -> SeqNo {
-        self.shared.cursor.exposed()
-    }
-
-    fn read_view(&self) -> Box<dyn ReadView> {
-        self.shared.read_view()
-    }
-
-    fn lag(&self) -> Arc<LagTracker> {
-        Arc::clone(&self.shared.lag)
-    }
-
-    fn metrics(&self) -> ReplicaMetrics {
-        self.shared.metrics()
-    }
-}
-
-impl Drop for CoarseGrainReplica {
-    fn drop(&mut self) {
-        self.worker_txs.lock().take();
-        for handle in self.threads.lock().drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
+c5_core::delegate_replica_to_pipeline!(CoarseGrainReplica, runtime);
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use c5_common::{RowWrite, TableId, Timestamp, TxnId, Value};
-    use c5_core::replica::drive_segments;
+    use c5_common::{RowWrite, SeqNo, TableId, Timestamp, TxnId, Value};
+    use c5_core::replica::{drive_segments, ClonedConcurrencyControl};
     use c5_log::{segments_from_entries, TxnEntry};
 
     fn log_over_tables(txns: u64, tables: u32) -> Vec<Segment> {

@@ -2,21 +2,22 @@
 //!
 //! All baselines expose the same observable surface as C5 — an applied
 //! watermark, a transaction-aligned exposed prefix, replication-lag samples —
-//! so the experiments measure every protocol identically. This module holds
-//! that machinery so each baseline only implements its own *ordering policy*
-//! (what may run in parallel with what).
+//! and all of them run on the shared pipeline runtime
+//! ([`c5_core::pipeline`]), so the experiments measure every protocol
+//! identically. This module holds the common bookkeeping so each baseline
+//! only implements its own *ordering policy* (what may run in parallel with
+//! what).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
-use c5_common::{OpCost, SeqNo, Timestamp};
+use c5_common::{ReplicaConfig, SeqNo, Timestamp};
 use c5_core::lag::LagTracker;
+use c5_core::pipeline::{BoundaryLedger, GcDriver};
 use c5_core::progress::WatermarkTracker;
 use c5_core::replica::{ReadView, ReplicaMetrics};
 use c5_core::snapshotter::SnapshotCursor;
-use c5_log::{now_nanos, LogRecord, Segment};
+use c5_log::{LogRecord, Segment};
 use c5_storage::MvStore;
 
 /// Shared bookkeeping for a baseline replica.
@@ -30,44 +31,41 @@ pub struct BaselineShared {
     /// Exposed-prefix cursor (timestamped; baselines expose the latest
     /// transaction-aligned applied prefix).
     pub cursor: SnapshotCursor,
-    /// Transaction boundaries awaiting exposure, in log order.
-    boundaries: Mutex<std::collections::VecDeque<(SeqNo, u64)>>,
+    /// Boundary/lag bookkeeping (shared with every other policy).
+    ledger: BoundaryLedger,
     /// Per-operation cost model (`d`).
-    pub op_cost: OpCost,
+    pub op_cost: c5_common::OpCost,
+    /// Version-GC horizon trailing the exposed cut.
+    gc: GcDriver,
     applied_writes: AtomicU64,
     applied_txns: AtomicU64,
-    final_seq: AtomicU64,
 }
 
 impl BaselineShared {
-    /// Creates shared state over `store`.
-    pub fn new(store: Arc<MvStore>, op_cost: OpCost) -> Arc<Self> {
+    /// Creates shared state over `store`, taking the cost model and GC trail
+    /// from `config`.
+    pub fn new(store: Arc<MvStore>, config: &ReplicaConfig) -> Arc<Self> {
         let cursor = SnapshotCursor::timestamped(Arc::clone(&store));
+        let gc = GcDriver::new(Arc::clone(&store), config.gc_trail);
+        let ledger = BoundaryLedger::new();
+        let lag = Arc::clone(ledger.lag());
         Arc::new(Self {
             store,
             tracker: WatermarkTracker::new(),
-            lag: Arc::new(LagTracker::new()),
+            lag,
             cursor,
-            boundaries: Mutex::new(std::collections::VecDeque::new()),
-            op_cost,
+            ledger,
+            op_cost: config.op_cost,
+            gc,
             applied_writes: AtomicU64::new(0),
             applied_txns: AtomicU64::new(0),
-            final_seq: AtomicU64::new(0),
         })
     }
 
     /// Records the transaction boundaries of a segment (call from the
-    /// dispatch path, in log order) and remembers the last position seen.
+    /// schedule stage, in log order) and remembers the last position seen.
     pub fn note_segment(&self, segment: &Segment) {
-        let mut boundaries = self.boundaries.lock();
-        for record in &segment.records {
-            if record.is_txn_last() {
-                boundaries.push_back((record.seq, record.commit_wall_nanos));
-            }
-        }
-        if let Some(last) = segment.last_seq() {
-            self.final_seq.fetch_max(last.as_u64(), Ordering::Release);
-        }
+        self.ledger.note_segment(segment);
     }
 
     /// Installs one record's write into the store (the caller is responsible
@@ -90,36 +88,25 @@ impl BaselineShared {
 
     /// Advances the exposed prefix to the latest transaction-aligned applied
     /// position and records lag samples for the newly exposed transactions.
+    /// Safe to call from workers and the expose stage concurrently (the cut
+    /// advance is monotonic, the boundary drain serialized).
     pub fn expose_progress(&self) {
         let n = self.tracker.boundary_watermark();
         if n > self.cursor.exposed() {
             self.cursor.advance(n);
         }
-        let exposed = self.cursor.exposed();
-        let now = now_nanos();
-        let mut boundaries = self.boundaries.lock();
-        while let Some(&(seq, committed_at)) = boundaries.front() {
-            if seq <= exposed {
-                boundaries.pop_front();
-                self.lag.record(seq, committed_at, now);
-            } else {
-                break;
-            }
-        }
+        self.ledger.drain_exposed(self.cursor.exposed());
+    }
+
+    /// Drives the GC horizon towards the exposed cut (called from the expose
+    /// stage).
+    pub fn collect_garbage(&self) {
+        self.gc.run(self.cursor.exposed());
     }
 
     /// The last log position shipped to this replica so far.
     pub fn final_seq(&self) -> SeqNo {
-        SeqNo(self.final_seq.load(Ordering::Acquire))
-    }
-
-    /// Blocks until every shipped write has been applied and exposed.
-    pub fn wait_drained(&self) {
-        let target = self.final_seq();
-        while self.tracker.applied_watermark() < target {
-            std::thread::sleep(std::time::Duration::from_micros(100));
-        }
-        self.expose_progress();
+        self.ledger.shipped_seq()
     }
 
     /// A read view of the exposed prefix.
@@ -134,10 +121,58 @@ impl BaselineShared {
             applied_txns: self.applied_txns.load(Ordering::Relaxed),
             applied_seq: self.tracker.applied_watermark(),
             exposed_seq: self.cursor.exposed(),
-            deferred_retries: 0,
+            deferred_writes: 0,
+            reclaimed_versions: self.gc.reclaimed(),
         }
     }
 }
+
+/// Expands the [`c5_core::pipeline::PipelinePolicy`] methods that every
+/// baseline policy implements identically by delegating to its
+/// `shared: Arc<BaselineShared>` field — the expose step, garbage
+/// collection, and all progress probes. Invoke inside the policy's
+/// `impl PipelinePolicy` block, leaving only the ordering policy
+/// (`name`/`schedule`/`apply`) to write by hand.
+macro_rules! baseline_policy_probes {
+    () => {
+        fn expose(&self, _signals: &c5_core::pipeline::PipelineSignals) {
+            self.shared.expose_progress();
+        }
+
+        fn collect_garbage(&self) {
+            self.shared.collect_garbage();
+        }
+
+        fn applied_seq(&self) -> c5_common::SeqNo {
+            self.shared.tracker.applied_watermark()
+        }
+
+        fn exposure_target(&self) -> c5_common::SeqNo {
+            self.shared.tracker.boundary_watermark()
+        }
+
+        fn exposed_seq(&self) -> c5_common::SeqNo {
+            self.shared.cursor.exposed()
+        }
+
+        fn shipped_seq(&self) -> c5_common::SeqNo {
+            self.shared.final_seq()
+        }
+
+        fn read_view(&self) -> Box<dyn c5_core::replica::ReadView> {
+            self.shared.read_view()
+        }
+
+        fn lag(&self) -> std::sync::Arc<c5_core::lag::LagTracker> {
+            std::sync::Arc::clone(&self.shared.lag)
+        }
+
+        fn metrics(&self) -> c5_core::replica::ReplicaMetrics {
+            self.shared.metrics()
+        }
+    };
+}
+pub(crate) use baseline_policy_probes;
 
 impl std::fmt::Debug for BaselineShared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -175,7 +210,7 @@ mod tests {
 
     #[test]
     fn install_and_expose_track_progress_and_lag() {
-        let shared = BaselineShared::new(Arc::new(MvStore::default()), OpCost::free());
+        let shared = BaselineShared::new(Arc::new(MvStore::default()), &ReplicaConfig::default());
         let seg = segment();
         shared.note_segment(&seg);
         for record in &seg.records {
@@ -197,7 +232,7 @@ mod tests {
 
     #[test]
     fn exposure_waits_for_transaction_boundaries() {
-        let shared = BaselineShared::new(Arc::new(MvStore::default()), OpCost::free());
+        let shared = BaselineShared::new(Arc::new(MvStore::default()), &ReplicaConfig::default());
         let seg = segment();
         shared.note_segment(&seg);
         // Apply only the first write of txn 1.
@@ -205,5 +240,38 @@ mod tests {
         shared.expose_progress();
         assert_eq!(shared.metrics().exposed_seq, SeqNo::ZERO);
         assert_eq!(shared.lag.len(), 0);
+    }
+
+    #[test]
+    fn gc_reclaims_versions_behind_the_cut() {
+        let shared = BaselineShared::new(
+            Arc::new(MvStore::default()),
+            &ReplicaConfig::default().with_gc_trail(0),
+        );
+        // One hot row updated by every transaction.
+        let entries: Vec<TxnEntry> = (1..=64u64)
+            .map(|t| {
+                TxnEntry::new(
+                    TxnId(t),
+                    Timestamp(t),
+                    vec![RowWrite::update(RowRef::new(0, 1), Value::from_u64(t))],
+                )
+            })
+            .collect();
+        for seg in segments_from_entries(&entries, 16) {
+            shared.note_segment(&seg);
+            for record in &seg.records {
+                shared.install_record(record);
+            }
+        }
+        shared.expose_progress();
+        shared.collect_garbage();
+        let metrics = shared.metrics();
+        assert!(metrics.reclaimed_versions > 0);
+        // The exposed read is unaffected.
+        assert_eq!(
+            shared.read_view().get(RowRef::new(0, 1)).unwrap().as_u64(),
+            Some(64)
+        );
     }
 }

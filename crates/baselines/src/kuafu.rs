@@ -7,11 +7,11 @@
 //! execute before any of the later one's. Transactions with disjoint write
 //! sets apply concurrently, each on a single worker.
 //!
-//! The dispatcher tracks, per row, the last transaction that wrote it, so
-//! every incoming transaction knows exactly which earlier transactions it
-//! must wait for. Workers pull transactions from a shared queue in commit
-//! order, wait until every dependency has finished, then apply the
-//! transaction's writes.
+//! On the shared pipeline runtime, the schedule stage tracks, per row, the
+//! last transaction that wrote it, so every incoming transaction knows
+//! exactly which earlier transactions it must wait for. Workers pull
+//! transactions from the shared queue in commit order, wait until every
+//! dependency has finished, then apply the transaction's writes.
 //!
 //! Section 7.3's ablation ("we re-ran the experiment but disabled its
 //! scheduler's calculation of transaction-granularity constraints") is the
@@ -21,16 +21,15 @@
 //! are what make KuaFu lag.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 
-use c5_common::{ReplicaConfig, RowRef, SeqNo};
-use c5_core::lag::LagTracker;
-use c5_core::replica::{ClonedConcurrencyControl, ReadView, ReplicaMetrics};
+use c5_common::{ReplicaConfig, RowRef};
+use c5_core::pipeline::{
+    PipelineOptions, PipelinePolicy, PipelineRuntime, PipelineSignals, QueuePlan, WorkSink,
+};
 use c5_log::{LogRecord, Segment};
 use c5_storage::MvStore;
 
@@ -67,21 +66,30 @@ impl CompletionBoard {
         self.cv.notify_all();
     }
 
-    fn wait_for(&self, deps: &[u64]) {
+    /// Waits until every index in `deps` is done; returns `false` if
+    /// `should_abort` fires first.
+    fn wait_for(&self, deps: &[u64], should_abort: &impl Fn() -> bool) -> bool {
         if deps.is_empty() {
-            return;
+            return true;
         }
         let mut done = self.done.lock();
         loop {
             if deps.iter().all(|d| done.contains(d)) {
-                return;
+                return true;
             }
-            self.cv.wait(&mut done);
+            if should_abort() {
+                return false;
+            }
+            self.cv.wait_for(&mut done, Duration::from_millis(1));
         }
+    }
+
+    fn wake_all(&self) {
+        self.cv.notify_all();
     }
 }
 
-/// Dispatcher state: which transaction last wrote each row.
+/// Schedule-stage state: which transaction last wrote each row.
 #[derive(Default)]
 struct DispatchState {
     last_writer: HashMap<RowRef, u64>,
@@ -89,80 +97,18 @@ struct DispatchState {
     pending_txn: Vec<LogRecord>,
 }
 
-/// The KuaFu replica.
-pub struct KuaFuReplica {
+/// KuaFu's ordering policy on the shared pipeline runtime.
+struct KuaFuPolicy {
     config: KuaFuConfig,
     shared: Arc<BaselineShared>,
-    board: Arc<CompletionBoard>,
+    board: CompletionBoard,
+    /// Only the schedule stage locks this.
     dispatch: Mutex<DispatchState>,
-    work_tx: Mutex<Option<Sender<TxnWork>>>,
-    threads: Mutex<Vec<JoinHandle<()>>>,
-    finished: AtomicBool,
 }
 
-impl KuaFuReplica {
-    /// Creates and starts a KuaFu replica with `replica_config.workers`
-    /// workers.
-    pub fn new(
-        store: Arc<MvStore>,
-        replica_config: ReplicaConfig,
-        config: KuaFuConfig,
-    ) -> Arc<Self> {
-        replica_config
-            .validate()
-            .expect("replica configuration must be valid");
-        let shared = BaselineShared::new(store, replica_config.op_cost);
-        let board = Arc::new(CompletionBoard::default());
-        let (work_tx, work_rx) = bounded::<TxnWork>(4096);
-        let mut threads = Vec::with_capacity(replica_config.workers);
-        for worker_id in 0..replica_config.workers {
-            let shared_w = Arc::clone(&shared);
-            let board_w = Arc::clone(&board);
-            let rx = work_rx.clone();
-            let ignore = config.ignore_constraints;
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("kuafu-worker-{worker_id}"))
-                    .spawn(move || worker_loop(shared_w, board_w, rx, ignore))
-                    .expect("spawn worker"),
-            );
-        }
-        Arc::new(Self {
-            config,
-            shared,
-            board,
-            dispatch: Mutex::new(DispatchState::default()),
-            work_tx: Mutex::new(Some(work_tx)),
-            threads: Mutex::new(threads),
-            finished: AtomicBool::new(false),
-        })
-    }
+impl PipelinePolicy for KuaFuPolicy {
+    type Item = TxnWork;
 
-    /// The KuaFu-specific configuration.
-    pub fn kuafu_config(&self) -> KuaFuConfig {
-        self.config
-    }
-}
-
-fn worker_loop(
-    shared: Arc<BaselineShared>,
-    board: Arc<CompletionBoard>,
-    rx: Receiver<TxnWork>,
-    ignore_constraints: bool,
-) {
-    while let Ok(work) = rx.recv() {
-        if !ignore_constraints {
-            board.wait_for(&work.deps);
-        }
-        for record in &work.records {
-            shared.install_record(record);
-        }
-        board.mark_done(work.index);
-        shared.expose_progress();
-    }
-}
-
-impl ClonedConcurrencyControl for KuaFuReplica {
     fn name(&self) -> &'static str {
         if self.config.ignore_constraints {
             "kuafu-unconstrained"
@@ -171,18 +117,14 @@ impl ClonedConcurrencyControl for KuaFuReplica {
         }
     }
 
-    fn apply_segment(&self, segment: Segment) {
+    fn schedule(&self, segment: Segment, sink: &mut WorkSink<TxnWork>) {
         self.shared.note_segment(&segment);
-        let guard = self.work_tx.lock();
-        let Some(work_tx) = guard.as_ref() else {
-            return;
-        };
         // Group records into whole transactions and compute, per transaction,
         // the set of earlier transactions it conflicts with.
         let mut dispatch = self.dispatch.lock();
-        for record in &segment.records {
+        for record in segment.records {
             let is_last = record.is_txn_last();
-            dispatch.pending_txn.push(record.clone());
+            dispatch.pending_txn.push(record);
             if is_last {
                 let records = std::mem::take(&mut dispatch.pending_txn);
                 dispatch.next_index += 1;
@@ -196,66 +138,92 @@ impl ClonedConcurrencyControl for KuaFuReplica {
                     }
                     dispatch.last_writer.insert(r.write.row, index);
                 }
-                let _ = work_tx.send(TxnWork {
+                sink.send(TxnWork {
                     index,
                     deps,
                     records,
                 });
+                if sink.workers_gone() {
+                    return;
+                }
             }
         }
     }
 
-    fn finish(&self) {
-        if self.finished.swap(true, Ordering::SeqCst) {
+    fn apply(&self, _worker: usize, work: TxnWork, signals: &PipelineSignals) {
+        if !self.config.ignore_constraints
+            && !self
+                .board
+                .wait_for(&work.deps, &|| signals.shutdown_requested())
+        {
             return;
         }
-        self.work_tx.lock().take();
-        for handle in self.threads.lock().drain(..) {
-            let _ = handle.join();
+        for record in &work.records {
+            self.shared.install_record(record);
         }
-        self.shared.wait_drained();
+        self.board.mark_done(work.index);
+        // Expose after every transaction so lag is sampled the moment it
+        // applies (the expose stage still drives periodic cuts and GC).
+        self.shared.expose_progress();
     }
 
-    fn applied_seq(&self) -> SeqNo {
-        self.shared.tracker.applied_watermark()
+    fn interrupt(&self) {
+        self.board.wake_all();
     }
 
-    fn exposed_seq(&self) -> SeqNo {
-        self.shared.cursor.exposed()
+    crate::framework::baseline_policy_probes!();
+}
+
+/// The KuaFu replica.
+pub struct KuaFuReplica {
+    config: KuaFuConfig,
+    runtime: PipelineRuntime<KuaFuPolicy>,
+}
+
+impl KuaFuReplica {
+    /// Creates and starts a KuaFu replica with `replica_config.workers`
+    /// workers.
+    pub fn new(
+        store: Arc<MvStore>,
+        replica_config: ReplicaConfig,
+        config: KuaFuConfig,
+    ) -> Arc<Self> {
+        replica_config
+            .validate()
+            .expect("replica configuration must be valid");
+        let shared = BaselineShared::new(store, &replica_config);
+        let policy = Arc::new(KuaFuPolicy {
+            config,
+            shared,
+            board: CompletionBoard::default(),
+            dispatch: Mutex::new(DispatchState::default()),
+        });
+        let options = PipelineOptions {
+            workers: replica_config.workers,
+            queue: QueuePlan::Shared { capacity: 4096 },
+            ingest_capacity: replica_config.segment_channel_capacity,
+            expose_interval: replica_config.snapshot_interval,
+            label: "kuafu",
+        };
+        Arc::new(Self {
+            config,
+            runtime: PipelineRuntime::start(policy, options),
+        })
     }
 
-    fn read_view(&self) -> Box<dyn ReadView> {
-        self.shared.read_view()
-    }
-
-    fn lag(&self) -> Arc<LagTracker> {
-        Arc::clone(&self.shared.lag)
-    }
-
-    fn metrics(&self) -> ReplicaMetrics {
-        self.shared.metrics()
+    /// The KuaFu-specific configuration.
+    pub fn kuafu_config(&self) -> KuaFuConfig {
+        self.config
     }
 }
 
-impl Drop for KuaFuReplica {
-    fn drop(&mut self) {
-        self.work_tx.lock().take();
-        for handle in self.threads.lock().drain(..) {
-            let _ = handle.join();
-        }
-        // Wake any worker stuck waiting on a dependency that will never
-        // arrive because the dispatcher is gone (cannot happen in normal
-        // operation — dependencies are always dispatched first — but keeps
-        // shutdown robust).
-        self.board.cv.notify_all();
-    }
-}
+c5_core::delegate_replica_to_pipeline!(KuaFuReplica, runtime);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use c5_common::{RowWrite, Timestamp, TxnId, Value};
-    use c5_core::replica::drive_segments;
+    use c5_core::replica::{drive_segments, ClonedConcurrencyControl};
     use c5_log::{segments_from_entries, TxnEntry};
 
     fn row(k: u64) -> RowRef {

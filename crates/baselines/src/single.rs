@@ -4,87 +4,91 @@
 //! one thread applies the log strictly in order. It trivially guarantees
 //! monotonic prefix consistency and is trivially unable to keep up with any
 //! primary that executes writes in parallel — the protocol whose daily
-//! two-hour lag at Meta motivates the paper.
+//! two-hour lag at Meta motivates the paper. On the shared pipeline runtime
+//! this is simply the degenerate policy: one worker, one shared queue, whole
+//! segments applied in order.
 
 use std::sync::Arc;
 
-use c5_common::{OpCost, ReplicaConfig, SeqNo};
-use c5_core::lag::LagTracker;
-use c5_core::replica::{ClonedConcurrencyControl, ReadView, ReplicaMetrics};
+use c5_common::{OpCost, ReplicaConfig};
+use c5_core::pipeline::{
+    PipelineOptions, PipelinePolicy, PipelineRuntime, PipelineSignals, QueuePlan, WorkSink,
+};
 use c5_log::Segment;
 use c5_storage::MvStore;
 
 use crate::framework::BaselineShared;
 
-/// The single-threaded replica.
-pub struct SingleThreadedReplica {
+/// The single-threaded ordering policy: whole segments, one worker, log
+/// order.
+struct SinglePolicy {
     shared: Arc<BaselineShared>,
 }
 
-impl SingleThreadedReplica {
-    /// Creates a single-threaded replica over `store`. Only the `op_cost`
-    /// field of the configuration is used (there is exactly one worker by
-    /// definition).
-    pub fn new(store: Arc<MvStore>, config: ReplicaConfig) -> Arc<Self> {
-        Arc::new(Self {
-            shared: BaselineShared::new(store, config.op_cost),
-        })
-    }
+impl PipelinePolicy for SinglePolicy {
+    type Item = Segment;
 
-    /// Creates a replica with an explicit cost model.
-    pub fn with_cost(store: Arc<MvStore>, op_cost: OpCost) -> Arc<Self> {
-        Arc::new(Self {
-            shared: BaselineShared::new(store, op_cost),
-        })
-    }
-}
-
-impl ClonedConcurrencyControl for SingleThreadedReplica {
     fn name(&self) -> &'static str {
         "single-threaded"
     }
 
-    fn apply_segment(&self, segment: Segment) {
-        // Everything happens on the calling thread, strictly in log order.
+    fn schedule(&self, segment: Segment, sink: &mut WorkSink<Segment>) {
         self.shared.note_segment(&segment);
+        sink.send(segment);
+    }
+
+    fn apply(&self, _worker: usize, segment: Segment, _signals: &PipelineSignals) {
         for record in &segment.records {
             self.shared.install_record(record);
+            // Expose at every transaction boundary, so lag is sampled the
+            // moment a transaction applies rather than at the next expose
+            // tick (the expose stage still drives periodic cuts and GC).
             if record.is_txn_last() {
                 self.shared.expose_progress();
             }
         }
     }
 
-    fn finish(&self) {
-        self.shared.wait_drained();
+    crate::framework::baseline_policy_probes!();
+}
+
+/// The single-threaded replica.
+pub struct SingleThreadedReplica {
+    runtime: PipelineRuntime<SinglePolicy>,
+}
+
+impl SingleThreadedReplica {
+    /// Creates a single-threaded replica over `store`. The `workers` field of
+    /// the configuration is ignored (there is exactly one worker by
+    /// definition).
+    pub fn new(store: Arc<MvStore>, config: ReplicaConfig) -> Arc<Self> {
+        let shared = BaselineShared::new(store, &config);
+        let policy = Arc::new(SinglePolicy { shared });
+        let options = PipelineOptions {
+            workers: 1,
+            queue: QueuePlan::Shared { capacity: 1024 },
+            ingest_capacity: config.segment_channel_capacity,
+            expose_interval: config.snapshot_interval,
+            label: "single-threaded",
+        };
+        Arc::new(Self {
+            runtime: PipelineRuntime::start(policy, options),
+        })
     }
 
-    fn applied_seq(&self) -> SeqNo {
-        self.shared.tracker.applied_watermark()
-    }
-
-    fn exposed_seq(&self) -> SeqNo {
-        self.shared.cursor.exposed()
-    }
-
-    fn read_view(&self) -> Box<dyn ReadView> {
-        self.shared.read_view()
-    }
-
-    fn lag(&self) -> Arc<LagTracker> {
-        Arc::clone(&self.shared.lag)
-    }
-
-    fn metrics(&self) -> ReplicaMetrics {
-        self.shared.metrics()
+    /// Creates a replica with an explicit cost model.
+    pub fn with_cost(store: Arc<MvStore>, op_cost: OpCost) -> Arc<Self> {
+        Self::new(store, ReplicaConfig::default().with_op_cost(op_cost))
     }
 }
+
+c5_core::delegate_replica_to_pipeline!(SingleThreadedReplica, runtime);
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use c5_common::{RowRef, RowWrite, Timestamp, TxnId, Value};
-    use c5_core::replica::drive_segments;
+    use c5_common::{RowRef, RowWrite, SeqNo, Timestamp, TxnId, Value};
+    use c5_core::replica::{drive_segments, ClonedConcurrencyControl};
     use c5_log::{segments_from_entries, TxnEntry};
 
     #[test]

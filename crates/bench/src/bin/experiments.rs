@@ -15,6 +15,7 @@
 //!   fig10-ablation  Same, plus KuaFu with constraints disabled
 //!   fig11           Adversarial workload on the MVTSO primary
 //!   fig12           The production load-spike trace
+//!   fanout          1 primary -> 3 replicas log fan-out, per-replica lag
 //!   insert-only     Insert-only workload, 2PL primary, all protocols
 //!   insert-only-cicada  Insert-only workload, MVTSO primary
 //!   sched-offline   Offline scheduler throughput (Section 6.2)
@@ -54,6 +55,7 @@ fn main() {
         "fig10-ablation" => experiments::fig10::run(&scale, true),
         "fig11" => experiments::fig11::run(&scale),
         "fig12" => experiments::fig12::run(&scale),
+        "fanout" => experiments::fanout::run(&scale),
         "insert-only" => experiments::insert_only::run_myrocks(&scale),
         "insert-only-cicada" => experiments::insert_only::run_cicada(&scale),
         "sched-offline" => experiments::sched_offline::run(&scale),
@@ -76,6 +78,7 @@ fn main() {
             "fig10-ablation",
             "fig11",
             "fig12",
+            "fanout",
             "insert-only",
             "insert-only-cicada",
             "sched-offline",

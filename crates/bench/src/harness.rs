@@ -298,6 +298,134 @@ pub fn run_streaming(
     }
 }
 
+/// One replica's outcome in a fan-out run.
+#[derive(Debug, Clone)]
+pub struct FanOutReplicaOutcome {
+    /// Replica index (0-based).
+    pub replica: usize,
+    /// Time from the start of the run until this replica had applied and
+    /// exposed the entire log.
+    pub wall: Duration,
+    /// Progress counters.
+    pub metrics: ReplicaMetrics,
+    /// Replication-lag summary for this replica (if any transactions
+    /// committed).
+    pub lag: Option<LagStats>,
+}
+
+/// Outcome of a 1 primary → N replicas fan-out experiment.
+#[derive(Debug, Clone)]
+pub struct FanOutOutcome {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Primary-side statistics.
+    pub primary: PrimaryRunStats,
+    /// Per-replica results, indexed by replica.
+    pub replicas: Vec<FanOutReplicaOutcome>,
+}
+
+impl FanOutOutcome {
+    /// Whether every replica applied exactly the primary's committed
+    /// transactions.
+    pub fn all_converged(&self) -> bool {
+        self.replicas
+            .iter()
+            .all(|r| r.metrics.applied_txns == self.primary.committed)
+    }
+
+    /// The largest median lag across replicas, in milliseconds (the number a
+    /// load balancer would care about when routing reads).
+    pub fn worst_p50_ms(&self) -> f64 {
+        self.replicas
+            .iter()
+            .filter_map(|r| r.lag.as_ref().map(|l| l.p50_ms))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs one fan-out experiment: a 2PL primary executes `factory`'s workload
+/// for `setup.duration` while its log fans out to `replicas` independent
+/// backups of the protocol described by `spec`, each with its own store and
+/// its own bounded channel (independent backpressure). Reports per-replica
+/// apply walls, progress counters, and lag distributions.
+pub fn run_fanout_streaming(
+    setup: &StreamingSetup,
+    factory: Arc<dyn TxnFactory>,
+    spec: ReplicaSpec,
+    replicas: usize,
+) -> FanOutOutcome {
+    assert!(replicas > 0, "fan-out requires at least one replica");
+    // Primary.
+    let primary_store = Arc::new(MvStore::default());
+    preload(&primary_store, &setup.population);
+    let (shipper, receivers) = LogShipper::fan_out(replicas, 1024);
+    let logger = StreamingLogger::new(setup.segment_records, shipper);
+    let primary_config = PrimaryConfig::default()
+        .with_threads(setup.primary_threads)
+        .with_op_cost(setup.op_cost);
+    let engine = Arc::new(TplEngine::new(primary_store, primary_config, logger));
+
+    // Backups: one store + one replica instance each.
+    let replica_config = ReplicaConfig::default()
+        .with_workers(setup.replica_workers)
+        .with_op_cost(setup.op_cost)
+        .with_snapshot_interval(setup.snapshot_interval);
+    let backups: Vec<Arc<dyn ClonedConcurrencyControl>> = (0..replicas)
+        .map(|_| {
+            let store = Arc::new(MvStore::default());
+            preload(&store, &setup.population);
+            spec.build(store, replica_config.clone())
+        })
+        .collect();
+
+    let start = Instant::now();
+    let mut primary_stats = PrimaryRunStats::default();
+    let mut walls = vec![Duration::ZERO; replicas];
+
+    std::thread::scope(|scope| {
+        // One driver thread per replica; each measures its own apply wall.
+        let drivers: Vec<_> = backups
+            .iter()
+            .zip(receivers)
+            .map(|(backup, receiver)| {
+                let backup_ref: &dyn ClonedConcurrencyControl = backup.as_ref();
+                scope.spawn(move || {
+                    drive_from_receiver(backup_ref, receiver);
+                    start.elapsed()
+                })
+            })
+            .collect();
+
+        // Primary load.
+        primary_stats = ClosedLoopDriver::with_seed(setup.seed).run_tpl(
+            &engine,
+            &factory,
+            setup.clients,
+            RunLength::Timed(setup.duration),
+        );
+        engine.close_log();
+
+        for (i, driver) in drivers.into_iter().enumerate() {
+            walls[i] = driver.join().expect("replica driver");
+        }
+    });
+
+    FanOutOutcome {
+        protocol: spec.name(),
+        primary: primary_stats,
+        replicas: backups
+            .iter()
+            .enumerate()
+            .map(|(i, backup)| FanOutReplicaOutcome {
+                replica: i,
+                wall: walls[i],
+                metrics: backup.metrics(),
+                lag: backup.lag().stats(),
+            })
+            .collect(),
+    }
+}
+
 /// Parameters for the offline (Cicada-style) experiments.
 #[derive(Debug, Clone)]
 pub struct OfflineSetup {
@@ -510,6 +638,10 @@ mod tests {
         assert!(outcome.replica_throughput() > 0.0);
         assert_eq!(outcome.protocol, "kuafu");
     }
+
+    // run_fanout_streaming is covered end-to-end by the workspace
+    // integration test `fan_out_harness_reports_per_replica_lag`
+    // (tests/mpc_consistency.rs) and by the `fanout` CI smoke step.
 
     #[test]
     fn every_replica_spec_builds_and_applies() {

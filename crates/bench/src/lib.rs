@@ -27,5 +27,7 @@ pub mod experiments;
 pub mod harness;
 pub mod scale;
 
-pub use harness::{OfflineOutcome, ReplicaSpec, StreamingOutcome};
+pub use harness::{
+    FanOutOutcome, FanOutReplicaOutcome, OfflineOutcome, ReplicaSpec, StreamingOutcome,
+};
 pub use scale::Scale;

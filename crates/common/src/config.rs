@@ -93,6 +93,13 @@ pub struct ReplicaConfig {
     /// the scheduler. Bounded so that an overwhelmed replica exerts
     /// backpressure in benchmarks instead of buffering unboundedly.
     pub segment_channel_capacity: usize,
+    /// How far (in log positions) the version-garbage-collection horizon
+    /// trails the exposed cut. Read views pin their cut at creation time, so
+    /// the trail is the window within which an already-created view is
+    /// guaranteed to keep seeing every version it can name; versions older
+    /// than `exposed - gc_trail` are reclaimed by the expose stage. Zero
+    /// collects right up to the cut.
+    pub gc_trail: u64,
 }
 
 impl Default for ReplicaConfig {
@@ -103,6 +110,7 @@ impl Default for ReplicaConfig {
             snapshot_mode: SnapshotMode::Timestamped,
             snapshot_interval: Duration::from_millis(10),
             segment_channel_capacity: 1024,
+            gc_trail: 4096,
         }
     }
 }
@@ -149,6 +157,12 @@ impl ReplicaConfig {
     /// Builder-style setter for the op cost.
     pub fn with_op_cost(mut self, cost: OpCost) -> Self {
         self.op_cost = cost;
+        self
+    }
+
+    /// Builder-style setter for the GC-horizon trail.
+    pub fn with_gc_trail(mut self, trail: u64) -> Self {
+        self.gc_trail = trail;
         self
     }
 }
@@ -207,11 +221,13 @@ mod tests {
             .with_workers(8)
             .with_snapshot_mode(SnapshotMode::WholeDatabase)
             .with_snapshot_interval(Duration::from_millis(5))
-            .with_op_cost(OpCost::symmetric(10));
+            .with_op_cost(OpCost::symmetric(10))
+            .with_gc_trail(128);
         assert_eq!(cfg.workers, 8);
         assert_eq!(cfg.snapshot_mode, SnapshotMode::WholeDatabase);
         assert_eq!(cfg.snapshot_interval, Duration::from_millis(5));
         assert_eq!(cfg.op_cost, OpCost::symmetric(10));
+        assert_eq!(cfg.gc_trail, 128);
 
         let p = PrimaryConfig::default()
             .with_threads(12)

@@ -27,9 +27,10 @@
 //!
 //! The crate also hosts everything the baseline protocols share with C5 so
 //! that every replica in the workspace is measured identically: the
-//! [`replica::ClonedConcurrencyControl`] trait, the applied/exposed progress
-//! tracker ([`progress`]), replication-lag metrics ([`lag`]), and the
-//! monotonic-prefix-consistency checker ([`mpc`]).
+//! [`replica::ClonedConcurrencyControl`] trait, the shared replication
+//! [`pipeline`] runtime every protocol (C5 and baseline alike) runs on, the
+//! applied/exposed progress tracker ([`progress`]), replication-lag metrics
+//! ([`lag`]), and the monotonic-prefix-consistency checker ([`mpc`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -37,6 +38,7 @@
 pub mod design_queues;
 pub mod lag;
 pub mod mpc;
+pub mod pipeline;
 pub mod progress;
 pub mod replica;
 pub mod scheduler;
@@ -44,6 +46,10 @@ pub mod snapshotter;
 
 pub use lag::{LagSample, LagStats, LagTracker};
 pub use mpc::MpcChecker;
+pub use pipeline::{
+    BlockingInstall, GcDriver, PipelineOptions, PipelinePolicy, PipelineRuntime, PipelineSignals,
+    QueuePlan, RowWaitList, WorkSink,
+};
 pub use progress::WatermarkTracker;
 pub use replica::{
     drive_from_receiver, drive_segments, C5Mode, C5Replica, ClonedConcurrencyControl, ReadView,

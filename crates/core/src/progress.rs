@@ -11,9 +11,9 @@
 //! prefix directly in a [`WatermarkTracker`], which every worker marks as it
 //! installs a write. The tracker is shared by C5 and by all baseline
 //! protocols so that "applied" and "exposed" mean exactly the same thing in
-//! every experiment. The substitution is noted in DESIGN.md; it changes a
-//! per-worker counter into a small shared structure but not the protocol's
-//! observable behaviour.
+//! every experiment. The substitution is documented in `DESIGN.md` at the
+//! repository root; it changes a per-worker counter into a small shared
+//! structure but not the protocol's observable behaviour.
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -194,6 +194,54 @@ mod proptests {
             }
             prop_assert_eq!(tracker.applied_watermark(), SeqNo(expect));
             prop_assert_eq!(tracker.boundary_watermark(), SeqNo(expect));
+        }
+
+        /// For any permutation of `mark_applied` calls with arbitrary
+        /// transaction-boundary flags, after *every* step:
+        /// * the applied watermark is exactly the largest contiguous prefix
+        ///   of the sequence numbers marked so far, and
+        /// * the boundary watermark is the largest boundary-flagged sequence
+        ///   number inside that prefix — i.e. always a transaction boundary
+        ///   at or below the applied watermark (or zero when none exists).
+        #[test]
+        fn boundary_is_largest_boundary_within_the_applied_prefix(
+            n in 1u64..48,
+            seed in proptest::prelude::any::<u64>(),
+            boundary_bits in prop::collection::vec(proptest::prelude::any::<bool>(), 48..49),
+        ) {
+            // A deterministic Fisher–Yates shuffle driven by proptest's seed
+            // input produces the interleaving.
+            let mut order: Vec<u64> = (1..=n).collect();
+            let mut state = seed | 1;
+            for i in (1..order.len()).rev() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = ((state >> 33) as usize) % (i + 1);
+                order.swap(i, j);
+            }
+
+            let tracker = WatermarkTracker::new();
+            let mut marked = std::collections::HashSet::new();
+            let mut prefix = 0u64;
+            for &seq in &order {
+                let is_boundary = boundary_bits[(seq - 1) as usize];
+                tracker.mark_applied(SeqNo(seq), is_boundary);
+                marked.insert(seq);
+                while marked.contains(&(prefix + 1)) {
+                    prefix += 1;
+                }
+                let expect_boundary = (1..=prefix)
+                    .rev()
+                    .find(|&s| boundary_bits[(s - 1) as usize])
+                    .unwrap_or(0);
+                prop_assert_eq!(tracker.applied_watermark(), SeqNo(prefix));
+                prop_assert_eq!(tracker.boundary_watermark(), SeqNo(expect_boundary));
+                prop_assert!(tracker.boundary_watermark() <= tracker.applied_watermark());
+            }
+            // The full permutation always converges to the complete prefix.
+            prop_assert_eq!(tracker.applied_watermark(), SeqNo(n));
+            prop_assert_eq!(tracker.out_of_order_backlog(), 0);
         }
     }
 }

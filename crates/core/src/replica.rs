@@ -6,36 +6,43 @@
 //! checker, and the lag metrics are all written once against this trait, so
 //! every protocol is measured identically.
 //!
-//! [`C5Replica`] is the paper's protocol. Internally it runs:
+//! [`C5Replica`] is the paper's protocol, expressed as an ordering policy on
+//! the shared [`crate::pipeline`] runtime:
 //!
-//! * one **scheduler** thread consuming shipped segments, stamping every
-//!   record with the position of the previous write to its row
-//!   ([`crate::scheduler`]), recording transaction boundaries for the lag
-//!   metrics, and dispatching work to the workers;
-//! * `workers` **worker** threads applying row writes. In
+//! * the **schedule** stage stamps every record with the position of the
+//!   previous write to its row ([`crate::scheduler`]), records transaction
+//!   boundaries for the lag metrics, and dispatches work to the workers;
+//! * the **apply** stage runs `workers` threads installing row writes. In
 //!   [`C5Mode::Faithful`] workers receive whole segments round-robin and
-//!   apply each record as soon as its per-row predecessor is in place,
-//!   deferring it otherwise (Section 7.2). In [`C5Mode::OneWorkerPerTxn`]
+//!   apply each record as soon as its per-row predecessor is in place; a
+//!   record whose predecessor is missing parks on the
+//!   [`crate::pipeline::RowWaitList`] and is installed by the
+//!   worker that installs the predecessor (the event-driven form of
+//!   Section 7.2's deferred-write queues). In [`C5Mode::OneWorkerPerTxn`]
 //!   workers pull whole transactions from a shared queue in commit order and
-//!   apply each transaction's writes in order, waiting on each write's
-//!   predecessor (Section 5.1's backward-compatibility constraint);
-//! * one **snapshotter** thread advancing the exposed cut
-//!   ([`crate::snapshotter`]) every `snapshot_interval` and recording one
-//!   replication-lag sample per transaction as it becomes visible.
+//!   apply each transaction's writes in order, sleeping on the wait list
+//!   until each write's predecessor lands (Section 5.1's
+//!   backward-compatibility constraint);
+//! * the **expose** stage advances the exposed cut ([`crate::snapshotter`])
+//!   every `snapshot_interval`, records one replication-lag sample per
+//!   transaction as it becomes visible, and drives the version-GC horizon
+//!   trailing the cut.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use c5_common::{OpCost, ReplicaConfig, RowRef, SeqNo, TableId, Timestamp, Value};
-use c5_log::{now_nanos, LogReceiver, LogRecord, Segment};
+use c5_log::{LogReceiver, LogRecord, Segment};
 use c5_storage::MvStore;
 
 use crate::lag::LagTracker;
+use crate::pipeline::{
+    BlockingInstall, BoundaryLedger, GcDriver, PipelineOptions, PipelinePolicy, PipelineRuntime,
+    PipelineSignals, QueuePlan, RowWaitList, WorkSink,
+};
 use crate::progress::WatermarkTracker;
 use crate::scheduler::SchedulerState;
 use crate::snapshotter::SnapshotCursor;
@@ -65,9 +72,13 @@ pub struct ReplicaMetrics {
     pub applied_seq: SeqNo,
     /// Largest log position exposed to read-only transactions.
     pub exposed_seq: SeqNo,
-    /// Number of times a write had to be deferred/retried because its
-    /// per-row predecessor had not executed yet.
-    pub deferred_retries: u64,
+    /// Number of writes that had to wait for their per-row predecessor
+    /// before executing (each such write is counted once, however long it
+    /// waited).
+    pub deferred_writes: u64,
+    /// Row versions reclaimed by the garbage-collection horizon trailing the
+    /// exposed cut.
+    pub reclaimed_versions: u64,
 }
 
 /// The interface shared by C5 and every baseline cloned concurrency control
@@ -142,8 +153,8 @@ pub fn drive_segments(replica: &dyn ClonedConcurrencyControl, segments: Vec<Segm
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum C5Mode {
     /// The faithful design (C5-Cicada, Section 7): row-granularity execution
-    /// with segments distributed round-robin, deferred-write queues, and a
-    /// timestamped snapshotter that never blocks workers.
+    /// with segments distributed round-robin, deferred-write wait lists, and
+    /// a timestamped snapshotter that never blocks workers.
     Faithful,
     /// The backward-compatible variant (C5-MyRocks, Section 5): every
     /// transaction's writes execute on a single worker, workers pick up
@@ -162,36 +173,40 @@ impl C5Mode {
     }
 }
 
-/// Work items flowing from the scheduler to the workers.
-enum WorkItem {
-    /// A whole preprocessed segment (faithful mode).
-    Segment(Arc<Segment>),
+/// Work items flowing from the schedule stage to the workers.
+enum C5Item {
+    /// A whole preprocessed segment (faithful mode). Owned: records move
+    /// from here into the store or the wait list, never cloned.
+    Segment(Segment),
     /// One transaction's records (one-worker-per-transaction mode).
     Txn(Vec<LogRecord>),
 }
 
-struct Shared {
+/// C5's ordering policy on the shared pipeline runtime.
+struct C5Policy {
+    mode: C5Mode,
     store: Arc<MvStore>,
     tracker: WatermarkTracker,
-    lag: Arc<LagTracker>,
     cursor: SnapshotCursor,
-    /// Transaction boundaries (last-write position, primary commit time) in
-    /// log order, waiting to be matched against the exposed cut.
-    boundaries: Mutex<std::collections::VecDeque<(SeqNo, u64)>>,
+    /// The per-row `prev_seq` stamping state; only the schedule stage locks
+    /// it.
+    sched: Mutex<SchedulerState>,
+    /// Per-row dependency wait lists (Section 7.2's deferred-write queues in
+    /// event-driven form).
+    waits: RowWaitList,
+    /// Version-GC horizon trailing the exposed cut.
+    gc: GcDriver,
+    /// Boundary/lag bookkeeping (shared with every other policy).
+    ledger: BoundaryLedger,
     /// Last position of the last fully dispatched transaction.
     dispatched_boundary: AtomicU64,
-    /// Last position processed by the scheduler (end of log once
-    /// `ingest_done`).
-    final_seq: AtomicU64,
-    ingest_done: AtomicBool,
-    shutdown: AtomicBool,
     op_cost: OpCost,
     applied_writes: AtomicU64,
     applied_txns: AtomicU64,
-    deferred_retries: AtomicU64,
+    deferred_writes: AtomicU64,
 }
 
-impl Shared {
+impl C5Policy {
     /// Installs one log record's write, enforcing the per-row order: the
     /// write applies only when the row's most recent version is the one named
     /// by `prev_seq`. Returns whether it applied.
@@ -212,24 +227,165 @@ impl Shared {
             if record.is_txn_last() {
                 self.applied_txns.fetch_add(1, Ordering::Relaxed);
             }
-        } else {
-            self.deferred_retries.fetch_add(1, Ordering::Relaxed);
         }
         applied
     }
+}
 
-    /// Records lag samples for every transaction boundary now covered by the
-    /// exposed cut.
-    fn drain_exposed_boundaries(&self, exposed: SeqNo) {
-        let now = now_nanos();
-        let mut boundaries = self.boundaries.lock();
-        while let Some(&(seq, committed_at)) = boundaries.front() {
-            if seq <= exposed {
-                boundaries.pop_front();
-                self.lag.record(seq, committed_at, now);
-            } else {
-                break;
+impl PipelinePolicy for C5Policy {
+    type Item = C5Item;
+
+    fn name(&self) -> &'static str {
+        self.mode.name()
+    }
+
+    fn schedule(&self, mut segment: Segment, sink: &mut WorkSink<C5Item>) {
+        self.sched.lock().process_segment(&mut segment);
+        // Record transaction boundaries for lag accounting, in log order.
+        self.ledger.note_segment(&segment);
+        match self.mode {
+            C5Mode::Faithful => {
+                // Only the one-worker-per-txn snapshotter reads this counter
+                // (the faithful cursor advances via boundary_watermark), but
+                // keep it maintained with the same store-before-send ordering
+                // so it stays a safe cut bound in both modes.
+                if let Some(last) = segment.last_seq() {
+                    self.dispatched_boundary
+                        .store(last.as_u64(), Ordering::Release);
+                }
+                sink.send(C5Item::Segment(segment));
             }
+            C5Mode::OneWorkerPerTxn => {
+                // Split the segment into whole transactions and push them to
+                // the shared queue in commit order.
+                let mut current: Vec<LogRecord> = Vec::new();
+                for record in segment.records {
+                    let is_last = record.is_txn_last();
+                    let seq = record.seq;
+                    current.push(record);
+                    if is_last {
+                        let txn = std::mem::take(&mut current);
+                        // Publish the boundary BEFORE the send: the moment a
+                        // transaction is in the queue a worker may install its
+                        // writes, and the snapshotter's choose_n must never
+                        // pick a cut below an already-installed write.
+                        self.dispatched_boundary
+                            .store(seq.as_u64(), Ordering::Release);
+                        sink.send(C5Item::Txn(txn));
+                        if sink.workers_gone() {
+                            return;
+                        }
+                    }
+                }
+                debug_assert!(current.is_empty(), "segments never split transactions");
+            }
+        }
+    }
+
+    fn apply(&self, _worker: usize, item: C5Item, signals: &PipelineSignals) {
+        match item {
+            C5Item::Segment(segment) => {
+                // Faithful mode: install each record as soon as its per-row
+                // predecessor is in place; otherwise the record moves into
+                // the wait list and the worker that installs the predecessor
+                // finishes the job. No retries, no clones.
+                for record in segment.records {
+                    if self.waits.install_or_park(record, &|r| self.try_install(r)) {
+                        self.deferred_writes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            C5Item::Txn(records) => {
+                // One worker executes the whole transaction, write by write,
+                // sleeping on each write's per-row predecessor until another
+                // worker installs it (Section 5.1).
+                for record in &records {
+                    match self
+                        .waits
+                        .install_blocking(record, &|r| self.try_install(r), &|| {
+                            signals.shutdown_requested()
+                        }) {
+                        BlockingInstall::Installed => {}
+                        BlockingInstall::InstalledAfterWait => {
+                            self.deferred_writes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        BlockingInstall::Aborted => return,
+                    }
+                }
+            }
+        }
+    }
+
+    fn expose(&self, signals: &PipelineSignals) {
+        match self.mode {
+            C5Mode::Faithful => {
+                let n = self.tracker.boundary_watermark();
+                if n > self.cursor.exposed() {
+                    self.cursor.advance(n);
+                    self.ledger.drain_exposed(n);
+                }
+            }
+            C5Mode::OneWorkerPerTxn => {
+                let target = self.tracker.boundary_watermark();
+                if target > self.cursor.exposed() {
+                    let tracker = &self.tracker;
+                    let n = self.cursor.cut(
+                        // Choose n at the last fully dispatched transaction:
+                        // nothing beyond it can be in the store, and
+                        // everything up to it will be applied shortly.
+                        || SeqNo(self.dispatched_boundary.load(Ordering::Acquire)),
+                        |n| {
+                            while tracker.applied_watermark() < n && !signals.shutdown_requested() {
+                                std::thread::sleep(Duration::from_micros(50));
+                            }
+                        },
+                    );
+                    self.ledger.drain_exposed(n);
+                }
+            }
+        }
+    }
+
+    fn collect_garbage(&self) {
+        self.gc.run(self.cursor.exposed());
+    }
+
+    fn interrupt(&self) {
+        self.waits.wake_all();
+    }
+
+    fn applied_seq(&self) -> SeqNo {
+        self.tracker.applied_watermark()
+    }
+
+    fn exposure_target(&self) -> SeqNo {
+        self.tracker.boundary_watermark()
+    }
+
+    fn exposed_seq(&self) -> SeqNo {
+        self.cursor.exposed()
+    }
+
+    fn shipped_seq(&self) -> SeqNo {
+        self.ledger.shipped_seq()
+    }
+
+    fn read_view(&self) -> Box<dyn ReadView> {
+        self.cursor.read_view()
+    }
+
+    fn lag(&self) -> Arc<LagTracker> {
+        Arc::clone(self.ledger.lag())
+    }
+
+    fn metrics(&self) -> ReplicaMetrics {
+        ReplicaMetrics {
+            applied_writes: self.applied_writes.load(Ordering::Relaxed),
+            applied_txns: self.applied_txns.load(Ordering::Relaxed),
+            applied_seq: self.applied_seq(),
+            exposed_seq: self.exposed_seq(),
+            deferred_writes: self.deferred_writes.load(Ordering::Relaxed),
+            reclaimed_versions: self.gc.reclaimed(),
         }
     }
 }
@@ -238,10 +394,7 @@ impl Shared {
 pub struct C5Replica {
     mode: C5Mode,
     config: ReplicaConfig,
-    shared: Arc<Shared>,
-    ingest_tx: Mutex<Option<Sender<Segment>>>,
-    threads: Mutex<Vec<JoinHandle<()>>>,
-    finished: AtomicBool,
+    runtime: PipelineRuntime<C5Policy>,
 }
 
 impl C5Replica {
@@ -255,90 +408,40 @@ impl C5Replica {
             C5Mode::Faithful => SnapshotCursor::timestamped(Arc::clone(&store)),
             C5Mode::OneWorkerPerTxn => SnapshotCursor::whole_database(Arc::clone(&store)),
         };
-        let shared = Arc::new(Shared {
-            store,
+        let policy = Arc::new(C5Policy {
+            mode,
+            store: Arc::clone(&store),
             tracker: WatermarkTracker::new(),
-            lag: Arc::new(LagTracker::new()),
             cursor,
-            boundaries: Mutex::new(std::collections::VecDeque::new()),
+            sched: Mutex::new(SchedulerState::new()),
+            waits: RowWaitList::default(),
+            gc: GcDriver::new(store, config.gc_trail),
+            ledger: BoundaryLedger::new(),
             dispatched_boundary: AtomicU64::new(0),
-            final_seq: AtomicU64::new(0),
-            ingest_done: AtomicBool::new(false),
-            shutdown: AtomicBool::new(false),
             op_cost: config.op_cost,
             applied_writes: AtomicU64::new(0),
             applied_txns: AtomicU64::new(0),
-            deferred_retries: AtomicU64::new(0),
+            deferred_writes: AtomicU64::new(0),
         });
-
-        let (ingest_tx, ingest_rx) = bounded::<Segment>(config.segment_channel_capacity);
-        let mut threads = Vec::new();
-
-        // Worker channels. The faithful mode gives each worker its own queue
-        // (segments are assigned round-robin, Section 7.2); the
-        // one-worker-per-transaction mode uses a single shared queue from
-        // which workers pick up whole transactions in commit order
-        // (Section 5.1).
-        let workers = config.workers;
-        let mut worker_txs: Vec<Sender<WorkItem>> = Vec::new();
-        match mode {
-            C5Mode::Faithful => {
-                for worker_id in 0..workers {
-                    let (tx, rx) = bounded::<WorkItem>(256);
-                    worker_txs.push(tx);
-                    let shared_w = Arc::clone(&shared);
-                    threads.push(
-                        std::thread::Builder::new()
-                            .name(format!("c5-worker-{worker_id}"))
-                            .spawn(move || worker_loop(shared_w, rx))
-                            .expect("spawn worker"),
-                    );
-                }
-            }
-            C5Mode::OneWorkerPerTxn => {
-                let (tx, rx) = bounded::<WorkItem>(1024);
-                worker_txs.push(tx);
-                for worker_id in 0..workers {
-                    let shared_w = Arc::clone(&shared);
-                    let rx = rx.clone();
-                    threads.push(
-                        std::thread::Builder::new()
-                            .name(format!("c5-worker-{worker_id}"))
-                            .spawn(move || worker_loop(shared_w, rx))
-                            .expect("spawn worker"),
-                    );
-                }
-            }
-        }
-
-        // Scheduler thread.
-        let shared_s = Arc::clone(&shared);
-        let sched_mode = mode;
-        threads.push(
-            std::thread::Builder::new()
-                .name("c5-scheduler".into())
-                .spawn(move || scheduler_loop(shared_s, sched_mode, ingest_rx, worker_txs))
-                .expect("spawn scheduler"),
-        );
-
-        // Snapshotter thread.
-        let shared_n = Arc::clone(&shared);
-        let interval = config.snapshot_interval;
-        let snap_mode = mode;
-        threads.push(
-            std::thread::Builder::new()
-                .name("c5-snapshotter".into())
-                .spawn(move || snapshotter_loop(shared_n, snap_mode, interval))
-                .expect("spawn snapshotter"),
-        );
-
+        let queue = match mode {
+            // Segments are assigned round-robin to per-worker queues
+            // (Section 7.2).
+            C5Mode::Faithful => QueuePlan::PerWorker { capacity: 256 },
+            // Workers pick up whole transactions from a shared queue in
+            // commit order (Section 5.1).
+            C5Mode::OneWorkerPerTxn => QueuePlan::Shared { capacity: 1024 },
+        };
+        let options = PipelineOptions {
+            workers: config.workers,
+            queue,
+            ingest_capacity: config.segment_channel_capacity,
+            expose_interval: config.snapshot_interval,
+            label: mode.name(),
+        };
         Arc::new(Self {
             mode,
             config,
-            shared,
-            ingest_tx: Mutex::new(Some(ingest_tx)),
-            threads: Mutex::new(threads),
-            finished: AtomicBool::new(false),
+            runtime: PipelineRuntime::start(policy, options),
         })
     }
 
@@ -354,283 +457,11 @@ impl C5Replica {
 
     /// The backup's store (for test assertions).
     pub fn store(&self) -> &Arc<MvStore> {
-        &self.shared.store
+        &self.runtime.policy().store
     }
 }
 
-impl ClonedConcurrencyControl for C5Replica {
-    fn name(&self) -> &'static str {
-        self.mode.name()
-    }
-
-    fn apply_segment(&self, segment: Segment) {
-        let guard = self.ingest_tx.lock();
-        if let Some(tx) = guard.as_ref() {
-            // A send error means the scheduler exited (shutdown); drop the
-            // segment in that case.
-            let _ = tx.send(segment);
-        }
-    }
-
-    fn finish(&self) {
-        if self.finished.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Close the ingest channel so the scheduler (and then the workers)
-        // drain and exit.
-        self.ingest_tx.lock().take();
-        // Wait for ingestion to finish and every write to be applied.
-        while !self.shared.ingest_done.load(Ordering::Acquire) {
-            std::thread::sleep(Duration::from_micros(200));
-        }
-        let final_seq = SeqNo(self.shared.final_seq.load(Ordering::Acquire));
-        while self.shared.tracker.applied_watermark() < final_seq {
-            std::thread::sleep(Duration::from_micros(200));
-        }
-        // Let the snapshotter expose the final prefix, then stop it.
-        while self.exposed_seq() < self.shared.tracker.boundary_watermark() {
-            std::thread::sleep(Duration::from_micros(200));
-        }
-        self.shared.shutdown.store(true, Ordering::Release);
-        for handle in self.threads.lock().drain(..) {
-            let _ = handle.join();
-        }
-    }
-
-    fn applied_seq(&self) -> SeqNo {
-        self.shared.tracker.applied_watermark()
-    }
-
-    fn exposed_seq(&self) -> SeqNo {
-        self.shared.cursor.exposed()
-    }
-
-    fn read_view(&self) -> Box<dyn ReadView> {
-        self.shared.cursor.read_view()
-    }
-
-    fn lag(&self) -> Arc<LagTracker> {
-        Arc::clone(&self.shared.lag)
-    }
-
-    fn metrics(&self) -> ReplicaMetrics {
-        ReplicaMetrics {
-            applied_writes: self.shared.applied_writes.load(Ordering::Relaxed),
-            applied_txns: self.shared.applied_txns.load(Ordering::Relaxed),
-            applied_seq: self.applied_seq(),
-            exposed_seq: self.exposed_seq(),
-            deferred_retries: self.shared.deferred_retries.load(Ordering::Relaxed),
-        }
-    }
-}
-
-impl Drop for C5Replica {
-    fn drop(&mut self) {
-        // Make sure background threads stop even if the caller forgot to call
-        // finish(); without the full drain semantics, just signal shutdown.
-        self.ingest_tx.lock().take();
-        self.shared.shutdown.store(true, Ordering::Release);
-        for handle in self.threads.lock().drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-/// The scheduler loop: preprocesses segments and dispatches work.
-fn scheduler_loop(
-    shared: Arc<Shared>,
-    mode: C5Mode,
-    ingest_rx: Receiver<Segment>,
-    worker_txs: Vec<Sender<WorkItem>>,
-) {
-    let mut state = SchedulerState::new();
-    let mut next_worker = 0usize;
-    let mut workers_gone = false;
-    while let Ok(mut segment) = ingest_rx.recv() {
-        if workers_gone {
-            break;
-        }
-        state.process_segment(&mut segment);
-        // Record transaction boundaries for lag accounting, in log order.
-        {
-            let mut boundaries = shared.boundaries.lock();
-            for record in &segment.records {
-                if record.is_txn_last() {
-                    boundaries.push_back((record.seq, record.commit_wall_nanos));
-                }
-            }
-        }
-        if let Some(last) = segment.last_seq() {
-            shared.final_seq.store(last.as_u64(), Ordering::Release);
-        }
-        match mode {
-            C5Mode::Faithful => {
-                let last = segment.last_seq();
-                // Only the one-worker-per-txn snapshotter reads this counter
-                // (the faithful cursor advances via boundary_watermark), but
-                // keep it maintained with the same store-before-send ordering
-                // so it stays a safe cut bound in both modes.
-                if let Some(last) = last {
-                    shared
-                        .dispatched_boundary
-                        .store(last.as_u64(), Ordering::Release);
-                }
-                let item = WorkItem::Segment(Arc::new(segment));
-                if worker_txs[next_worker].send(item).is_err() {
-                    workers_gone = true;
-                }
-                next_worker = (next_worker + 1) % worker_txs.len();
-            }
-            C5Mode::OneWorkerPerTxn => {
-                // Split the segment into whole transactions and push them to
-                // the shared queue (worker_txs[0]) in commit order.
-                let mut current: Vec<LogRecord> = Vec::new();
-                for record in segment.records.iter() {
-                    let is_last = record.is_txn_last();
-                    let seq = record.seq;
-                    current.push(record.clone());
-                    if is_last {
-                        let txn = std::mem::take(&mut current);
-                        // Publish the boundary BEFORE the send: the moment a
-                        // transaction is in the queue a worker may install its
-                        // writes, and the snapshotter's choose_n must never
-                        // pick a cut below an already-installed write.
-                        shared
-                            .dispatched_boundary
-                            .store(seq.as_u64(), Ordering::Release);
-                        if worker_txs[0].send(WorkItem::Txn(txn)).is_err() {
-                            workers_gone = true;
-                            break;
-                        }
-                    }
-                }
-                debug_assert!(
-                    workers_gone || current.is_empty(),
-                    "segments never split transactions"
-                );
-            }
-        }
-        if shared.shutdown.load(Ordering::Acquire) {
-            break;
-        }
-    }
-    shared.ingest_done.store(true, Ordering::Release);
-    // Dropping the senders signals end-of-work to the workers.
-    drop(worker_txs);
-}
-
-/// The worker loop shared by both modes.
-fn worker_loop(shared: Arc<Shared>, rx: Receiver<WorkItem>) {
-    let mut deferred: std::collections::VecDeque<LogRecord> = std::collections::VecDeque::new();
-    loop {
-        match rx.recv_timeout(Duration::from_millis(1)) {
-            Ok(WorkItem::Segment(segment)) => {
-                for record in &segment.records {
-                    if !shared.try_install(record) {
-                        deferred.push_back(record.clone());
-                    }
-                }
-                retry_deferred(&shared, &mut deferred);
-            }
-            Ok(WorkItem::Txn(records)) => {
-                // One worker executes the whole transaction, write by write,
-                // waiting for each write's per-row predecessor (Section 5.1).
-                for record in &records {
-                    let mut spins = 0u32;
-                    while !shared.try_install(record) {
-                        spins += 1;
-                        if spins > 64 {
-                            std::thread::sleep(Duration::from_micros(20));
-                        } else {
-                            std::hint::spin_loop();
-                        }
-                        if shared.shutdown.load(Ordering::Acquire) {
-                            return;
-                        }
-                    }
-                }
-            }
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                retry_deferred(&shared, &mut deferred);
-                if shared.shutdown.load(Ordering::Acquire) && deferred.is_empty() {
-                    return;
-                }
-            }
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                // Drain any deferred writes, then exit.
-                while !deferred.is_empty() {
-                    retry_deferred(&shared, &mut deferred);
-                    if deferred.is_empty() {
-                        break;
-                    }
-                    std::thread::sleep(Duration::from_micros(20));
-                }
-                return;
-            }
-        }
-    }
-}
-
-/// Retries deferred writes in FIFO order (Section 7.2: "each worker maintains
-/// a local FIFO queue of deferred writes and periodically re-checks them").
-fn retry_deferred(shared: &Shared, deferred: &mut std::collections::VecDeque<LogRecord>) {
-    let mut remaining = deferred.len();
-    while remaining > 0 {
-        let record = deferred.pop_front().expect("len checked");
-        remaining -= 1;
-        if !shared.try_install(&record) {
-            deferred.push_back(record);
-        }
-    }
-}
-
-/// The snapshotter loop.
-fn snapshotter_loop(shared: Arc<Shared>, mode: C5Mode, interval: Duration) {
-    // Tick frequently so shutdown is responsive, but only cut at `interval`.
-    let tick = interval.min(Duration::from_millis(1));
-    let mut last_cut = Instant::now();
-    loop {
-        let shutting_down = shared.shutdown.load(Ordering::Acquire);
-        let due = last_cut.elapsed() >= interval || shutting_down;
-        if due {
-            match mode {
-                C5Mode::Faithful => {
-                    let n = shared.tracker.boundary_watermark();
-                    if n > shared.cursor.exposed() {
-                        shared.cursor.advance(n);
-                        shared.drain_exposed_boundaries(n);
-                    }
-                }
-                C5Mode::OneWorkerPerTxn => {
-                    let target = shared.tracker.boundary_watermark();
-                    if target > shared.cursor.exposed() {
-                        let tracker = &shared.tracker;
-                        let n = shared.cursor.cut(
-                            // Choose n at the last fully dispatched transaction:
-                            // nothing beyond it can be in the store, and
-                            // everything up to it will be applied shortly.
-                            || SeqNo(shared.dispatched_boundary.load(Ordering::Acquire)),
-                            |n| {
-                                while tracker.applied_watermark() < n
-                                    && !shared.shutdown.load(Ordering::Acquire)
-                                {
-                                    std::thread::sleep(Duration::from_micros(50));
-                                }
-                            },
-                        );
-                        shared.drain_exposed_boundaries(n);
-                    }
-                }
-            }
-            last_cut = Instant::now();
-        }
-        if shutting_down {
-            // One final advance happened above; exit.
-            return;
-        }
-        std::thread::sleep(tick);
-    }
-}
+crate::delegate_replica_to_pipeline!(C5Replica, runtime);
 
 #[cfg(test)]
 mod tests {
@@ -697,6 +528,9 @@ mod tests {
 
         // One lag sample per transaction.
         assert_eq!(replica.lag().len(), 50);
+
+        // Event-driven deferral leaves nothing parked once the log drains.
+        assert_eq!(replica.runtime.policy().waits.parked(), 0);
     }
 
     #[test]
@@ -791,6 +625,68 @@ mod tests {
         assert!(
             stats.max_ms < 60_000.0,
             "lag should be far below a minute in tests"
+        );
+    }
+
+    #[test]
+    fn gc_horizon_reclaims_versions_behind_the_exposed_cut() {
+        // A log of updates to one hot row grows a long version chain; with a
+        // zero trail the expose stage reclaims everything behind the cut.
+        let store = Arc::new(MvStore::default());
+        store.install(
+            row(0),
+            Timestamp::ZERO,
+            c5_common::WriteKind::Insert,
+            Some(Value::from_u64(0)),
+        );
+        let config = ReplicaConfig::default()
+            .with_workers(2)
+            .with_snapshot_interval(Duration::from_micros(500))
+            .with_gc_trail(0);
+        let replica = C5Replica::new(C5Mode::Faithful, Arc::clone(&store), config);
+
+        let entries: Vec<TxnEntry> = (1..=500u64)
+            .map(|t| {
+                TxnEntry::new(
+                    TxnId(t),
+                    Timestamp(t),
+                    vec![RowWrite::update(row(0), Value::from_u64(t))],
+                )
+            })
+            .collect();
+        drive_segments(replica.as_ref(), segments_from_entries(&entries, 16));
+
+        let metrics = replica.metrics();
+        assert_eq!(metrics.applied_txns, 500);
+        assert!(
+            metrics.reclaimed_versions > 0,
+            "the hot row's chain must have been collected"
+        );
+        // The chain is bounded: everything behind the final horizon is gone.
+        assert!(
+            store.stats().versions < 500,
+            "version chains must not grow without bound (got {})",
+            store.stats().versions
+        );
+        // The exposed state is untouched.
+        assert_eq!(replica.read_view().get(row(0)).unwrap().as_u64(), Some(500));
+    }
+
+    #[test]
+    fn deferred_writes_are_counted_once_per_wait() {
+        // Force deferral deterministically: 2 workers, hot-row-only txns, so
+        // round-robin segments race on the row chain.
+        let replica = replica(C5Mode::Faithful, 2);
+        let segments = adversarial_log(100, 1, 4);
+        drive_segments(replica.as_ref(), segments);
+        let metrics = replica.metrics();
+        // Every write applied exactly once regardless of how many parked.
+        assert_eq!(metrics.applied_txns, 100);
+        assert!(
+            metrics.deferred_writes <= metrics.applied_writes,
+            "a write defers at most once: {} > {}",
+            metrics.deferred_writes,
+            metrics.applied_writes
         );
     }
 }

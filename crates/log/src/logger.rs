@@ -47,32 +47,37 @@ impl StreamingLogger {
     ///
     /// Returns the assigned commit timestamp.
     pub fn append(&self, txn: TxnId, writes: Vec<c5_common::RowWrite>) -> Timestamp {
-        let segment = {
-            let mut inner = self.inner.lock();
-            inner.next_commit_ts = inner.next_commit_ts.next();
-            let commit_ts = inner.next_commit_ts;
-            let entry = TxnEntry::new(txn, commit_ts, writes);
-            let (records, next_seq) = explode_txn(&entry, inner.next_seq);
-            inner.next_seq = next_seq;
-            inner.appended_txns += 1;
-            let seg = if records.is_empty() {
-                None
-            } else {
-                inner.builder.push_txn(records)
-            };
-            (seg, commit_ts)
+        let mut inner = self.inner.lock();
+        inner.next_commit_ts = inner.next_commit_ts.next();
+        let commit_ts = inner.next_commit_ts;
+        let entry = TxnEntry::new(txn, commit_ts, writes);
+        let (records, next_seq) = explode_txn(&entry, inner.next_seq);
+        inner.next_seq = next_seq;
+        inner.appended_txns += 1;
+        let seg = if records.is_empty() {
+            None
+        } else {
+            inner.builder.push_txn(records)
         };
-        if let Some(seg) = segment.0 {
+        if let Some(seg) = seg {
+            // Ship while still holding the logger lock: the order of segments
+            // on the wire must equal log order, and releasing the lock first
+            // would let a concurrent append overtake between building a
+            // segment and shipping it (the backup's per-row `prev_seq`
+            // stamping silently corrupts on reordered segments). Backpressure
+            // from a bounded shipper deliberately propagates to committers.
             self.shipper.ship(seg);
         }
-        segment.1
+        commit_ts
     }
 
     /// Flushes any buffered records into a final segment and ships it.
     /// Call this when the workload ends so the backup sees every write.
     pub fn flush(&self) {
-        let seg = self.inner.lock().builder.flush();
-        if let Some(seg) = seg {
+        // Hold the logger lock across the ship, for the same ordering reason
+        // as `append`.
+        let mut inner = self.inner.lock();
+        if let Some(seg) = inner.builder.flush() {
             self.shipper.ship(seg);
         }
     }

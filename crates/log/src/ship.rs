@@ -1,10 +1,18 @@
-//! Log shipping between the primary and the backup.
+//! Log shipping between the primary and the backups.
 //!
 //! The paper assumes the log is delivered promptly (Section 2.4, Section 3.1
 //! assumes instantaneous delivery); the interesting dynamics are entirely in
-//! how fast the backup can *apply* it. The shipper is therefore a thin
-//! bounded channel with an optional artificial per-segment delay used only by
-//! tests that need to exercise slow-network behaviour.
+//! how fast a backup can *apply* it. The shipper is therefore a thin set of
+//! bounded channels with an optional artificial per-segment delay used only
+//! by tests that need to exercise slow-network behaviour.
+//!
+//! One shipper can feed **several replicas at once**
+//! ([`LogShipper::fan_out`]): each replica gets its own bounded channel, so
+//! every replica observes the identical segment stream but exerts
+//! *independent* backpressure — a slow replica fills only its own channel
+//! (eventually pacing the primary to the slowest replica, as any bounded
+//! fan-out must), and per-replica lag stays individually observable. This is
+//! the "one primary serving many read replicas" deployment of Section 2.1.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -14,26 +22,31 @@ use parking_lot::Mutex;
 
 use crate::segment::Segment;
 
+/// The shared, immutable set of per-replica senders. Behind its own `Arc` so
+/// `ship` can snapshot it with a refcount bump per segment instead of
+/// cloning the vector.
+type FanOutSenders = Arc<Vec<Sender<Segment>>>;
+
 /// Sending half of the replication channel (owned by the primary's logger).
 ///
-/// Cloning a shipper clones the underlying sender; the receiver observes
+/// Cloning a shipper clones the underlying senders; the receivers observe
 /// end-of-log once every clone has been closed or dropped.
 #[derive(Clone)]
 pub struct LogShipper {
-    tx: Arc<Mutex<Option<Sender<Segment>>>>,
+    txs: Arc<Mutex<Option<FanOutSenders>>>,
     delay: Option<Duration>,
 }
 
-/// Receiving half of the replication channel (owned by the backup replica).
+/// Receiving half of the replication channel (owned by a backup replica).
 #[derive(Clone)]
 pub struct LogReceiver {
     rx: Receiver<Segment>,
 }
 
 impl LogShipper {
-    fn from_sender(tx: Sender<Segment>) -> LogShipper {
+    fn from_senders(txs: Vec<Sender<Segment>>) -> LogShipper {
         LogShipper {
-            tx: Arc::new(Mutex::new(Some(tx))),
+            txs: Arc::new(Mutex::new(Some(Arc::new(txs)))),
             delay: None,
         }
     }
@@ -42,16 +55,58 @@ impl LogShipper {
     /// replica exerts backpressure on benchmark drivers instead of buffering
     /// the whole run in memory.
     pub fn bounded(capacity: usize) -> (LogShipper, LogReceiver) {
-        let (tx, rx) = channel::bounded(capacity);
-        (Self::from_sender(tx), LogReceiver { rx })
+        let (shipper, mut receivers) = Self::fan_out(1, capacity);
+        (shipper, receivers.remove(0))
     }
 
     /// Creates an unbounded shipping channel. Used by experiments that
     /// specifically measure how far a replica falls behind (backpressure
     /// would mask the lag the experiment wants to expose).
     pub fn unbounded() -> (LogShipper, LogReceiver) {
-        let (tx, rx) = channel::unbounded();
-        (Self::from_sender(tx), LogReceiver { rx })
+        let (shipper, mut receivers) = Self::fan_out_unbounded(1);
+        (shipper, receivers.remove(0))
+    }
+
+    /// Creates a fan-out shipper feeding `replicas` receivers, each over its
+    /// own bounded channel of `capacity` segments. Every shipped segment is
+    /// delivered to every receiver; a full channel blocks the shipper until
+    /// that replica catches up, without affecting segments already queued to
+    /// the others.
+    ///
+    /// # Panics
+    /// Panics if `replicas` is zero.
+    pub fn fan_out(replicas: usize, capacity: usize) -> (LogShipper, Vec<LogReceiver>) {
+        assert!(replicas > 0, "fan-out requires at least one replica");
+        let mut txs = Vec::with_capacity(replicas);
+        let mut receivers = Vec::with_capacity(replicas);
+        for _ in 0..replicas {
+            let (tx, rx) = channel::bounded(capacity);
+            txs.push(tx);
+            receivers.push(LogReceiver { rx });
+        }
+        (Self::from_senders(txs), receivers)
+    }
+
+    /// Creates a fan-out shipper with unbounded per-replica channels (for
+    /// experiments that measure how far each replica falls behind).
+    ///
+    /// # Panics
+    /// Panics if `replicas` is zero.
+    pub fn fan_out_unbounded(replicas: usize) -> (LogShipper, Vec<LogReceiver>) {
+        assert!(replicas > 0, "fan-out requires at least one replica");
+        let mut txs = Vec::with_capacity(replicas);
+        let mut receivers = Vec::with_capacity(replicas);
+        for _ in 0..replicas {
+            let (tx, rx) = channel::unbounded();
+            txs.push(tx);
+            receivers.push(LogReceiver { rx });
+        }
+        (Self::from_senders(txs), receivers)
+    }
+
+    /// Number of replicas this shipper feeds (zero once closed).
+    pub fn replica_count(&self) -> usize {
+        self.txs.lock().as_ref().map_or(0, |txs| txs.len())
     }
 
     /// Adds an artificial delay before each shipped segment.
@@ -60,29 +115,35 @@ impl LogShipper {
         self
     }
 
-    /// Ships a segment. Blocks if the channel is full. Segments shipped after
-    /// [`LogShipper::close`] or into a dropped receiver are discarded.
+    /// Ships a segment to every replica. Blocks while any replica's channel
+    /// is full. Segments shipped after [`LogShipper::close`] or into dropped
+    /// receivers are discarded (a single dropped receiver does not affect
+    /// delivery to the others).
     pub fn ship(&self, segment: Segment) {
         if let Some(d) = self.delay {
             std::thread::sleep(d);
         }
-        // Clone the sender out of the mutex so a full (blocking) channel does
-        // not hold the lock and deadlock against `close()`.
-        let sender = self.tx.lock().clone();
-        if let Some(sender) = sender {
-            match sender.send(segment) {
+        // Clone the senders out of the mutex so a full (blocking) channel
+        // does not hold the lock and deadlock against `close()`.
+        let senders = self.txs.lock().clone();
+        let Some(senders) = senders else { return };
+        let last = senders.len() - 1;
+        for sender in &senders[..last] {
+            match sender.send(segment.clone()) {
                 Ok(()) => {}
                 Err(SendError(_)) => {
-                    // Receiver dropped; nothing useful to do.
+                    // That receiver dropped; the others still get the log.
                 }
             }
         }
+        // The last replica takes the original — a 1→1 shipper never clones.
+        let _ = senders[last].send(segment);
     }
 
     /// Closes this shipper handle. Once every clone sharing this handle is
-    /// closed (or dropped), the receiver observes end-of-log.
+    /// closed (or dropped), the receivers observe end-of-log.
     pub fn close(&self) {
-        self.tx.lock().take();
+        self.txs.lock().take();
     }
 }
 
@@ -192,5 +253,56 @@ mod tests {
             rx.recv_timeout(Duration::from_secs(1)).unwrap().header.id,
             7
         );
+    }
+
+    #[test]
+    fn fan_out_delivers_every_segment_to_every_replica() {
+        let (tx, receivers) = LogShipper::fan_out(3, 8);
+        assert_eq!(tx.replica_count(), 3);
+        tx.ship(segment(1));
+        tx.ship(segment(2));
+        tx.close();
+        assert_eq!(tx.replica_count(), 0);
+        for rx in &receivers {
+            let got = rx.drain();
+            assert_eq!(got.len(), 2);
+            assert_eq!(got[0].header.id, 1);
+            assert_eq!(got[1].header.id, 2);
+        }
+    }
+
+    #[test]
+    fn fan_out_channels_backpressure_independently() {
+        // Replica 0 never consumes; its channel has room for exactly the
+        // shipped load, so replica 1 keeps receiving everything promptly.
+        let (tx, receivers) = LogShipper::fan_out(2, 4);
+        for id in 1..=4 {
+            tx.ship(segment(id));
+        }
+        assert_eq!(receivers[0].try_len(), 4);
+        let fast = receivers[1].drain_available();
+        assert_eq!(fast.len(), 4);
+        // The stalled replica's queue is untouched by the fast one draining.
+        assert_eq!(receivers[0].try_len(), 4);
+        tx.close();
+        assert_eq!(receivers[0].drain().len(), 4);
+    }
+
+    #[test]
+    fn fan_out_survives_one_replica_dropping() {
+        let (tx, mut receivers) = LogShipper::fan_out(3, 4);
+        let dead = receivers.remove(1);
+        drop(dead);
+        tx.ship(segment(9));
+        tx.close();
+        for rx in &receivers {
+            assert_eq!(rx.drain().len(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replica_fan_out_panics() {
+        let _ = LogShipper::fan_out(0, 4);
     }
 }

@@ -132,6 +132,93 @@ fn page_granularity_guarantees_mpc() {
     check_protocol("page");
 }
 
+/// 1 primary → 3 replicas: the same log fans out to three independent C5
+/// backups, each of which must guarantee MPC on its own — views are sampled
+/// per replica while it applies — and each of which reports its own lag.
+#[test]
+fn c5_fan_out_1_to_3_guarantees_mpc_per_replica() {
+    const REPLICAS: usize = 3;
+    let (population, segments) = contended_log(200);
+    let txns = segments.iter().map(|s| s.committed_txns()).sum::<usize>();
+
+    let (shipper, receivers) = LogShipper::fan_out(REPLICAS, 8);
+    let replicas: Vec<Arc<dyn ClonedConcurrencyControl>> =
+        (0..REPLICAS).map(|_| build("c5", &population)).collect();
+
+    // Drive each replica from its own receiver while sampling its views.
+    let mut drivers = Vec::new();
+    let mut samplers = Vec::new();
+    for (replica, receiver) in replicas.iter().zip(receivers) {
+        let driver = Arc::clone(replica);
+        drivers.push(std::thread::spawn(move || {
+            drive_from_receiver(driver.as_ref(), receiver)
+        }));
+        let sampled = Arc::clone(replica);
+        samplers.push(std::thread::spawn(move || {
+            let mut samples = Vec::new();
+            for _ in 0..150 {
+                let view = sampled.read_view();
+                samples.push((view.as_of(), view.scan_all()));
+                std::thread::sleep(Duration::from_micros(300));
+            }
+            samples
+        }));
+    }
+    for segment in segments.clone() {
+        shipper.ship(segment);
+    }
+    shipper.close();
+    for driver in drivers {
+        driver.join().unwrap();
+    }
+
+    for (i, (replica, sampler)) in replicas.iter().zip(samplers).enumerate() {
+        let mut checker = MpcChecker::new(&population, &segments);
+        for (cut, state) in sampler.join().unwrap() {
+            checker
+                .verify_state(cut, state)
+                .unwrap_or_else(|e| panic!("replica {i}: {e}"));
+        }
+        let view = replica.read_view();
+        assert_eq!(
+            view.as_of(),
+            checker.final_seq(),
+            "replica {i} did not expose the full log"
+        );
+        checker
+            .verify_state(view.as_of(), view.scan_all())
+            .unwrap_or_else(|e| panic!("replica {i}: final state: {e}"));
+        // Per-replica lag: one sample per committed transaction.
+        assert_eq!(replica.lag().len(), txns, "replica {i} lag samples");
+    }
+}
+
+/// The same 1→3 fan-out through the bench harness: a live 2PL primary, one
+/// bounded channel per replica, and per-replica lag in the report.
+#[test]
+fn fan_out_harness_reports_per_replica_lag() {
+    use c5_bench::harness::{run_fanout_streaming, StreamingSetup};
+    use c5_bench::ReplicaSpec;
+    use c5_repro::workloads::synthetic::adversarial_population;
+
+    let mut setup = StreamingSetup::new(Duration::from_millis(250), 2, 2);
+    setup.population = adversarial_population();
+    let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(2));
+    let outcome = run_fanout_streaming(&setup, factory, ReplicaSpec::C5Faithful, 3);
+
+    assert!(outcome.primary.committed > 0);
+    assert_eq!(outcome.replicas.len(), 3);
+    assert!(outcome.all_converged());
+    for replica in &outcome.replicas {
+        let lag = replica
+            .lag
+            .as_ref()
+            .unwrap_or_else(|| panic!("replica {} reported no lag", replica.replica));
+        assert_eq!(lag.count as u64, outcome.primary.committed);
+        assert!(lag.p50_ms >= 0.0 && lag.p50_ms <= lag.max_ms);
+    }
+}
+
 /// The checker itself must reject a protocol that violates MPC. KuaFu with
 /// its constraints disabled applies conflicting transactions out of order, so
 /// the final state (almost surely) diverges from the serial replay — this is
