@@ -123,6 +123,7 @@ impl BaselineShared {
             exposed_seq: self.cursor.exposed(),
             deferred_writes: 0,
             reclaimed_versions: self.gc.reclaimed(),
+            cross_shard_txns: 0,
         }
     }
 }

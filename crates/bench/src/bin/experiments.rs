@@ -16,6 +16,7 @@
 //!   fig11           Adversarial workload on the MVTSO primary
 //!   fig12           The production load-spike trace
 //!   fanout          1 primary -> 3 replicas log fan-out, per-replica lag
+//!   sharded         Keyspace sharding sweep (1/2/4/8 shards), per-shard lag
 //!   insert-only     Insert-only workload, 2PL primary, all protocols
 //!   insert-only-cicada  Insert-only workload, MVTSO primary
 //!   sched-offline   Offline scheduler throughput (Section 6.2)
@@ -56,6 +57,7 @@ fn main() {
         "fig11" => experiments::fig11::run(&scale),
         "fig12" => experiments::fig12::run(&scale),
         "fanout" => experiments::fanout::run(&scale),
+        "sharded" => experiments::sharded::run(&scale),
         "insert-only" => experiments::insert_only::run_myrocks(&scale),
         "insert-only-cicada" => experiments::insert_only::run_cicada(&scale),
         "sched-offline" => experiments::sched_offline::run(&scale),
@@ -79,6 +81,7 @@ fn main() {
             "fig11",
             "fig12",
             "fanout",
+            "sharded",
             "insert-only",
             "insert-only-cicada",
             "sched-offline",

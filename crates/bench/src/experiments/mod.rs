@@ -25,5 +25,6 @@ pub mod fig8_9;
 pub mod insert_only;
 pub mod recorder;
 pub mod sched_offline;
+pub mod sharded;
 pub mod table1;
 pub mod theorems;

@@ -1,0 +1,120 @@
+//! Sharded replication: per-partition apply under the cross-shard cut
+//! coordinator.
+//!
+//! The paper's replica applies one log with one pipeline; the ROADMAP
+//! north-star is a keyspace that shards. This scenario runs the shard-span
+//! workload (two uniform updates per transaction, so roughly `1 - 1/N` of
+//! transactions cross shards at N shards) on the 2PL primary while a
+//! `ShardedC5Replica` applies the log at 1, 2, 4, and 8 shards, keeping the
+//! total worker count as close to constant as divisibility allows
+//! (`max(1, total / shards)` workers per shard — each pipeline needs at
+//! least one worker, so shard counts above the total run more; the table's
+//! `workers` column reports the actual number so rows stay comparable).
+//! Reported per shard count: primary throughput, the cross-shard share,
+//! global lag, and per-shard lag (a transaction's sample lands on the shard
+//! owning its final write).
+//!
+//! The 1-shard row is the control: it must match the unsharded faithful
+//! replica, because the cut protocol degenerates to the paper's
+//! single-log cut when the vector has one component.
+
+use std::sync::Arc;
+
+use c5_primary::TxnFactory;
+use c5_workloads::synthetic::{shard_span_population, ShardSpanWorkload};
+
+use crate::harness::{fmt_tps, print_table, run_sharded_streaming, StreamingSetup};
+use crate::scale::Scale;
+
+/// The shard counts the sweep measures.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The preloaded key space the workload updates (and the router partitions).
+pub const KEY_SPACE: u64 = 4096;
+
+/// Runs the sweep and prints one global row plus one row per shard.
+pub fn run(scale: &Scale) {
+    let total_workers = scale.replica_workers.max(1);
+    let mut rows = Vec::new();
+    for shards in SHARD_COUNTS {
+        // Keep total apply parallelism constant across the sweep.
+        let workers_per_shard = (total_workers / shards).max(1);
+        let mut setup =
+            StreamingSetup::new(scale.duration, scale.primary_threads, workers_per_shard);
+        setup.population = shard_span_population(KEY_SPACE);
+        setup.segment_records = scale.segment_records;
+        let factory: Arc<dyn TxnFactory> = Arc::new(ShardSpanWorkload::new(KEY_SPACE));
+        let outcome = run_sharded_streaming(&setup, factory, shards, KEY_SPACE);
+
+        println!(
+            "{shards} shard(s): {:.0}% cross-shard, global lag p50 {:.2} ms, worst shard p50 {:.2} ms",
+            outcome.cross_shard_share() * 100.0,
+            outcome.lag.as_ref().map(|l| l.p50_ms).unwrap_or(0.0),
+            outcome.worst_shard_p50_ms(),
+        );
+        assert!(
+            outcome.converged(),
+            "{shards} shards: the replica must apply the full log ({} of {})",
+            outcome.replica_metrics.applied_txns,
+            outcome.primary.committed
+        );
+        if shards > 1 && outcome.replica_metrics.applied_txns > 0 {
+            assert!(
+                outcome.cross_shard_share() >= 0.10,
+                "{shards} shards: the span workload must be >=10% cross-shard (got {:.1}%)",
+                outcome.cross_shard_share() * 100.0
+            );
+        }
+
+        let global_lag = outcome.lag.as_ref();
+        rows.push(vec![
+            shards.to_string(),
+            "all".into(),
+            (workers_per_shard * shards).to_string(),
+            fmt_tps(outcome.primary.throughput()),
+            outcome.replica_metrics.applied_txns.to_string(),
+            format!("{:.0}%", outcome.cross_shard_share() * 100.0),
+            global_lag
+                .map(|l| format!("{:.2}", l.p50_ms))
+                .unwrap_or_else(|| "-".into()),
+            global_lag
+                .map(|l| format!("{:.2}", l.max_ms))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.0}ms", outcome.replica_wall.as_millis()),
+        ]);
+        for shard in &outcome.per_shard {
+            let lag = shard.lag.as_ref();
+            rows.push(vec![
+                shards.to_string(),
+                shard.shard.to_string(),
+                String::new(),
+                String::new(),
+                shard.owned_txns.to_string(),
+                String::new(),
+                lag.map(|l| format!("{:.2}", l.p50_ms))
+                    .unwrap_or_else(|| "-".into()),
+                lag.map(|l| format!("{:.2}", l.max_ms))
+                    .unwrap_or_else(|| "-".into()),
+                String::new(),
+            ]);
+        }
+    }
+    print_table(
+        &format!(
+            "Sharded replication (measured on this host): ~{total_workers} total workers \
+             (see column), shard-span workload over {KEY_SPACE} keys"
+        ),
+        &[
+            "shards",
+            "shard",
+            "workers",
+            "primary txns/s",
+            "txns",
+            "cross-shard",
+            "lag p50 ms",
+            "lag max ms",
+            "apply wall",
+        ],
+        &rows,
+    );
+}

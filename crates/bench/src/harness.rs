@@ -426,6 +426,132 @@ pub fn run_fanout_streaming(
     }
 }
 
+/// One shard's outcome in a sharded streaming run.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// Lag summary for transactions owned by this shard (if any committed).
+    pub lag: Option<LagStats>,
+    /// Transactions owned by (committing on) this shard.
+    pub owned_txns: usize,
+}
+
+/// Outcome of a sharded streaming experiment.
+#[derive(Debug, Clone)]
+pub struct ShardedOutcome {
+    /// Number of keyspace shards.
+    pub shards: usize,
+    /// Primary-side statistics.
+    pub primary: PrimaryRunStats,
+    /// Time from the start of the run until the replica had applied and
+    /// exposed the entire log.
+    pub replica_wall: Duration,
+    /// Global progress counters (summed across shards; `cross_shard_txns`
+    /// counts transactions spanning shards).
+    pub replica_metrics: ReplicaMetrics,
+    /// Global replication-lag summary.
+    pub lag: Option<LagStats>,
+    /// Per-shard lag, indexed by shard.
+    pub per_shard: Vec<ShardOutcome>,
+}
+
+impl ShardedOutcome {
+    /// Fraction of committed transactions whose writes spanned shards.
+    pub fn cross_shard_share(&self) -> f64 {
+        if self.replica_metrics.applied_txns == 0 {
+            0.0
+        } else {
+            self.replica_metrics.cross_shard_txns as f64 / self.replica_metrics.applied_txns as f64
+        }
+    }
+
+    /// Whether the replica applied exactly the primary's committed
+    /// transactions.
+    pub fn converged(&self) -> bool {
+        self.replica_metrics.applied_txns == self.primary.committed
+    }
+
+    /// The largest per-shard median lag, in milliseconds.
+    pub fn worst_shard_p50_ms(&self) -> f64 {
+        self.per_shard
+            .iter()
+            .filter_map(|s| s.lag.as_ref().map(|l| l.p50_ms))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs one sharded streaming experiment: a 2PL primary executes `factory`'s
+/// workload for `setup.duration` while a [`c5_core::ShardedC5Replica`] with
+/// `shards` per-partition pipelines (each `setup.replica_workers` workers)
+/// applies the log live under the cross-shard cut coordinator. Reports global
+/// and per-shard lag.
+pub fn run_sharded_streaming(
+    setup: &StreamingSetup,
+    factory: Arc<dyn TxnFactory>,
+    shards: usize,
+    shard_key_space: u64,
+) -> ShardedOutcome {
+    use c5_core::ShardedC5Replica;
+
+    // Primary.
+    let primary_store = Arc::new(MvStore::default());
+    preload(&primary_store, &setup.population);
+    let (shipper, receiver) = LogShipper::unbounded();
+    let logger = StreamingLogger::new(setup.segment_records, shipper);
+    let primary_config = PrimaryConfig::default()
+        .with_threads(setup.primary_threads)
+        .with_op_cost(setup.op_cost);
+    let engine = Arc::new(TplEngine::new(primary_store, primary_config, logger));
+
+    // Sharded backup.
+    let replica_store = Arc::new(MvStore::default());
+    preload(&replica_store, &setup.population);
+    let replica_config = ReplicaConfig::default()
+        .with_workers(setup.replica_workers)
+        .with_op_cost(setup.op_cost)
+        .with_snapshot_interval(setup.snapshot_interval)
+        .with_shards(shards)
+        .with_shard_key_space(shard_key_space);
+    let replica = ShardedC5Replica::new(replica_store, replica_config);
+
+    let start = Instant::now();
+    let mut replica_wall = Duration::ZERO;
+    let mut primary_stats = PrimaryRunStats::default();
+
+    std::thread::scope(|scope| {
+        let replica_ref: &dyn ClonedConcurrencyControl = replica.as_ref();
+        let drive = scope.spawn(move || drive_from_receiver(replica_ref, receiver));
+        primary_stats = ClosedLoopDriver::with_seed(setup.seed).run_tpl(
+            &engine,
+            &factory,
+            setup.clients,
+            RunLength::Timed(setup.duration),
+        );
+        engine.close_log();
+        drive.join().expect("replica driver");
+        replica_wall = start.elapsed();
+    });
+
+    ShardedOutcome {
+        shards,
+        primary: primary_stats,
+        replica_wall,
+        replica_metrics: replica.metrics(),
+        lag: replica.lag().stats(),
+        per_shard: (0..shards)
+            .map(|shard| {
+                let lag = replica.shard_lag(shard);
+                ShardOutcome {
+                    shard,
+                    owned_txns: lag.len(),
+                    lag: lag.stats(),
+                }
+            })
+            .collect(),
+    }
+}
+
 /// Parameters for the offline (Cicada-style) experiments.
 #[derive(Debug, Clone)]
 pub struct OfflineSetup {

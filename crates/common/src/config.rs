@@ -100,6 +100,15 @@ pub struct ReplicaConfig {
     /// than `exposed - gc_trail` are reclaimed by the expose stage. Zero
     /// collects right up to the cut.
     pub gc_trail: u64,
+    /// Number of keyspace shards a sharded replica partitions the log into.
+    /// Each shard runs its own apply pipeline (`workers` threads each); a
+    /// cross-shard cut coordinator reassembles a globally consistent exposed
+    /// prefix. `1` (the default) is the paper's unsharded replica.
+    pub shards: usize,
+    /// The key space the shard router partitions into contiguous ranges
+    /// (keys at or beyond it clamp into the last shard). Only meaningful
+    /// when `shards > 1`.
+    pub shard_key_space: u64,
 }
 
 impl Default for ReplicaConfig {
@@ -111,6 +120,8 @@ impl Default for ReplicaConfig {
             snapshot_interval: Duration::from_millis(10),
             segment_channel_capacity: 1024,
             gc_trail: 4096,
+            shards: 1,
+            shard_key_space: 1 << 20,
         }
     }
 }
@@ -133,7 +144,29 @@ impl ReplicaConfig {
                 "snapshot interval must be non-zero".into(),
             ));
         }
+        if self.shards == 0 || self.shards > crate::shard::MAX_SHARDS {
+            return Err(Error::InvalidConfig(format!(
+                "shard count must be in 1..={} (got {})",
+                crate::shard::MAX_SHARDS,
+                self.shards
+            )));
+        }
+        if !crate::shard::ShardRouter::splits_evenly(self.shards, self.shard_key_space) {
+            return Err(Error::InvalidConfig(format!(
+                "shard key space {} cannot split into {} non-empty equal-width ranges",
+                self.shard_key_space, self.shards
+            )));
+        }
         Ok(())
+    }
+
+    /// The shard router this configuration describes.
+    pub fn shard_router(&self) -> crate::shard::ShardRouter {
+        if self.shards == 1 {
+            crate::shard::ShardRouter::single()
+        } else {
+            crate::shard::ShardRouter::new(self.shards, self.shard_key_space)
+        }
     }
 
     /// Builder-style setter for the number of workers.
@@ -163,6 +196,18 @@ impl ReplicaConfig {
     /// Builder-style setter for the GC-horizon trail.
     pub fn with_gc_trail(mut self, trail: u64) -> Self {
         self.gc_trail = trail;
+        self
+    }
+
+    /// Builder-style setter for the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Builder-style setter for the sharded key space.
+    pub fn with_shard_key_space(mut self, key_space: u64) -> Self {
+        self.shard_key_space = key_space;
         self
     }
 }
@@ -213,6 +258,34 @@ mod tests {
     fn zero_snapshot_interval_rejected() {
         let cfg = ReplicaConfig::default().with_snapshot_interval(Duration::ZERO);
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn shard_knobs_validate() {
+        assert!(ReplicaConfig::default().with_shards(0).validate().is_err());
+        assert!(ReplicaConfig::default().with_shards(65).validate().is_err());
+        assert!(ReplicaConfig::default()
+            .with_shards(4)
+            .with_shard_key_space(3)
+            .validate()
+            .is_err());
+        // The rounded-up span must leave the last shard a non-empty range
+        // (ceil(9/4) = 3 starves shard 3), mirroring ShardRouter::new.
+        assert!(ReplicaConfig::default()
+            .with_shards(4)
+            .with_shard_key_space(9)
+            .validate()
+            .is_err());
+        let cfg = ReplicaConfig::default()
+            .with_shards(4)
+            .with_shard_key_space(1000);
+        assert!(cfg.validate().is_ok());
+        let router = cfg.shard_router();
+        assert_eq!(router.shards(), 4);
+        assert_eq!(router.key_space(), 1000);
+        // The default single-shard config routes everything to shard 0.
+        let single = ReplicaConfig::default().shard_router();
+        assert_eq!(single.shards(), 1);
     }
 
     #[test]

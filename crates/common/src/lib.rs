@@ -31,10 +31,14 @@ pub mod config;
 pub mod cost;
 pub mod error;
 pub mod ids;
+pub mod pacing;
+pub mod shard;
 pub mod value;
 
 pub use config::{IsolationLevel, PrimaryConfig, ReplicaConfig, SnapshotMode};
 pub use cost::OpCost;
 pub use error::{Error, Result};
 pub use ids::{Key, RowRef, SeqNo, TableId, Timestamp, TxnId, WorkerId};
+pub use pacing::{poll_until, Pacer};
+pub use shard::ShardRouter;
 pub use value::{RowWrite, Value, WriteKind};

@@ -42,6 +42,7 @@ pub mod pipeline;
 pub mod progress;
 pub mod replica;
 pub mod scheduler;
+pub mod shard;
 pub mod snapshotter;
 
 pub use lag::{LagSample, LagStats, LagTracker};
@@ -56,3 +57,4 @@ pub use replica::{
     ReplicaMetrics,
 };
 pub use scheduler::{preprocess_segment, SchedulerState, SchedulerStats};
+pub use shard::{CutCoordinator, ShardProgress, ShardedC5Replica};

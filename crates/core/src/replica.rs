@@ -79,6 +79,10 @@ pub struct ReplicaMetrics {
     /// Row versions reclaimed by the garbage-collection horizon trailing the
     /// exposed cut.
     pub reclaimed_versions: u64,
+    /// Transactions whose writes spanned more than one keyspace shard (zero
+    /// for unsharded replicas, and for sharded replicas fed pre-routed
+    /// streams — there the sharded shipper counts).
+    pub cross_shard_txns: u64,
 }
 
 /// The interface shared by C5 and every baseline cloned concurrency control
@@ -112,14 +116,7 @@ pub trait ClonedConcurrencyControl: Send + Sync {
     /// Blocks until the exposed cut reaches `seq` or the timeout expires;
     /// returns whether it did.
     fn wait_until_exposed(&self, seq: SeqNo, timeout: Duration) -> bool {
-        let start = Instant::now();
-        while self.exposed_seq() < seq {
-            if start.elapsed() > timeout {
-                return false;
-            }
-            std::thread::sleep(Duration::from_micros(200));
-        }
-        true
+        c5_common::pacing::poll_until(timeout, || self.exposed_seq() >= seq)
     }
 }
 
@@ -386,6 +383,7 @@ impl PipelinePolicy for C5Policy {
             exposed_seq: self.exposed_seq(),
             deferred_writes: self.deferred_writes.load(Ordering::Relaxed),
             reclaimed_versions: self.gc.reclaimed(),
+            cross_shard_txns: 0,
         }
     }
 }

@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use c5_common::{RowRef, SeqNo, TableId, Timestamp, Value};
+use c5_common::{RowRef, SeqNo, ShardRouter, TableId, Timestamp, Value};
 use c5_storage::{DbSnapshot, MvStore};
 
 use crate::replica::ReadView;
@@ -219,6 +219,61 @@ struct TimestampedView {
 impl ReadView for TimestampedView {
     fn get(&self, row: RowRef) -> Option<Value> {
         self.store.read_at(row, Timestamp(self.as_of.as_u64()))
+    }
+
+    fn as_of(&self) -> SeqNo {
+        self.as_of
+    }
+
+    fn scan_table(&self, table: TableId) -> Vec<(RowRef, Value)> {
+        self.store
+            .scan_table_at(table, Timestamp(self.as_of.as_u64()))
+    }
+
+    fn scan_all(&self) -> Vec<(RowRef, Value)> {
+        self.store.scan_all_at(Timestamp(self.as_of.as_u64()))
+    }
+}
+
+/// A spanning read view over a sharded replica, pinned at a full cut vector
+/// (see [`crate::shard`]).
+///
+/// Point reads serve each row at its *own shard's* vector component `c_s`;
+/// scans read at the global cut `B`. The two are guaranteed to agree — the
+/// coordinator chooses each component as the shard's frontier, one position
+/// before the shard's earliest record above `B`, so no shard-owned version
+/// exists in `(B, c_s]` — and the vector (exposed via
+/// [`cut_vector`](Self::cut_vector)) is what tests assert that guarantee on.
+pub struct ShardedReadView {
+    store: Arc<MvStore>,
+    router: ShardRouter,
+    vector: Vec<SeqNo>,
+    as_of: SeqNo,
+}
+
+impl ShardedReadView {
+    /// Pins a view at `vector` (one component per shard) with global cut
+    /// `as_of`.
+    pub fn new(store: Arc<MvStore>, router: ShardRouter, vector: Vec<SeqNo>, as_of: SeqNo) -> Self {
+        debug_assert_eq!(vector.len(), router.shards());
+        Self {
+            store,
+            router,
+            vector,
+            as_of,
+        }
+    }
+
+    /// The per-shard cut vector this view is pinned at.
+    pub fn cut_vector(&self) -> &[SeqNo] {
+        &self.vector
+    }
+}
+
+impl ReadView for ShardedReadView {
+    fn get(&self, row: RowRef) -> Option<Value> {
+        let cut = self.vector[self.router.route(row)];
+        self.store.read_at(row, Timestamp(cut.as_u64()))
     }
 
     fn as_of(&self) -> SeqNo {

@@ -44,4 +44,4 @@ pub mod ship;
 pub use logger::{coalesce, flatten, segments_from_entries, StreamingLogger, ThreadLog};
 pub use record::{explode_txn, now_nanos, LogRecord, TxnEntry};
 pub use segment::{Segment, SegmentHeader};
-pub use ship::{LogReceiver, LogShipper};
+pub use ship::{route_segment, LogReceiver, LogShipper, RoutedSegments, RoutingStats};

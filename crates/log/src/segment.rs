@@ -20,6 +20,13 @@ pub struct SegmentHeader {
     /// Set by the C5 scheduler once every record's `prev_seq` has been
     /// computed. Workers only execute preprocessed segments.
     pub preprocessed: bool,
+    /// The log position this segment's stream is complete through. For a
+    /// whole-log segment this is simply its last record's position; for a
+    /// per-shard sub-segment produced by key-ranged routing it is the *parent*
+    /// segment's last position — the shard has seen every record it owns up
+    /// to there, even when none of them landed in its range. Shard progress
+    /// tracking depends on this to advance through gaps.
+    pub covers_through: SeqNo,
 }
 
 /// A batch of log records that never splits a transaction.
@@ -35,14 +42,24 @@ impl Segment {
     /// Creates a segment from records. The caller is responsible for keeping
     /// transactions whole; [`SegmentBuilder`] does this automatically.
     pub fn new(id: u64, records: Vec<LogRecord>) -> Self {
+        let covers_through = records.last().map(|r| r.seq).unwrap_or(SeqNo::ZERO);
         Self {
             header: SegmentHeader {
                 id,
                 record_count: records.len(),
                 preprocessed: false,
+                covers_through,
             },
             records,
         }
+    }
+
+    /// Creates a per-shard sub-segment: `records` are the shard's slice of a
+    /// parent segment whose stream is complete through `covers_through`.
+    pub fn sub_segment(id: u64, records: Vec<LogRecord>, covers_through: SeqNo) -> Self {
+        let mut seg = Self::new(id, records);
+        seg.header.covers_through = covers_through;
+        seg
     }
 
     /// First sequence number in the segment, if any.
@@ -53,6 +70,14 @@ impl Segment {
     /// Last sequence number in the segment, if any.
     pub fn last_seq(&self) -> Option<SeqNo> {
         self.records.last().map(|r| r.seq)
+    }
+
+    /// The log position this segment's stream is complete through (see
+    /// [`SegmentHeader::covers_through`]). Never below the last record.
+    pub fn covered_through(&self) -> SeqNo {
+        self.last_seq()
+            .unwrap_or(SeqNo::ZERO)
+            .max(self.header.covers_through)
     }
 
     /// Number of records.
@@ -203,5 +228,23 @@ mod tests {
         assert!(seg.transactions_are_whole());
         assert!(seg.is_empty());
         assert_eq!(seg.first_seq(), None);
+        assert_eq!(seg.covered_through(), SeqNo::ZERO);
+    }
+
+    #[test]
+    fn coverage_defaults_to_last_record_and_sub_segments_extend_it() {
+        let (r, _) = txn_records(1, 3, SeqNo::ZERO);
+        let seg = Segment::new(0, r.clone());
+        assert_eq!(seg.covered_through(), SeqNo(3));
+
+        // A shard's slice of a larger parent covers the parent's whole span.
+        let sub = Segment::sub_segment(0, vec![r[0].clone()], SeqNo(3));
+        assert_eq!(sub.last_seq(), Some(SeqNo(1)));
+        assert_eq!(sub.covered_through(), SeqNo(3));
+
+        // An empty slice still carries the coverage.
+        let empty = Segment::sub_segment(0, vec![], SeqNo(3));
+        assert!(empty.is_empty());
+        assert_eq!(empty.covered_through(), SeqNo(3));
     }
 }

@@ -13,12 +13,25 @@
 //! (eventually pacing the primary to the slowest replica, as any bounded
 //! fan-out must), and per-replica lag stays individually observable. This is
 //! the "one primary serving many read replicas" deployment of Section 2.1.
+//!
+//! Beyond replicating the whole log, a shipper can **shard** it
+//! ([`LogShipper::shard_routed`]): a [`ShardRouter`] assigns every row a
+//! shard by key range, and each shipped segment is split into one sub-segment
+//! per shard ([`route_segment`]), delivered on that shard's own channel.
+//! Unlike fan-out, every record travels to exactly *one* receiver; a shard
+//! that owns none of a segment's rows still receives an empty sub-segment
+//! carrying the coverage watermark (`covers_through`), which is what lets a
+//! quiet shard's progress advance through the gap — the cross-shard cut
+//! coordinator in `c5-core` depends on that.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{self, Receiver, SendError, Sender, TryRecvError};
 use parking_lot::Mutex;
+
+use c5_common::{pacing::Pacer, ShardRouter};
 
 use crate::segment::Segment;
 
@@ -34,7 +47,39 @@ type FanOutSenders = Arc<Vec<Sender<Segment>>>;
 #[derive(Clone)]
 pub struct LogShipper {
     txs: Arc<Mutex<Option<FanOutSenders>>>,
-    delay: Option<Duration>,
+    /// Simulated per-segment ship latency, paced by deadline arithmetic
+    /// (shared across clones so concurrent shippers pace one wire).
+    pace: Option<Arc<Mutex<Pacer>>>,
+    /// Key-ranged routing: when set, each shipped segment is split into one
+    /// sub-segment per shard instead of being replicated to every receiver.
+    routing: Option<Arc<Routing>>,
+}
+
+/// Routing state of a sharded shipper.
+struct Routing {
+    router: ShardRouter,
+    txns: AtomicU64,
+    cross_shard_txns: AtomicU64,
+}
+
+/// Transaction counts observed by a sharded shipper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoutingStats {
+    /// Transactions shipped.
+    pub txns: u64,
+    /// Transactions whose writes spanned more than one shard.
+    pub cross_shard_txns: u64,
+}
+
+impl RoutingStats {
+    /// Fraction of shipped transactions that crossed shards.
+    pub fn cross_shard_share(&self) -> f64 {
+        if self.txns == 0 {
+            0.0
+        } else {
+            self.cross_shard_txns as f64 / self.txns as f64
+        }
+    }
 }
 
 /// Receiving half of the replication channel (owned by a backup replica).
@@ -47,7 +92,8 @@ impl LogShipper {
     fn from_senders(txs: Vec<Sender<Segment>>) -> LogShipper {
         LogShipper {
             txs: Arc::new(Mutex::new(Some(Arc::new(txs)))),
-            delay: None,
+            pace: None,
+            routing: None,
         }
     }
 
@@ -104,29 +150,77 @@ impl LogShipper {
         (Self::from_senders(txs), receivers)
     }
 
-    /// Number of replicas this shipper feeds (zero once closed).
+    /// Creates a key-ranged sharded shipper: each shipped segment is split by
+    /// `router` into one sub-segment per shard and delivered on that shard's
+    /// own bounded channel. Every record travels to exactly one receiver; a
+    /// shard owning none of a segment's rows receives an empty sub-segment
+    /// whose `covers_through` still advances (quiet shards must not stall the
+    /// cross-shard cut).
+    pub fn shard_routed(router: ShardRouter, capacity: usize) -> (LogShipper, Vec<LogReceiver>) {
+        let (mut shipper, receivers) = Self::fan_out(router.shards(), capacity);
+        shipper.routing = Some(Arc::new(Routing {
+            router,
+            txns: AtomicU64::new(0),
+            cross_shard_txns: AtomicU64::new(0),
+        }));
+        (shipper, receivers)
+    }
+
+    /// Number of replicas this shipper feeds (zero once closed). For a
+    /// sharded shipper this is the shard count.
     pub fn replica_count(&self) -> usize {
         self.txs.lock().as_ref().map_or(0, |txs| txs.len())
     }
 
-    /// Adds an artificial delay before each shipped segment.
+    /// Adds an artificial delay before each shipped segment. The delay is
+    /// paced by deadline arithmetic ([`Pacer`]): if the shipping thread
+    /// oversleeps one segment, the following segments' deadlines do not move,
+    /// so the simulated wire latency stays accurate under load — and a
+    /// segment shipped after an idle gap still pays the full delay.
     pub fn with_delay(mut self, delay: Duration) -> Self {
-        self.delay = if delay.is_zero() { None } else { Some(delay) };
+        self.pace = if delay.is_zero() {
+            None
+        } else {
+            Some(Arc::new(Mutex::new(Pacer::new(delay))))
+        };
         self
     }
 
-    /// Ships a segment to every replica. Blocks while any replica's channel
-    /// is full. Segments shipped after [`LogShipper::close`] or into dropped
-    /// receivers are discarded (a single dropped receiver does not affect
-    /// delivery to the others).
+    /// Transaction counts observed so far by a sharded shipper (`None` for
+    /// replicating shippers).
+    pub fn routing_stats(&self) -> Option<RoutingStats> {
+        self.routing.as_ref().map(|r| RoutingStats {
+            txns: r.txns.load(Ordering::Relaxed),
+            cross_shard_txns: r.cross_shard_txns.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Ships a segment: to every replica (replicating mode), or split by key
+    /// range with each shard receiving exactly its own records (sharded
+    /// mode). Blocks while any receiving channel is full. Segments shipped
+    /// after [`LogShipper::close`] or into dropped receivers are discarded (a
+    /// single dropped receiver does not affect delivery to the others).
     pub fn ship(&self, segment: Segment) {
-        if let Some(d) = self.delay {
-            std::thread::sleep(d);
+        if let Some(pace) = &self.pace {
+            // Holding the lock across the wait serializes concurrent
+            // shippers, which is the point: they share one simulated wire.
+            pace.lock().wait();
         }
         // Clone the senders out of the mutex so a full (blocking) channel
         // does not hold the lock and deadlock against `close()`.
         let senders = self.txs.lock().clone();
         let Some(senders) = senders else { return };
+        if let Some(routing) = &self.routing {
+            let routed = route_segment(segment, &routing.router);
+            routing.txns.fetch_add(routed.txns, Ordering::Relaxed);
+            routing
+                .cross_shard_txns
+                .fetch_add(routed.cross_shard_txns, Ordering::Relaxed);
+            for (sender, part) in senders.iter().zip(routed.parts) {
+                let _ = sender.send(part);
+            }
+            return;
+        }
         let last = senders.len() - 1;
         for sender in &senders[..last] {
             match sender.send(segment.clone()) {
@@ -144,6 +238,56 @@ impl LogShipper {
     /// closed (or dropped), the receivers observe end-of-log.
     pub fn close(&self) {
         self.txs.lock().take();
+    }
+}
+
+/// The result of splitting one segment by key range: one sub-segment per
+/// shard (possibly empty, always carrying the parent's coverage watermark)
+/// plus the transaction counts the split observed.
+#[derive(Debug)]
+pub struct RoutedSegments {
+    /// One sub-segment per shard, indexed by shard. Records *move* here from
+    /// the parent segment; nothing is cloned.
+    pub parts: Vec<Segment>,
+    /// Transactions committing in the parent segment.
+    pub txns: u64,
+    /// Of those, transactions whose writes spanned more than one shard.
+    pub cross_shard_txns: u64,
+}
+
+/// Splits a segment into per-shard sub-segments under `router`. Each record
+/// moves to the shard owning its row; within a shard, records keep their log
+/// order. Every part's `covers_through` is the parent's, so a shard that owns
+/// nothing in this segment still learns the log has moved past it.
+pub fn route_segment(segment: Segment, router: &ShardRouter) -> RoutedSegments {
+    let covers = segment.covered_through();
+    let id = segment.header.id;
+    let mut parts: Vec<Vec<crate::record::LogRecord>> = Vec::new();
+    parts.resize_with(router.shards(), Vec::new);
+    let mut txns = 0u64;
+    let mut cross_shard_txns = 0u64;
+    // Shard bitmask of the transaction currently being scanned; segments
+    // never split transactions, so each mask completes within the segment.
+    let mut txn_shards: u64 = 0;
+    for record in segment.records {
+        let shard = router.route(record.write.row);
+        txn_shards |= 1u64 << shard;
+        if record.is_txn_last() {
+            txns += 1;
+            if !txn_shards.is_power_of_two() {
+                cross_shard_txns += 1;
+            }
+            txn_shards = 0;
+        }
+        parts[shard].push(record);
+    }
+    RoutedSegments {
+        parts: parts
+            .into_iter()
+            .map(|records| Segment::sub_segment(id, records, covers))
+            .collect(),
+        txns,
+        cross_shard_txns,
     }
 }
 
@@ -304,5 +448,100 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn zero_replica_fan_out_panics() {
         let _ = LogShipper::fan_out(0, 4);
+    }
+
+    /// A segment of three transactions: txn A writes keys {1, 5} (cross-shard
+    /// under a 2-shard router over [0, 8)), txn B writes {2} (shard 0), txn C
+    /// writes {6, 7} (shard 1).
+    fn multi_shard_segment() -> Segment {
+        let entries = vec![
+            TxnEntry::new(
+                TxnId(1),
+                Timestamp(1),
+                vec![
+                    RowWrite::insert(RowRef::new(0, 1), Value::from_u64(1)),
+                    RowWrite::insert(RowRef::new(0, 5), Value::from_u64(5)),
+                ],
+            ),
+            TxnEntry::new(
+                TxnId(2),
+                Timestamp(2),
+                vec![RowWrite::insert(RowRef::new(0, 2), Value::from_u64(2))],
+            ),
+            TxnEntry::new(
+                TxnId(3),
+                Timestamp(3),
+                vec![
+                    RowWrite::insert(RowRef::new(0, 6), Value::from_u64(6)),
+                    RowWrite::insert(RowRef::new(0, 7), Value::from_u64(7)),
+                ],
+            ),
+        ];
+        let mut records = Vec::new();
+        let mut next = SeqNo::ZERO;
+        for entry in &entries {
+            let (recs, n) = explode_txn(entry, next);
+            next = n;
+            records.extend(recs);
+        }
+        Segment::new(9, records)
+    }
+
+    #[test]
+    fn route_segment_moves_each_record_to_its_shard() {
+        let router = c5_common::ShardRouter::new(2, 8);
+        let routed = route_segment(multi_shard_segment(), &router);
+        assert_eq!(routed.txns, 3);
+        assert_eq!(routed.cross_shard_txns, 1);
+        assert_eq!(routed.parts.len(), 2);
+
+        let keys =
+            |s: &Segment| -> Vec<u64> { s.records.iter().map(|r| r.write.row.key.0).collect() };
+        assert_eq!(keys(&routed.parts[0]), vec![1, 2]);
+        assert_eq!(keys(&routed.parts[1]), vec![5, 6, 7]);
+        // Records keep their global order within a shard, and every part
+        // covers the parent's full span.
+        for part in &routed.parts {
+            assert!(part.records.windows(2).all(|w| w[0].seq < w[1].seq));
+            assert_eq!(part.covered_through(), SeqNo(5));
+            assert_eq!(part.header.id, 9);
+        }
+    }
+
+    #[test]
+    fn sharded_shipper_delivers_disjoint_streams_with_coverage() {
+        let router = c5_common::ShardRouter::new(2, 8);
+        let (tx, receivers) = LogShipper::shard_routed(router, 8);
+        tx.ship(multi_shard_segment());
+        // A segment owned entirely by shard 1 still sends shard 0 coverage.
+        let entry = TxnEntry::new(
+            TxnId(4),
+            Timestamp(4),
+            vec![RowWrite::insert(RowRef::new(0, 7), Value::from_u64(8))],
+        );
+        let (records, _) = explode_txn(&entry, SeqNo(5));
+        tx.ship(Segment::new(10, records));
+        let stats = tx.routing_stats().expect("sharded shipper has stats");
+        assert_eq!(stats.txns, 4);
+        assert_eq!(stats.cross_shard_txns, 1);
+        assert!((stats.cross_shard_share() - 0.25).abs() < 1e-9);
+        tx.close();
+
+        let shard0 = receivers[0].drain();
+        let shard1 = receivers[1].drain();
+        assert_eq!(shard0.len(), 2);
+        assert_eq!(shard1.len(), 2);
+        assert!(shard0[1].is_empty(), "shard 0 owns nothing in segment 10");
+        assert_eq!(shard0[1].covered_through(), SeqNo(6));
+        assert_eq!(shard1[1].len(), 1);
+        // No record is delivered twice across shards.
+        let total: usize = shard0.iter().chain(&shard1).map(Segment::len).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn replicating_shipper_reports_no_routing_stats() {
+        let (tx, _rx) = LogShipper::bounded(4);
+        assert!(tx.routing_stats().is_none());
     }
 }

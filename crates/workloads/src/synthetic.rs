@@ -155,6 +155,80 @@ impl TxnFactory for AdversarialWorkload {
     }
 }
 
+/// Workload for the sharded experiments: each transaction updates two rows
+/// drawn uniformly from a preloaded key space, plus one globally unique
+/// insert into the same space's tail. Under an N-shard key-range router the
+/// two uniform updates land in different shards with probability about
+/// `1 - 1/N`, so every multi-shard run carries a large, stable fraction of
+/// cross-shard transactions — the traffic the cut coordinator exists for.
+#[derive(Debug)]
+pub struct ShardSpanWorkload {
+    key_space: u64,
+    next_value: AtomicU64,
+}
+
+impl ShardSpanWorkload {
+    /// Creates the workload over `[0, key_space)`; the rows must be
+    /// preloaded (see [`shard_span_population`]).
+    pub fn new(key_space: u64) -> Self {
+        assert!(key_space >= 2, "need at least two keys to span");
+        Self {
+            key_space,
+            next_value: AtomicU64::new(1),
+        }
+    }
+}
+
+/// The preloaded rows [`ShardSpanWorkload`] updates.
+pub fn shard_span_population(key_space: u64) -> Vec<(RowRef, Value)> {
+    (0..key_space)
+        .map(|k| (RowRef::new(SYNTHETIC_TABLE, k), Value::from_u64(0)))
+        .collect()
+}
+
+struct ShardSpanTxn {
+    first: u64,
+    second: u64,
+    value: u64,
+}
+
+impl StoredProcedure for ShardSpanTxn {
+    fn execute(&self, ctx: &mut dyn TxnCtx) -> Result<()> {
+        // Lock in key order so concurrent spanning transactions cannot
+        // deadlock (they would only be rescued by lock-wait timeouts).
+        let (lo, hi) = (self.first.min(self.second), self.first.max(self.second));
+        for key in [lo, hi] {
+            let row = RowRef::new(SYNTHETIC_TABLE, key);
+            ctx.read_for_update(row)?;
+            ctx.update(row, Value::from_u64(self.value))?;
+        }
+        Ok(())
+    }
+
+    fn label(&self) -> &'static str {
+        "shard-span"
+    }
+}
+
+impl TxnFactory for ShardSpanWorkload {
+    fn next_txn(&self, _client: usize, rng: &mut StdRng) -> Box<dyn StoredProcedure> {
+        use rand::Rng;
+        let first = rng.gen_range(0..self.key_space);
+        // A distinct second key, offset uniformly so the pair spans the key
+        // space (and therefore the shard ranges) uniformly.
+        let second = (first + rng.gen_range(1..self.key_space)) % self.key_space;
+        Box::new(ShardSpanTxn {
+            first,
+            second,
+            value: self.next_value.fetch_add(1, Ordering::Relaxed),
+        })
+    }
+
+    fn label(&self) -> &'static str {
+        "shard-span"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

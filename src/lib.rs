@@ -78,14 +78,18 @@ pub mod prelude {
         CoarseGrainReplica, Granularity, KuaFuConfig, KuaFuReplica, SingleThreadedReplica,
     };
     pub use c5_common::{
-        Error, IsolationLevel, Key, OpCost, PrimaryConfig, ReplicaConfig, Result, RowRef, RowWrite,
-        SeqNo, SnapshotMode, TableId, Timestamp, TxnId, Value, WriteKind,
+        poll_until, Error, IsolationLevel, Key, OpCost, Pacer, PrimaryConfig, ReplicaConfig,
+        Result, RowRef, RowWrite, SeqNo, ShardRouter, SnapshotMode, TableId, Timestamp, TxnId,
+        Value, WriteKind,
     };
     pub use c5_core::replica::{
         drive_from_receiver, drive_segments, C5Mode, C5Replica, ClonedConcurrencyControl, ReadView,
         ReplicaMetrics,
     };
-    pub use c5_core::{LagSample, LagStats, LagTracker, MpcChecker, WatermarkTracker};
+    pub use c5_core::{
+        CutCoordinator, LagSample, LagStats, LagTracker, MpcChecker, ShardedC5Replica,
+        WatermarkTracker,
+    };
     pub use c5_log::{
         coalesce, segments_from_entries, LogReceiver, LogShipper, Segment, StreamingLogger,
         TxnEntry,

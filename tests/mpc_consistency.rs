@@ -8,9 +8,38 @@
 //! baseline protocol.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use c5_repro::prelude::*;
+
+/// How long a sampler keeps polling before giving up on a replica (far above
+/// any healthy run; purely a hang bound, not a pacing assumption).
+const SAMPLER_DEADLINE: Duration = Duration::from_secs(120);
+
+/// Samples `(cut, state)` pairs from a replica's read views, paced at
+/// `interval` by deadline arithmetic, until the replica exposes `final_seq`
+/// (each view is sampled *before* the check so the terminal state is always
+/// captured) or [`SAMPLER_DEADLINE`] passes. Unlike a fixed
+/// iteration-count/sleep loop, this holds under arbitrary CI load: a slow
+/// machine samples less often but the test never misses the end of the log.
+fn sample_views_until_exposed(
+    replica: &dyn ClonedConcurrencyControl,
+    final_seq: SeqNo,
+    interval: Duration,
+) -> Vec<(SeqNo, Vec<(RowRef, Value)>)> {
+    let deadline = Instant::now() + SAMPLER_DEADLINE;
+    let mut pacer = Pacer::new(interval);
+    let mut samples = Vec::new();
+    loop {
+        let view = replica.read_view();
+        let cut = view.as_of();
+        samples.push((cut, view.scan_all()));
+        if cut >= final_seq || Instant::now() >= deadline {
+            return samples;
+        }
+        pacer.wait();
+    }
+}
 
 /// Builds a log whose transactions overlap heavily on a few rows, so an
 /// incorrectly ordered or torn application is very likely to be caught.
@@ -64,18 +93,14 @@ fn check_protocol(kind: &str) {
     let (population, segments) = contended_log(300);
     let replica = build(kind, &population);
     let mut checker = MpcChecker::new(&population, &segments);
+    let final_seq = checker.final_seq();
 
-    // Sample read views concurrently with application.
+    // Sample read views concurrently with application, until the replica
+    // exposes the whole log.
     let sampler = {
         let replica = Arc::clone(&replica);
         std::thread::spawn(move || {
-            let mut samples = Vec::new();
-            for _ in 0..400 {
-                let view = replica.read_view();
-                samples.push((view.as_of(), view.scan_all()));
-                std::thread::sleep(Duration::from_micros(300));
-            }
-            samples
+            sample_views_until_exposed(replica.as_ref(), final_seq, Duration::from_micros(300))
         })
     };
 
@@ -144,6 +169,7 @@ fn c5_fan_out_1_to_3_guarantees_mpc_per_replica() {
     let (shipper, receivers) = LogShipper::fan_out(REPLICAS, 8);
     let replicas: Vec<Arc<dyn ClonedConcurrencyControl>> =
         (0..REPLICAS).map(|_| build("c5", &population)).collect();
+    let final_seq = segments.last().unwrap().last_seq().unwrap();
 
     // Drive each replica from its own receiver while sampling its views.
     let mut drivers = Vec::new();
@@ -155,13 +181,7 @@ fn c5_fan_out_1_to_3_guarantees_mpc_per_replica() {
         }));
         let sampled = Arc::clone(replica);
         samplers.push(std::thread::spawn(move || {
-            let mut samples = Vec::new();
-            for _ in 0..150 {
-                let view = sampled.read_view();
-                samples.push((view.as_of(), view.scan_all()));
-                std::thread::sleep(Duration::from_micros(300));
-            }
-            samples
+            sample_views_until_exposed(sampled.as_ref(), final_seq, Duration::from_micros(300))
         }));
     }
     for segment in segments.clone() {
@@ -217,6 +237,176 @@ fn fan_out_harness_reports_per_replica_lag() {
         assert_eq!(lag.count as u64, outcome.primary.committed);
         assert!(lag.p50_ms >= 0.0 && lag.p50_ms <= lag.max_ms);
     }
+}
+
+/// A log for the sharded scenarios: transaction `t` updates two hot rows in
+/// *opposite halves* of the key space (cross-shard under any multi-shard
+/// key-range router) plus one unique insert, over `key_space` preloaded rows.
+fn sharded_log(txns: u64, key_space: u64) -> (Vec<(RowRef, Value)>, Vec<Segment>) {
+    let population: Vec<(RowRef, Value)> = (0..key_space)
+        .map(|k| (RowRef::new(0, k), Value::from_u64(0)))
+        .collect();
+    let mut entries = Vec::new();
+    for t in 1..=txns {
+        let writes = vec![
+            RowWrite::update(RowRef::new(0, t % key_space), Value::from_u64(t)),
+            RowWrite::update(
+                RowRef::new(0, (t + key_space / 2) % key_space),
+                Value::from_u64(t * 10),
+            ),
+            RowWrite::insert(RowRef::new(1, key_space + t), Value::from_u64(t)),
+        ];
+        entries.push(TxnEntry::new(TxnId(t), Timestamp(t), writes));
+    }
+    (population, segments_from_entries(&entries, 16))
+}
+
+/// Multi-shard MPC: a 4-shard replica applies a log that is heavily
+/// cross-shard while (a) spanning read views are sampled and verified
+/// against the serial replay — any cut that split a transaction across
+/// shards would surface as a torn state or a non-boundary cut — and (b) the
+/// cut vector is sampled concurrently and every component must stay at or
+/// above the global cut, which itself must always be a transaction boundary.
+#[test]
+fn sharded_c5_guarantees_mpc_across_shards() {
+    const KEY_SPACE: u64 = 64;
+    let (population, segments) = sharded_log(300, KEY_SPACE);
+    let txns = segments
+        .iter()
+        .map(|s| s.committed_txns() as u64)
+        .sum::<u64>();
+
+    let store = Arc::new(MvStore::default());
+    for (row, value) in &population {
+        store.install(
+            *row,
+            Timestamp::ZERO,
+            WriteKind::Insert,
+            Some(value.clone()),
+        );
+    }
+    let replica = ShardedC5Replica::new(
+        store,
+        ReplicaConfig::default()
+            .with_workers(2)
+            .with_shards(4)
+            .with_shard_key_space(KEY_SPACE)
+            .with_snapshot_interval(Duration::from_micros(200)),
+    );
+    let mut checker = MpcChecker::new(&population, &segments);
+    let final_seq = checker.final_seq();
+
+    // Concurrent spanning-view sampler (the MPC evidence).
+    let view_sampler = {
+        let replica = Arc::clone(&replica);
+        std::thread::spawn(move || {
+            sample_views_until_exposed(replica.as_ref(), final_seq, Duration::from_micros(300))
+        })
+    };
+    // Concurrent cut-vector sampler (the no-split evidence): components may
+    // run ahead of the global cut but never behind it.
+    let vector_sampler = {
+        let replica = Arc::clone(&replica);
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + SAMPLER_DEADLINE;
+            let mut pacer = Pacer::new(Duration::from_micros(200));
+            let mut samples = Vec::new();
+            loop {
+                let cut = replica.exposed_seq();
+                samples.push((cut, replica.cut_vector()));
+                if cut >= final_seq || Instant::now() >= deadline {
+                    return samples;
+                }
+                pacer.wait();
+            }
+        })
+    };
+
+    drive_segments(replica.as_ref(), segments);
+
+    // >=10% cross-shard traffic is the scenario's precondition (here it is
+    // ~100%: every transaction spans halves of the key space).
+    let metrics = replica.metrics();
+    assert!(
+        metrics.cross_shard_txns * 10 >= txns,
+        "scenario must be >=10% cross-shard (got {} of {txns})",
+        metrics.cross_shard_txns
+    );
+
+    for (cut, state) in view_sampler.join().unwrap() {
+        checker
+            .verify_state(cut, state)
+            .unwrap_or_else(|e| panic!("sharded view violates MPC: {e}"));
+    }
+    for (cut, vector) in vector_sampler.join().unwrap() {
+        for (shard, component) in vector.iter().enumerate() {
+            assert!(
+                *component >= cut,
+                "shard {shard}'s boundary {component} fell behind the global cut {cut}"
+            );
+        }
+    }
+    let final_view = replica.read_view();
+    assert_eq!(final_view.as_of(), final_seq, "full log must be exposed");
+    checker
+        .verify_state(final_view.as_of(), final_view.scan_all())
+        .unwrap_or_else(|e| panic!("sharded final state: {e}"));
+    assert_eq!(replica.lag().len() as u64, txns);
+}
+
+/// The same sharded replica fed by wire-level key-ranged routing: the
+/// sharded shipper splits the log into per-shard streams (empty sub-segments
+/// carry coverage), each stream drives its shard directly, and the reassembled
+/// state must still be the serial replay.
+#[test]
+fn sharded_shipper_streams_guarantee_mpc() {
+    const KEY_SPACE: u64 = 64;
+    let (population, segments) = sharded_log(200, KEY_SPACE);
+
+    let store = Arc::new(MvStore::default());
+    for (row, value) in &population {
+        store.install(
+            *row,
+            Timestamp::ZERO,
+            WriteKind::Insert,
+            Some(value.clone()),
+        );
+    }
+    let replica = ShardedC5Replica::new(
+        store,
+        ReplicaConfig::default()
+            .with_workers(2)
+            .with_shards(4)
+            .with_shard_key_space(KEY_SPACE)
+            .with_snapshot_interval(Duration::from_micros(200)),
+    );
+    let (shipper, receivers) = LogShipper::shard_routed(*replica.router(), 8);
+
+    std::thread::scope(|scope| {
+        for (shard, receiver) in receivers.into_iter().enumerate() {
+            let replica = Arc::clone(&replica);
+            scope.spawn(move || {
+                while let Some(segment) = receiver.recv() {
+                    replica.apply_shard_segment(shard, segment);
+                }
+            });
+        }
+        for segment in segments.clone() {
+            shipper.ship(segment);
+        }
+        let stats = shipper.routing_stats().expect("sharded shipper");
+        assert_eq!(stats.txns, 200);
+        assert!(stats.cross_shard_share() >= 0.1);
+        shipper.close();
+    });
+    replica.finish();
+
+    let mut checker = MpcChecker::new(&population, &segments);
+    let view = replica.read_view();
+    assert_eq!(view.as_of(), checker.final_seq());
+    checker
+        .verify_state(view.as_of(), view.scan_all())
+        .unwrap_or_else(|e| panic!("wire-routed sharded state: {e}"));
 }
 
 /// The checker itself must reject a protocol that violates MPC. KuaFu with

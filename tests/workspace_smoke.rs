@@ -10,6 +10,7 @@
 //! workers → snapshotter → read views end to end even when someone only runs
 //! the default test target.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -69,15 +70,20 @@ fn tpl_to_c5_pipeline_converges_and_is_mpc_clean() {
     };
 
     // Sample read views while replication is in flight; each must later check
-    // out against the serial replay at its own cut.
+    // out against the serial replay at its own cut. The sampler is paced by
+    // deadline arithmetic and runs until the applier finishes — no fixed
+    // iteration count, so the test holds under arbitrary CI load.
+    let replication_done = Arc::new(AtomicBool::new(false));
     let sampler = {
         let replica = Arc::clone(&replica);
+        let done = Arc::clone(&replication_done);
         std::thread::spawn(move || {
+            let mut pacer = Pacer::new(Duration::from_micros(200));
             let mut samples = Vec::new();
-            for _ in 0..100 {
+            while !done.load(Ordering::Acquire) {
                 let view = replica.read_view();
                 samples.push((view.as_of(), view.scan_all()));
-                std::thread::sleep(Duration::from_micros(200));
+                pacer.wait();
             }
             samples
         })
@@ -98,6 +104,7 @@ fn tpl_to_c5_pipeline_converges_and_is_mpc_clean() {
     primary.close_log();
 
     let segments = applier.join().unwrap();
+    replication_done.store(true, Ordering::Release);
     let samples = sampler.join().unwrap();
 
     // Convergence: everything applied, everything exposed.
