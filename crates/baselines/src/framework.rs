@@ -171,6 +171,10 @@ macro_rules! baseline_policy_probes {
         fn metrics(&self) -> c5_core::replica::ReplicaMetrics {
             self.shared.metrics()
         }
+
+        fn store(&self) -> &std::sync::Arc<c5_storage::MvStore> {
+            &self.shared.store
+        }
     };
 }
 pub(crate) use baseline_policy_probes;

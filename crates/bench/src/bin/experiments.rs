@@ -17,6 +17,7 @@
 //!   fig12           The production load-spike trace
 //!   fanout          1 primary -> 3 replicas log fan-out, per-replica lag
 //!   sharded         Keyspace sharding sweep (1/2/4/8 shards), per-shard lag
+//!   failover        Kill the primary, promote the backup, resume + standby
 //!   insert-only     Insert-only workload, 2PL primary, all protocols
 //!   insert-only-cicada  Insert-only workload, MVTSO primary
 //!   sched-offline   Offline scheduler throughput (Section 6.2)
@@ -58,6 +59,7 @@ fn main() {
         "fig12" => experiments::fig12::run(&scale),
         "fanout" => experiments::fanout::run(&scale),
         "sharded" => experiments::sharded::run(&scale),
+        "failover" => experiments::failover::run(&scale),
         "insert-only" => experiments::insert_only::run_myrocks(&scale),
         "insert-only-cicada" => experiments::insert_only::run_cicada(&scale),
         "sched-offline" => experiments::sched_offline::run(&scale),
@@ -82,6 +84,7 @@ fn main() {
             "fig12",
             "fanout",
             "sharded",
+            "failover",
             "insert-only",
             "insert-only-cicada",
             "sched-offline",

@@ -7,14 +7,14 @@ use c5_baselines::{
     CoarseGrainReplica, Granularity, KuaFuConfig, KuaFuReplica, SingleThreadedReplica,
 };
 use c5_common::{
-    OpCost, PrimaryConfig, ReplicaConfig, RowRef, SnapshotMode, Timestamp, Value, WriteKind,
+    OpCost, PrimaryConfig, ReplicaConfig, RowRef, SeqNo, SnapshotMode, Timestamp, Value, WriteKind,
 };
 use c5_core::lag::LagStats;
 use c5_core::replica::{
     drive_from_receiver, drive_segments, C5Mode, C5Replica, ClonedConcurrencyControl,
     ReplicaMetrics,
 };
-use c5_log::{LogShipper, StreamingLogger};
+use c5_log::{LogArchive, LogShipper, StreamingLogger};
 use c5_primary::{
     ClosedLoopDriver, MvtsoEngine, PrimaryRunStats, RunLength, TplEngine, TxnFactory,
 };
@@ -552,6 +552,248 @@ pub fn run_sharded_streaming(
     }
 }
 
+/// The cold-standby leg of a failover run: a fresh C5 replica bootstrapped
+/// from a checkpoint of the promoted store, caught up from the new primary's
+/// retained log tail.
+#[derive(Debug, Clone)]
+pub struct StandbyOutcome {
+    /// The checkpoint's cut (= the promotion cut).
+    pub checkpoint_cut: SeqNo,
+    /// Rows the checkpoint captured.
+    pub checkpoint_rows: usize,
+    /// Records replayed from the archive tail above the cut.
+    pub replayed_records: usize,
+    /// Whether the standby's exposed state equals the promoted primary's
+    /// final state (verified row for row).
+    pub caught_up: bool,
+}
+
+/// Outcome of one failover experiment: the primary is killed mid-workload
+/// (its unshipped log tail is lost), the backup is promoted, and a new
+/// primary resumes on the promoted store.
+#[derive(Debug, Clone)]
+pub struct FailoverOutcome {
+    /// Protocol name of the promoted backup.
+    pub protocol: &'static str,
+    /// Primary-side statistics up to the kill.
+    pub primary: PrimaryRunStats,
+    /// The durable log end at the kill: the last position that reached the
+    /// wire (the crashed primary's buffered tail is lost and excluded).
+    pub shipped_seq: SeqNo,
+    /// The backup's applied watermark at the moment of the kill.
+    pub applied_at_kill: SeqNo,
+    /// The backup's exposed cut at the moment of the kill.
+    pub exposed_at_kill: SeqNo,
+    /// Replication-lag summary at the kill (the quantity that bounds the
+    /// promotion drain).
+    pub lag_at_kill: Option<LagStats>,
+    /// Lag samples recorded with reversed clock stamps (surfaced, not
+    /// masked; see `LagTracker::clock_skew_samples`).
+    pub clock_skew_samples: u64,
+    /// The cut the backup was promoted at.
+    pub promoted_cut: SeqNo,
+    /// Promotion latency: drain of in-flight applies + pipeline seal, as
+    /// measured inside `promote()` itself.
+    pub promotion_drain: Duration,
+    /// Full takeover latency: from the kill to the sealed cut, including
+    /// delivering and applying the wire-buffered backlog the dead primary
+    /// left behind. This is the fail-to-serving number the paper's thesis
+    /// bounds by replication lag; `promotion_drain` alone understates it for
+    /// protocols whose backlog is still queued when promotion starts.
+    pub takeover: Duration,
+    /// Statistics of the resumed primary serving traffic on the promoted
+    /// store.
+    pub resumed: PrimaryRunStats,
+    /// The cold-standby leg, when requested.
+    pub standby: Option<StandbyOutcome>,
+}
+
+impl FailoverOutcome {
+    /// Log records shipped but not yet applied when the primary died — the
+    /// backlog the promotion drain has to retire.
+    pub fn backlog_records(&self) -> u64 {
+        self.shipped_seq
+            .as_u64()
+            .saturating_sub(self.applied_at_kill.as_u64())
+    }
+
+    /// The paper's thesis, as a checkable bound: the full kill-to-sealed
+    /// takeover stays within a small multiple of the replication lag
+    /// observed at the kill (plus a scheduling-noise floor). A protocol that
+    /// cannot keep up fails this — its takeover is proportional to the whole
+    /// backlog, not the lag.
+    pub fn drain_bounded_by_lag(&self) -> bool {
+        let lag_max = self
+            .lag_at_kill
+            .as_ref()
+            .map(|l| Duration::from_secs_f64(l.max_ms.max(0.0) / 1e3))
+            .unwrap_or(Duration::ZERO);
+        self.takeover <= Duration::from_millis(500) + 4 * lag_max
+    }
+}
+
+/// Runs one failover experiment:
+///
+/// 1. a 2PL primary executes `factory`'s workload for `setup.duration` while
+///    the backup described by `spec` applies the log live (the shipper
+///    retains every shipped segment in a [`LogArchive`]);
+/// 2. the primary is **killed**: the log crashes without flushing, losing
+///    the buffered tail, exactly as asynchronous replication loses the
+///    unshipped suffix on a real failure;
+/// 3. the backup is **promoted** — in-flight applies drain to a clean
+///    transaction-aligned cut and the pipeline seals — and the promotion
+///    latency is measured;
+/// 4. a new primary **resumes** on the promoted store
+///    ([`StreamingLogger::resume_at`] continues sequence numbers and commit
+///    timestamps from the cut) and serves `factory` for `resume_duration`;
+/// 5. optionally (`with_standby`), a **cold standby** is bootstrapped from a
+///    checkpoint of the promoted state and caught up from the new primary's
+///    retained log tail, closing the failover cycle with a fresh backup.
+pub fn run_failover_streaming(
+    setup: &StreamingSetup,
+    factory: Arc<dyn TxnFactory>,
+    spec: ReplicaSpec,
+    resume_duration: Duration,
+    with_standby: bool,
+) -> FailoverOutcome {
+    // Primary, with log retention on the wire.
+    let primary_store = Arc::new(MvStore::default());
+    preload(&primary_store, &setup.population);
+    let archive = Arc::new(LogArchive::new());
+    let (shipper, receiver) = LogShipper::unbounded();
+    let shipper = shipper.with_archive(Arc::clone(&archive));
+    let logger = StreamingLogger::new(setup.segment_records, shipper);
+    let primary_config = PrimaryConfig::default()
+        .with_threads(setup.primary_threads)
+        .with_op_cost(setup.op_cost);
+    let engine = Arc::new(TplEngine::new(primary_store, primary_config, logger));
+
+    // Backup.
+    let replica_store = Arc::new(MvStore::default());
+    preload(&replica_store, &setup.population);
+    let replica_config = ReplicaConfig::default()
+        .with_workers(setup.replica_workers)
+        .with_op_cost(setup.op_cost)
+        .with_snapshot_interval(setup.snapshot_interval);
+    let replica = spec.build(replica_store, replica_config.clone());
+
+    let mut primary_stats = PrimaryRunStats::default();
+    let mut applied_at_kill = SeqNo::ZERO;
+    let mut exposed_at_kill = SeqNo::ZERO;
+    let mut kill_at = Instant::now();
+
+    std::thread::scope(|scope| {
+        // Feed the backup WITHOUT finishing it: promotion does the sealing.
+        let replica_ref: &dyn ClonedConcurrencyControl = replica.as_ref();
+        let feeder = scope.spawn(move || {
+            while let Some(segment) = receiver.recv() {
+                replica_ref.apply_segment(segment);
+            }
+        });
+
+        primary_stats = ClosedLoopDriver::with_seed(setup.seed).run_tpl(
+            &engine,
+            &factory,
+            setup.clients,
+            RunLength::Timed(setup.duration),
+        );
+        // Kill the primary: snapshot the backup's progress at the moment of
+        // death, then crash the log (the buffered tail is lost). Takeover
+        // time is measured from here — it includes delivering whatever the
+        // wire still buffers, not just the final promote() drain.
+        applied_at_kill = replica.applied_seq();
+        exposed_at_kill = replica.exposed_seq();
+        kill_at = Instant::now();
+        engine.crash_log();
+        feeder.join().expect("feeder");
+    });
+
+    let shipped_seq = archive.last_seq();
+    let lag_at_kill = replica.lag().stats();
+    let clock_skew_samples = replica.lag().clock_skew_samples();
+
+    // Promote: drain to a clean cut, seal, take over the store.
+    let promotion = replica.promote();
+    let takeover = kill_at.elapsed();
+
+    // Checkpoint the promoted state before the new primary writes on top of
+    // it (capture at the cut stays correct either way — the resumed
+    // primary's versions all land above the cut — but capturing now mirrors
+    // the real sequence: checkpoint at takeover, then serve).
+    let checkpoint = with_standby
+        .then(|| c5_storage::CheckpointWriter::capture(&promotion.store, promotion.cut));
+
+    // Resume a new primary on the promoted store, its log a seamless
+    // continuation of the old one — retained only when a standby will
+    // actually replay it.
+    let resume_archive = with_standby.then(|| Arc::new(LogArchive::starting_at(promotion.cut)));
+    let (resume_shipper, resume_receiver) = LogShipper::unbounded();
+    let resume_shipper = match &resume_archive {
+        Some(archive) => resume_shipper.with_archive(Arc::clone(archive)),
+        None => resume_shipper,
+    };
+    let resume_logger =
+        StreamingLogger::resume_at(setup.segment_records, resume_shipper, promotion.cut);
+    drop(resume_receiver); // the standby catches up from the archive instead
+    let resumed_engine = Arc::new(TplEngine::new(
+        Arc::clone(&promotion.store),
+        PrimaryConfig::default()
+            .with_threads(setup.primary_threads)
+            .with_op_cost(setup.op_cost),
+        resume_logger,
+    ));
+    let resumed = ClosedLoopDriver::with_seed(setup.seed.wrapping_add(1)).run_tpl(
+        &resumed_engine,
+        &factory,
+        setup.clients,
+        RunLength::Timed(resume_duration),
+    );
+    resumed_engine.close_log();
+
+    // Cold standby: install the checkpoint, catch up from the retained tail.
+    let standby = checkpoint.map(|checkpoint| {
+        let tail = resume_archive
+            .as_ref()
+            .expect("standby runs only with a retained resume log")
+            .replay_from(checkpoint.cut())
+            .expect("nothing truncated above the checkpoint cut");
+        let replayed_records = tail.iter().map(c5_log::Segment::len).sum();
+        let standby = C5Replica::resume_from_checkpoint(
+            C5Mode::Faithful,
+            &checkpoint,
+            replica_config.clone(),
+        );
+        drive_segments(standby.as_ref(), tail);
+
+        // The standby must now expose exactly the promoted primary's state.
+        let mut expect: Vec<(RowRef, Value)> = promotion.store.scan_all_at(Timestamp::MAX);
+        let mut got: Vec<(RowRef, Value)> = standby.read_view().scan_all();
+        expect.sort_by_key(|(row, _)| *row);
+        got.sort_by_key(|(row, _)| *row);
+        StandbyOutcome {
+            checkpoint_cut: checkpoint.cut(),
+            checkpoint_rows: checkpoint.len(),
+            replayed_records,
+            caught_up: expect == got,
+        }
+    });
+
+    FailoverOutcome {
+        protocol: spec.name(),
+        primary: primary_stats,
+        shipped_seq,
+        applied_at_kill,
+        exposed_at_kill,
+        lag_at_kill,
+        clock_skew_samples,
+        promoted_cut: promotion.cut,
+        promotion_drain: promotion.drain,
+        takeover,
+        resumed,
+        standby,
+    }
+}
+
 /// Parameters for the offline (Cicada-style) experiments.
 #[derive(Debug, Clone)]
 pub struct OfflineSetup {
@@ -768,6 +1010,30 @@ mod tests {
     // run_fanout_streaming is covered end-to-end by the workspace
     // integration test `fan_out_harness_reports_per_replica_lag`
     // (tests/mpc_consistency.rs) and by the `fanout` CI smoke step.
+
+    #[test]
+    fn failover_experiment_runs_end_to_end() {
+        let mut setup = StreamingSetup::new(Duration::from_millis(200), 2, 2);
+        setup.op_cost = OpCost::free();
+        setup.population = adversarial_population();
+        let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(2));
+        let outcome = run_failover_streaming(
+            &setup,
+            factory,
+            ReplicaSpec::C5Faithful,
+            Duration::from_millis(100),
+            true,
+        );
+        assert!(outcome.primary.committed > 0);
+        assert!(outcome.promoted_cut >= outcome.exposed_at_kill);
+        assert!(
+            outcome.resumed.committed > 0,
+            "promoted primary serves traffic"
+        );
+        let standby = outcome.standby.expect("standby requested");
+        assert!(standby.caught_up, "standby must match the promoted primary");
+        assert_eq!(standby.checkpoint_cut, outcome.promoted_cut);
+    }
 
     #[test]
     fn every_replica_spec_builds_and_applies() {

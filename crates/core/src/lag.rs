@@ -13,6 +13,8 @@
 //! summarizes them as the paper's Figure 8 does: quartiles, minimum and
 //! maximum, optionally bucketed into fixed observation windows.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use parking_lot::Mutex;
 
 use c5_common::SeqNo;
@@ -41,6 +43,14 @@ impl LagSample {
     pub fn lag_millis(&self) -> f64 {
         self.lag_nanos() as f64 / 1e6
     }
+
+    /// Whether the two clock stamps are reversed (the backup's exposure time
+    /// is before the primary's commit time). [`lag_nanos`](Self::lag_nanos)
+    /// clamps such samples to zero; [`LagTracker::clock_skew_samples`] counts
+    /// them so skew is surfaced instead of silently masked.
+    pub fn is_clock_skewed(&self) -> bool {
+        self.exposed_at_nanos < self.committed_at_nanos
+    }
 }
 
 /// Summary statistics over a set of lag samples (the box-and-whisker numbers
@@ -57,6 +67,9 @@ pub struct LagStats {
     pub p50_ms: f64,
     /// Third quartile in milliseconds.
     pub p75_ms: f64,
+    /// 99th percentile in milliseconds (the tail failover cares about:
+    /// promotion drains at most roughly this much backlog).
+    pub p99_ms: f64,
     /// Maximum lag in milliseconds.
     pub max_ms: f64,
     /// Mean lag in milliseconds.
@@ -65,6 +78,11 @@ pub struct LagStats {
 
 impl LagStats {
     /// Computes statistics from raw millisecond values.
+    ///
+    /// Percentiles use the checked nearest-rank rule: the p-th percentile is
+    /// the smallest value with at least `⌈p·N⌉` samples at or below it.
+    /// Rounding `(N-1)·p` instead misreports small windows (the p25 of four
+    /// samples lands on the second value rather than the first).
     pub fn from_millis(mut values: Vec<f64>) -> Option<LagStats> {
         if values.is_empty() {
             return None;
@@ -72,8 +90,8 @@ impl LagStats {
         values.sort_by(|a, b| a.partial_cmp(b).expect("lag values are finite"));
         let count = values.len();
         let pct = |p: f64| -> f64 {
-            let idx = ((count - 1) as f64 * p).round() as usize;
-            values[idx]
+            let rank = ((count as f64) * p).ceil().max(1.0) as usize;
+            values[rank.min(count) - 1]
         };
         let mean = values.iter().sum::<f64>() / count as f64;
         Some(LagStats {
@@ -82,6 +100,7 @@ impl LagStats {
             p25_ms: pct(0.25),
             p50_ms: pct(0.50),
             p75_ms: pct(0.75),
+            p99_ms: pct(0.99),
             max_ms: values[count - 1],
             mean_ms: mean,
         })
@@ -92,6 +111,10 @@ impl LagStats {
 #[derive(Debug, Default)]
 pub struct LagTracker {
     samples: Mutex<Vec<LagSample>>,
+    /// Samples whose clock stamps were reversed (exposure before commit).
+    /// Their lag is clamped to zero rather than discarded, but the count is
+    /// surfaced so non-monotonic clocks are visible instead of masked.
+    clock_skew: AtomicU64,
 }
 
 impl LagTracker {
@@ -104,11 +127,22 @@ impl LagTracker {
     /// committed on the primary at `committed_at_nanos`, became visible on
     /// the backup at `exposed_at_nanos`.
     pub fn record(&self, boundary_seq: SeqNo, committed_at_nanos: u64, exposed_at_nanos: u64) {
-        self.samples.lock().push(LagSample {
+        let sample = LagSample {
             boundary_seq,
             committed_at_nanos,
             exposed_at_nanos,
-        });
+        };
+        if sample.is_clock_skewed() {
+            self.clock_skew.fetch_add(1, Ordering::Relaxed);
+        }
+        self.samples.lock().push(sample);
+    }
+
+    /// Number of samples recorded with reversed clock stamps (their lag reads
+    /// as zero; a large count means the two clocks disagree by more than the
+    /// real lag).
+    pub fn clock_skew_samples(&self) -> u64 {
+        self.clock_skew.load(Ordering::Relaxed)
     }
 
     /// Number of samples collected.
@@ -188,6 +222,8 @@ mod tests {
             exposed_at_nanos: 3,
         };
         assert_eq!(reversed.lag_nanos(), 0);
+        assert!(reversed.is_clock_skewed());
+        assert!(!s.is_clock_skewed());
     }
 
     #[test]
@@ -196,9 +232,46 @@ mod tests {
         assert_eq!(stats.count, 5);
         assert_eq!(stats.min_ms, 1.0);
         assert_eq!(stats.p50_ms, 3.0);
+        assert_eq!(stats.p99_ms, 5.0);
         assert_eq!(stats.max_ms, 5.0);
         assert!((stats.mean_ms - 3.0).abs() < 1e-9);
         assert!(LagStats::from_millis(vec![]).is_none());
+    }
+
+    #[test]
+    fn percentiles_use_the_checked_nearest_rank_rule() {
+        // p25 of four samples is the smallest value with at least ⌈0.25·4⌉ = 1
+        // sample at or below it — the minimum. The old rounding rule
+        // (`round((N-1)·p)`) returned the second value.
+        let four = LagStats::from_millis(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(four.p25_ms, 1.0);
+        assert_eq!(four.p50_ms, 2.0);
+        assert_eq!(four.p75_ms, 3.0);
+        assert_eq!(four.p99_ms, 4.0);
+
+        // A single sample is every percentile.
+        let one = LagStats::from_millis(vec![7.0]).unwrap();
+        assert_eq!(one.p25_ms, 7.0);
+        assert_eq!(one.p50_ms, 7.0);
+        assert_eq!(one.p99_ms, 7.0);
+
+        // On a large window p99 sits at rank ⌈0.99·200⌉ = 198.
+        let values: Vec<f64> = (1..=200).map(|v| v as f64).collect();
+        let big = LagStats::from_millis(values).unwrap();
+        assert_eq!(big.p99_ms, 198.0);
+        assert_eq!(big.p50_ms, 100.0);
+    }
+
+    #[test]
+    fn clock_skew_samples_are_counted_not_masked() {
+        let t = LagTracker::new();
+        t.record(SeqNo(1), 100, 200); // normal
+        t.record(SeqNo(2), 300, 250); // reversed stamps
+        t.record(SeqNo(3), 400, 400); // equal stamps: zero lag, not skew
+        assert_eq!(t.clock_skew_samples(), 1);
+        assert_eq!(t.len(), 3);
+        // The skewed sample still contributes a (clamped) zero-lag sample.
+        assert_eq!(t.stats().unwrap().min_ms, 0.0);
     }
 
     #[test]

@@ -53,8 +53,8 @@ pub use pipeline::{
 };
 pub use progress::WatermarkTracker;
 pub use replica::{
-    drive_from_receiver, drive_segments, C5Mode, C5Replica, ClonedConcurrencyControl, ReadView,
-    ReplicaMetrics,
+    drive_from_receiver, drive_segments, C5Mode, C5Replica, ClonedConcurrencyControl, Promotion,
+    ReadView, ReplicaMetrics,
 };
 pub use scheduler::{preprocess_segment, SchedulerState, SchedulerStats};
 pub use shard::{CutCoordinator, ShardProgress, ShardedC5Replica};

@@ -40,7 +40,7 @@ use c5_log::{LogRecord, Segment};
 use c5_storage::MvStore;
 
 use crate::lag::LagTracker;
-use crate::replica::{ClonedConcurrencyControl, ReadView, ReplicaMetrics};
+use crate::replica::{ClonedConcurrencyControl, Promotion, ReadView, ReplicaMetrics};
 
 /// Cross-stage signals shared by every thread of one pipeline instance.
 #[derive(Debug, Default)]
@@ -209,6 +209,11 @@ pub trait PipelinePolicy: Send + Sync + 'static {
 
     /// Progress counters.
     fn metrics(&self) -> ReplicaMetrics;
+
+    /// The backup's store. Promotion
+    /// ([`ClonedConcurrencyControl::promote`]) hands it to the new primary
+    /// once the pipeline is sealed; checkpoints export from it.
+    fn store(&self) -> &Arc<MvStore>;
 }
 
 /// The shared four-stage runtime: threads, queues, and the drain/shutdown
@@ -396,6 +401,23 @@ impl<P: PipelinePolicy> ClonedConcurrencyControl for PipelineRuntime<P> {
         self.stop_threads();
     }
 
+    fn promote(&self) -> Promotion {
+        // Promotion *is* the drain-and-seal protocol `finish` already runs:
+        // ingestion ends at whatever prefix has arrived, in-flight applies
+        // drain to it, the cut advances to the last boundary in the prefix,
+        // and the threads stop. What promotion adds is the measurement (the
+        // drain time is the failover cost the paper's thesis bounds by
+        // replication lag) and the handover of the sealed store.
+        let start = Instant::now();
+        self.finish();
+        Promotion {
+            protocol: self.policy.name(),
+            cut: self.policy.exposed_seq(),
+            drain: start.elapsed(),
+            store: Arc::clone(self.policy.store()),
+        }
+    }
+
     fn applied_seq(&self) -> SeqNo {
         self.policy.applied_seq()
     }
@@ -462,6 +484,9 @@ macro_rules! delegate_replica_to_pipeline {
             fn metrics(&self) -> $crate::replica::ReplicaMetrics {
                 self.$field.metrics()
             }
+            fn promote(&self) -> $crate::replica::Promotion {
+                self.$field.promote()
+            }
         }
     };
 }
@@ -487,6 +512,17 @@ impl BoundaryLedger {
     /// Creates an empty ledger.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a ledger resuming at `cut`: the log is considered shipped
+    /// through the cut (a checkpoint covers it), so the contiguity assert
+    /// expects the first live segment to start at `cut + 1`. Transactions at
+    /// or below the cut were exposed before the checkpoint and produce no
+    /// new lag samples.
+    pub fn starting_at(cut: SeqNo) -> Self {
+        let ledger = Self::default();
+        ledger.final_seq.store(cut.as_u64(), Ordering::Release);
+        ledger
     }
 
     /// The lag tracker samples drain into.

@@ -47,6 +47,17 @@ impl WatermarkTracker {
         Self::default()
     }
 
+    /// Creates a tracker resuming at `cut`: every position at or below the
+    /// cut counts as applied (a checkpoint covers them), and the boundary
+    /// watermark starts at the cut (checkpoint cuts are transaction
+    /// boundaries by construction). The first live mark is `cut + 1`.
+    pub fn starting_at(cut: SeqNo) -> Self {
+        let tracker = Self::default();
+        tracker.applied.store(cut.as_u64(), Ordering::Release);
+        tracker.boundary.store(cut.as_u64(), Ordering::Release);
+        tracker
+    }
+
     /// Marks `seq` as applied. `is_txn_boundary` is true when `seq` is the
     /// last write of its transaction.
     pub fn mark_applied(&self, seq: SeqNo, is_txn_boundary: bool) {
@@ -56,13 +67,14 @@ impl WatermarkTracker {
             inner.pending_boundaries.insert(seq);
         }
         let mut applied = self.applied.load(Ordering::Relaxed);
+        let mut advanced = false;
         if seq == applied + 1 {
             applied = seq;
             // Absorb any directly-following out-of-order arrivals.
             while inner.out_of_order.remove(&(applied + 1)) {
                 applied += 1;
             }
-            self.applied.store(applied, Ordering::Release);
+            advanced = true;
         } else if seq > applied {
             inner.out_of_order.insert(seq);
         }
@@ -76,7 +88,21 @@ impl WatermarkTracker {
                 break;
             }
         }
+        // Publish the boundary BEFORE the applied prefix. A reader that
+        // pairs the two watermarks — the runtime's drain protocol reads
+        // "applied caught up, now wait for the exposed cut to reach the
+        // boundary" — must never observe an advanced prefix with a stale
+        // boundary: when one call absorbs a long out-of-order run, the
+        // boundary can jump many transactions in the same step, and the old
+        // applied-first order let a drain sample that window, seal the
+        // pipeline at the stale boundary, and finish with the final
+        // transactions applied but never exposed. Release on `applied`
+        // after Release on `boundary` means an Acquire load of `applied`
+        // makes the matching boundary visible.
         self.boundary.store(boundary, Ordering::Release);
+        if advanced {
+            self.applied.store(applied, Ordering::Release);
+        }
     }
 
     /// Largest sequence number up to which *all* writes have been applied.
@@ -137,6 +163,71 @@ mod tests {
         t.mark_applied(SeqNo(2), false);
         assert_eq!(t.applied_watermark(), SeqNo(3));
         assert_eq!(t.boundary_watermark(), SeqNo(3));
+    }
+
+    #[test]
+    fn boundary_publication_is_never_behind_the_applied_prefix() {
+        // Every position is a transaction boundary, so at any instant the
+        // boundary watermark must read at least any previously read applied
+        // watermark: publishing applied before boundary (the old order) let
+        // a reader catch an advanced prefix with a stale boundary when one
+        // mark absorbed a long out-of-order run — which made the pipeline's
+        // drain protocol seal a replica short. Hammer the pairing from a
+        // reader while two markers interleave in- and out-of-order arrivals.
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let tracker = Arc::new(WatermarkTracker::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let tracker = Arc::clone(&tracker);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    let applied = tracker.applied_watermark();
+                    let boundary = tracker.boundary_watermark();
+                    assert!(
+                        boundary >= applied,
+                        "read applied {applied} but boundary {boundary}: the \
+                         boundary must be published first"
+                    );
+                }
+            })
+        };
+        let total = 30_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..2u64 {
+                let tracker = Arc::clone(&tracker);
+                scope.spawn(move || {
+                    // Thread 0 marks odd positions, thread 1 even ones, so
+                    // long out-of-order runs build up and get absorbed in
+                    // single calls.
+                    let mut seq = t + 1;
+                    while seq <= total {
+                        tracker.mark_applied(SeqNo(seq), true);
+                        seq += 2;
+                    }
+                });
+            }
+        });
+        done.store(true, Ordering::Release);
+        reader.join().unwrap();
+        assert_eq!(tracker.applied_watermark(), SeqNo(total));
+        assert_eq!(tracker.boundary_watermark(), SeqNo(total));
+    }
+
+    #[test]
+    fn starting_at_resumes_the_prefix_at_the_cut() {
+        let t = WatermarkTracker::starting_at(SeqNo(10));
+        assert_eq!(t.applied_watermark(), SeqNo(10));
+        assert_eq!(t.boundary_watermark(), SeqNo(10));
+        // The first live mark continues the prefix...
+        t.mark_applied(SeqNo(11), false);
+        t.mark_applied(SeqNo(12), true);
+        assert_eq!(t.applied_watermark(), SeqNo(12));
+        assert_eq!(t.boundary_watermark(), SeqNo(12));
+        // ...and gaps still hold it back.
+        t.mark_applied(SeqNo(14), true);
+        assert_eq!(t.applied_watermark(), SeqNo(12));
     }
 
     #[test]

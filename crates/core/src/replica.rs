@@ -36,7 +36,7 @@ use parking_lot::Mutex;
 
 use c5_common::{OpCost, ReplicaConfig, RowRef, SeqNo, TableId, Timestamp, Value};
 use c5_log::{LogReceiver, LogRecord, Segment};
-use c5_storage::MvStore;
+use c5_storage::{Checkpoint, CheckpointInstaller, CheckpointWriter, MvStore};
 
 use crate::lag::LagTracker;
 use crate::pipeline::{
@@ -85,6 +85,26 @@ pub struct ReplicaMetrics {
     pub cross_shard_txns: u64,
 }
 
+/// The result of promoting a backup to primary: the sealed store and the cut
+/// it was sealed at, plus how long the drain took (the failover cost the
+/// paper's thesis bounds by replication lag — a backup that keeps up has
+/// almost nothing left to drain when the primary dies).
+#[derive(Debug)]
+pub struct Promotion {
+    /// The promoted protocol's report name.
+    pub protocol: &'static str,
+    /// The transaction-aligned cut the backup was sealed at: every write at
+    /// or below it is applied and exposed, nothing above it exists in the
+    /// store. The new primary resumes committing above this position.
+    pub cut: SeqNo,
+    /// Wall-clock time from the promotion request until the cut was sealed
+    /// (draining in-flight applies, exposing the final boundary, stopping
+    /// the pipeline threads).
+    pub drain: Duration,
+    /// The backup's store, now the new primary's store.
+    pub store: Arc<MvStore>,
+}
+
 /// The interface shared by C5 and every baseline cloned concurrency control
 /// protocol.
 pub trait ClonedConcurrencyControl: Send + Sync {
@@ -97,6 +117,15 @@ pub trait ClonedConcurrencyControl: Send + Sync {
     /// Signals end-of-log, waits for every shipped write to be applied and
     /// exposed, and stops the protocol's threads. Idempotent.
     fn finish(&self);
+
+    /// Promotes the backup to primary: stops ingesting, drains every
+    /// in-flight apply to a clean transaction-aligned cut, seals the
+    /// pipeline, and hands over the store. The returned drain time is the
+    /// promotion latency — for a backup that keeps up it is bounded by the
+    /// replication lag at the moment of failure, because the backlog *is*
+    /// the lag. Calling `promote` after `finish` (or twice) returns the same
+    /// cut with a near-zero drain.
+    fn promote(&self) -> Promotion;
 
     /// Largest contiguous log position applied to the store.
     fn applied_seq(&self) -> SeqNo;
@@ -386,6 +415,10 @@ impl PipelinePolicy for C5Policy {
             cross_shard_txns: 0,
         }
     }
+
+    fn store(&self) -> &Arc<MvStore> {
+        &self.store
+    }
 }
 
 /// The C5 replica.
@@ -399,23 +432,76 @@ impl C5Replica {
     /// Creates and starts a C5 replica over `store` (which should already
     /// hold the initial database population, installed at `Timestamp::ZERO`).
     pub fn new(mode: C5Mode, store: Arc<MvStore>, config: ReplicaConfig) -> Arc<Self> {
+        Self::start(mode, store, config, SeqNo::ZERO, std::iter::empty())
+    }
+
+    /// Creates and starts a **cold replica resuming from a checkpoint**: the
+    /// checkpoint is installed into a fresh store and the replica is seeded
+    /// to continue the log at `checkpoint.cut() + 1` — typically from
+    /// [`c5_log::LogArchive::replay_from`] at the checkpoint's cut, then the
+    /// live stream. This is the failover catch-up path: install, replay the
+    /// retained tail, keep up.
+    ///
+    /// # Panics
+    /// Panics if the checkpoint holds versions above its cut — the signature
+    /// of a *vector* capture from a sharded replica, whose advanced shard
+    /// components this replica cannot reconcile with a whole-log replay
+    /// from the global cut (the records in `(cut, component]` would be
+    /// re-delivered against chain heads already past them and wedge).
+    pub fn resume_from_checkpoint(
+        mode: C5Mode,
+        checkpoint: &Checkpoint,
+        config: ReplicaConfig,
+    ) -> Arc<Self> {
+        assert!(
+            checkpoint.max_version() <= checkpoint.cut(),
+            "checkpoint holds versions through {} but its cut is {}: a \
+             sharded vector capture cannot bootstrap an unsharded replica",
+            checkpoint.max_version(),
+            checkpoint.cut()
+        );
+        let store = CheckpointInstaller::install(checkpoint);
+        Self::start(
+            mode,
+            store,
+            config,
+            checkpoint.cut(),
+            checkpoint.last_writes(),
+        )
+    }
+
+    /// Creates and starts a replica whose log begins at `cut + 1` over a
+    /// store already holding everything at or below `cut`. Every
+    /// prefix-tracking structure must resume in lockstep, or catch-up wedges:
+    /// the scheduler's per-row `prev_seq` map is seeded from `last_writes`
+    /// (so the first post-checkpoint write to a row names the checkpointed
+    /// chain head, not "no predecessor"), the watermark tracker and boundary
+    /// ledger treat the cut as already applied and shipped, and the snapshot
+    /// cursor starts exposed at the cut.
+    fn start(
+        mode: C5Mode,
+        store: Arc<MvStore>,
+        config: ReplicaConfig,
+        cut: SeqNo,
+        last_writes: impl IntoIterator<Item = (RowRef, SeqNo)>,
+    ) -> Arc<Self> {
         config
             .validate()
             .expect("replica configuration must be valid");
         let cursor = match mode {
-            C5Mode::Faithful => SnapshotCursor::timestamped(Arc::clone(&store)),
-            C5Mode::OneWorkerPerTxn => SnapshotCursor::whole_database(Arc::clone(&store)),
+            C5Mode::Faithful => SnapshotCursor::timestamped_at(Arc::clone(&store), cut),
+            C5Mode::OneWorkerPerTxn => SnapshotCursor::whole_database_at(Arc::clone(&store), cut),
         };
         let policy = Arc::new(C5Policy {
             mode,
             store: Arc::clone(&store),
-            tracker: WatermarkTracker::new(),
+            tracker: WatermarkTracker::starting_at(cut),
             cursor,
-            sched: Mutex::new(SchedulerState::new()),
+            sched: Mutex::new(SchedulerState::with_last_writes(last_writes)),
             waits: RowWaitList::default(),
             gc: GcDriver::new(store, config.gc_trail),
-            ledger: BoundaryLedger::new(),
-            dispatched_boundary: AtomicU64::new(0),
+            ledger: BoundaryLedger::starting_at(cut),
+            dispatched_boundary: AtomicU64::new(cut.as_u64()),
             op_cost: config.op_cost,
             applied_writes: AtomicU64::new(0),
             applied_txns: AtomicU64::new(0),
@@ -456,6 +542,30 @@ impl C5Replica {
     /// The backup's store (for test assertions).
     pub fn store(&self) -> &Arc<MvStore> {
         &self.runtime.policy().store
+    }
+
+    /// Exports a checkpoint of the currently exposed state. The cut is
+    /// pinned through a read view first, so it is transaction-aligned and
+    /// stable while the export scans; applies may continue concurrently.
+    ///
+    /// # Panics
+    /// Panics if the version-GC horizon overtook the cut while the export
+    /// ran (possible only when `gc_trail` is smaller than the exposure the
+    /// expose stage makes during one export scan): a horizon past the cut
+    /// may have collected the very versions the export needed, so the
+    /// checkpoint cannot be trusted. The horizon is monotone, so checking it
+    /// *after* the scan proves the whole scan was safe.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let view = self.read_view();
+        let checkpoint = CheckpointWriter::capture(self.store(), view.as_of());
+        let horizon = self.runtime.policy().gc.horizon();
+        assert!(
+            horizon <= checkpoint.cut(),
+            "GC horizon {horizon} overtook the checkpoint cut {} during the \
+             export — raise gc_trail so the trail covers the capture window",
+            checkpoint.cut()
+        );
+        checkpoint
     }
 }
 

@@ -50,6 +50,20 @@ impl SchedulerState {
         Self::default()
     }
 
+    /// Creates a scheduler resuming from a checkpoint, seeded with the
+    /// per-row last-write positions the checkpoint captured. Without the
+    /// seeds, the first post-checkpoint write to a row would be stamped
+    /// "no predecessor" and `install_if_prev` against the checkpointed chain
+    /// head would refuse it forever. Zero seeds (pre-log population rows) are
+    /// skipped — absent already means zero.
+    pub fn with_last_writes(seeds: impl IntoIterator<Item = (RowRef, SeqNo)>) -> Self {
+        let mut state = Self::new();
+        state
+            .last_write
+            .extend(seeds.into_iter().filter(|&(_, seq)| seq > SeqNo::ZERO));
+        state
+    }
+
     /// Stamps one record with the position of the previous write to its row
     /// and records it as the row's most recent write.
     pub fn process_record(&mut self, record: &mut LogRecord) {
@@ -168,6 +182,25 @@ mod tests {
         assert_eq!(seg2.records[0].prev_seq, SeqNo(1));
         assert_eq!(state.last_write_to(row(7)), seg2.records[0].seq);
         assert_eq!(state.stats().segments, 2);
+    }
+
+    #[test]
+    fn seeded_scheduler_stamps_the_checkpointed_predecessor() {
+        // Resuming from a checkpoint whose head for row 7 is position 3:
+        // the first post-checkpoint write must name it, not zero. Zero
+        // seeds are dropped (absent already means "first write").
+        let mut state =
+            SchedulerState::with_last_writes([(row(7), SeqNo(3)), (row(8), SeqNo::ZERO)]);
+        assert_eq!(state.last_write_to(row(7)), SeqNo(3));
+        assert_eq!(state.stats().distinct_rows, 1);
+
+        let mut seg = make_segment(&[vec![7], vec![8]]);
+        for r in &mut seg.records {
+            r.seq = SeqNo(r.seq.as_u64() + 3);
+        }
+        state.process_segment(&mut seg);
+        assert_eq!(seg.records[0].prev_seq, SeqNo(3));
+        assert_eq!(seg.records[1].prev_seq, SeqNo::ZERO);
     }
 
     #[test]

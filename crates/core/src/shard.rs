@@ -46,15 +46,15 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use c5_common::{OpCost, ReplicaConfig, SeqNo, ShardRouter, Timestamp};
-use c5_log::{route_segment, LogRecord, Segment};
-use c5_storage::MvStore;
+use c5_log::{route_segment_with, LogRecord, Segment, TxnShardTracker};
+use c5_storage::{Checkpoint, CheckpointWriter, MvStore};
 
 use crate::lag::LagTracker;
 use crate::pipeline::{
     GcDriver, PipelineOptions, PipelinePolicy, PipelineRuntime, PipelineSignals, QueuePlan,
     RowWaitList, WorkSink,
 };
-use crate::replica::{ClonedConcurrencyControl, ReadView, ReplicaMetrics};
+use crate::replica::{ClonedConcurrencyControl, Promotion, ReadView, ReplicaMetrics};
 use crate::scheduler::SchedulerState;
 use crate::snapshotter::ShardedReadView;
 
@@ -370,6 +370,12 @@ impl CutCoordinator {
         self.gc.reclaimed()
     }
 
+    /// The current version-GC horizon (checkpoint exports verify it never
+    /// overtook their cut).
+    pub fn gc_horizon(&self) -> SeqNo {
+        self.gc.horizon()
+    }
+
     /// A spanning read view pinned at the current cut vector. The cut and
     /// the vector are read under one lock, so the view can never mix
     /// components from different cut generations.
@@ -519,6 +525,10 @@ impl PipelinePolicy for ShardPolicy {
             cross_shard_txns: 0,
         }
     }
+
+    fn store(&self) -> &Arc<MvStore> {
+        &self.store
+    }
 }
 
 /// A horizontally sharded C5 replica: `config.shards` faithful apply
@@ -533,10 +543,15 @@ impl PipelinePolicy for ShardPolicy {
 pub struct ShardedC5Replica {
     config: ReplicaConfig,
     router: ShardRouter,
+    store: Arc<MvStore>,
     coordinator: Arc<CutCoordinator>,
     runtimes: Vec<PipelineRuntime<ShardPolicy>>,
     routed_txns: AtomicU64,
     cross_shard_txns: AtomicU64,
+    /// Shard masks of transactions straddling segment boundaries on the
+    /// self-routing [`apply_segment`](ClonedConcurrencyControl::apply_segment)
+    /// path, so each is counted once, by id.
+    route_state: Mutex<TxnShardTracker>,
     finished: AtomicBool,
 }
 
@@ -583,10 +598,12 @@ impl ShardedC5Replica {
         Arc::new(Self {
             config,
             router,
+            store,
             coordinator,
             runtimes,
             routed_txns: AtomicU64::new(0),
             cross_shard_txns: AtomicU64::new(0),
+            route_state: Mutex::new(TxnShardTracker::default()),
             finished: AtomicBool::new(false),
         })
     }
@@ -635,6 +652,34 @@ impl ShardedC5Replica {
     pub fn apply_shard_segment(&self, shard: usize, segment: Segment) {
         self.runtimes[shard].apply_segment(segment);
     }
+
+    /// Exports a checkpoint at the current cut vector: the spanning view
+    /// pins `(cut, vector)` atomically, and each row is captured at its own
+    /// shard's component — exactly the state the view exposes.
+    ///
+    /// # Panics
+    /// Panics if the version-GC horizon overtook the global cut while the
+    /// export ran (see
+    /// [`C5Replica::checkpoint`](crate::replica::C5Replica::checkpoint) —
+    /// every vector component is at least the global cut, so a horizon at or
+    /// below the cut keeps every exported version safe).
+    pub fn checkpoint(&self) -> Checkpoint {
+        let view = self.coordinator.read_view();
+        let checkpoint = CheckpointWriter::capture_vector(
+            &self.store,
+            &self.router,
+            view.cut_vector(),
+            view.as_of(),
+        );
+        let horizon = self.coordinator.gc_horizon();
+        assert!(
+            horizon <= checkpoint.cut(),
+            "GC horizon {horizon} overtook the checkpoint cut {} during the \
+             export — raise gc_trail so the trail covers the capture window",
+            checkpoint.cut()
+        );
+        checkpoint
+    }
 }
 
 impl ClonedConcurrencyControl for ShardedC5Replica {
@@ -643,7 +688,7 @@ impl ClonedConcurrencyControl for ShardedC5Replica {
     }
 
     fn apply_segment(&self, segment: Segment) {
-        let routed = route_segment(segment, &self.router);
+        let routed = route_segment_with(segment, &self.router, &mut self.route_state.lock());
         self.routed_txns.fetch_add(routed.txns, Ordering::Relaxed);
         self.cross_shard_txns
             .fetch_add(routed.cross_shard_txns, Ordering::Relaxed);
@@ -664,6 +709,22 @@ impl ClonedConcurrencyControl for ShardedC5Replica {
                 scope.spawn(|| runtime.finish());
             }
         });
+    }
+
+    fn promote(&self) -> Promotion {
+        // The parallel drain seals every shard at one global cut (each
+        // shard's final exposure waits on the coordinator's cut converging
+        // to the final boundary), so the handover is exactly as clean as the
+        // single-pipeline case: one transaction-aligned prefix, nothing
+        // above it in the store.
+        let start = std::time::Instant::now();
+        self.finish();
+        Promotion {
+            protocol: self.name(),
+            cut: self.coordinator.cut(),
+            drain: start.elapsed(),
+            store: Arc::clone(&self.store),
+        }
     }
 
     fn applied_seq(&self) -> SeqNo {

@@ -77,19 +77,31 @@ impl std::fmt::Debug for SnapshotCursor {
 impl SnapshotCursor {
     /// Creates the faithful, timestamped cursor.
     pub fn timestamped(store: Arc<MvStore>) -> Self {
+        Self::timestamped_at(store, SeqNo::ZERO)
+    }
+
+    /// Creates the faithful cursor resuming at `cut` (a checkpoint's cut:
+    /// the store already holds, and may expose, everything at or below it).
+    pub fn timestamped_at(store: Arc<MvStore>, cut: SeqNo) -> Self {
         SnapshotCursor::Timestamped {
             store,
-            exposed: AtomicU64::new(0),
+            exposed: AtomicU64::new(cut.as_u64()),
         }
     }
 
     /// Creates the whole-database cursor. The initial current snapshot
     /// captures the store's preloaded state.
     pub fn whole_database(store: Arc<MvStore>) -> Self {
+        Self::whole_database_at(store, SeqNo::ZERO)
+    }
+
+    /// Creates the whole-database cursor resuming at `cut`; the initial
+    /// snapshot captures the store's current (checkpoint-installed) state.
+    pub fn whole_database_at(store: Arc<MvStore>, cut: SeqNo) -> Self {
         let current = DbSnapshot::of_current(&store);
         SnapshotCursor::WholeDatabase {
             store,
-            exposed: AtomicU64::new(0),
+            exposed: AtomicU64::new(cut.as_u64()),
             gate: RwLock::new(u64::MAX),
             current: RwLock::new(current),
         }

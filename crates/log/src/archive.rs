@@ -1,0 +1,315 @@
+//! Log retention for failover: keep shipped segments until a checkpoint
+//! covers them, and replay the tail to cold replicas.
+//!
+//! The paper assumes the backup is always running, so the live channel is the
+//! whole story. Failover needs two more things from the log: **retention** —
+//! segments must outlive the channel so a replica started after the fact can
+//! still read them — and **truncation** — once a checkpoint captures the
+//! state at a cut, everything at or below the cut is dead weight and can be
+//! dropped. [`LogArchive`] provides both: a [`crate::ship::LogShipper`]
+//! configured with [`crate::ship::LogShipper::with_archive`] records every
+//! shipped segment here, [`LogArchive::truncate_through`] drops whole
+//! segments a checkpoint has covered, and [`LogArchive::replay_from`] hands a
+//! cold replica exactly the records above its checkpoint cut — trimming the
+//! one segment the cut may land inside, so the replayed stream still starts
+//! at a transaction boundary and stays contiguous with the checkpoint.
+//!
+//! The reproduction is in-memory end to end, so "durable" here means
+//! "outlives the shipping channel", not "survives the process"; the protocol
+//! (retain → checkpoint → truncate → replay from the cut) is the same one a
+//! disk-backed segment store would run.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use c5_common::SeqNo;
+
+use crate::segment::Segment;
+
+/// Retained log segments with truncation at a checkpoint cut and tail replay
+/// for cold replicas. All methods are thread-safe; the shipper appends while
+/// checkpointers truncate and cold replicas replay.
+#[derive(Debug, Default)]
+pub struct LogArchive {
+    inner: Mutex<ArchiveInner>,
+}
+
+#[derive(Debug, Default)]
+struct ArchiveInner {
+    /// Retained segments, in log order.
+    segments: VecDeque<Segment>,
+    /// Largest position dropped by truncation; records at or below it are
+    /// gone and cannot be replayed.
+    truncated_through: SeqNo,
+    /// Largest position appended so far.
+    last_seq: SeqNo,
+}
+
+impl LogArchive {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an archive for a log resuming at `cut` — a promoted primary's
+    /// continuation log, whose first segment starts at `cut + 1`. Everything
+    /// at or below the cut is covered by the promotion checkpoint, so the
+    /// archive treats it as already truncated.
+    pub fn starting_at(cut: SeqNo) -> Self {
+        let archive = Self::default();
+        archive.inner.lock().truncated_through = cut;
+        archive
+    }
+
+    /// Retains a copy of one shipped segment. Empty segments carry no
+    /// replayable records and are not retained.
+    ///
+    /// # Panics
+    /// Panics if the segment does not directly follow the last one appended —
+    /// an archive with a gap would silently replay a corrupt log, so a
+    /// misordered producer fails loudly here (mirroring the replica-side
+    /// `BoundaryLedger` contiguity assert).
+    pub fn append(&self, segment: &Segment) {
+        let Some(first) = segment.first_seq() else {
+            return;
+        };
+        let mut inner = self.inner.lock();
+        let expected = inner.last_seq.max(inner.truncated_through);
+        assert_eq!(
+            first.as_u64(),
+            expected.as_u64() + 1,
+            "archived segments must arrive in log order: got a segment \
+             starting at {first} when the archive holds through {expected}"
+        );
+        inner.last_seq = segment.last_seq().expect("non-empty segment");
+        inner.segments.push_back(segment.clone());
+    }
+
+    /// Drops every retained segment that lies entirely at or below `cut`
+    /// (a checkpoint at `cut` has made them redundant). A segment straddling
+    /// the cut is kept whole — [`replay_from`](Self::replay_from) trims it.
+    /// Returns the number of segments dropped.
+    pub fn truncate_through(&self, cut: SeqNo) -> usize {
+        let mut inner = self.inner.lock();
+        let mut dropped = 0;
+        while let Some(front) = inner.segments.front() {
+            match front.last_seq() {
+                Some(last) if last <= cut => {
+                    inner.truncated_through = inner.truncated_through.max(last);
+                    inner.segments.pop_front();
+                    dropped += 1;
+                }
+                _ => break,
+            }
+        }
+        dropped
+    }
+
+    /// The records above `from`, packed into segments a replica can consume
+    /// directly after installing a checkpoint at `from`: the first returned
+    /// segment starts at `from + 1`, and a retained segment the cut lands
+    /// inside is trimmed to its suffix. Returns `None` when truncation has
+    /// already dropped records above `from` (the caller's checkpoint is too
+    /// old for this archive — it must bootstrap from a newer checkpoint).
+    ///
+    /// # Panics
+    /// Panics if `from` splits a transaction: checkpoint cuts are transaction
+    /// boundaries by construction, and replaying from a torn cut would apply
+    /// half a transaction twice.
+    pub fn replay_from(&self, from: SeqNo) -> Option<Vec<Segment>> {
+        let inner = self.inner.lock();
+        if from < inner.truncated_through {
+            return None;
+        }
+        let mut out = Vec::new();
+        for segment in &inner.segments {
+            match segment.last_seq() {
+                Some(last) if last > from => {}
+                _ => continue,
+            }
+            let first = segment.first_seq().expect("non-empty segment");
+            if first > from {
+                out.push(segment.clone());
+            } else {
+                // The cut lands inside this segment: replay its suffix. The
+                // suffix starts right after a transaction's last write
+                // because cuts are transaction boundaries.
+                let records: Vec<_> = segment
+                    .records
+                    .iter()
+                    .filter(|r| r.seq > from)
+                    .cloned()
+                    .collect();
+                if let Some(first) = records.first() {
+                    assert!(
+                        first.is_txn_first(),
+                        "replay cut {from} splits a transaction"
+                    );
+                }
+                out.push(Segment::sub_segment(
+                    segment.header.id,
+                    records,
+                    segment.covered_through(),
+                ));
+            }
+        }
+        Some(out)
+    }
+
+    /// Number of segments currently retained.
+    pub fn retained_segments(&self) -> usize {
+        self.inner.lock().segments.len()
+    }
+
+    /// Number of records currently retained.
+    pub fn retained_records(&self) -> usize {
+        self.inner.lock().segments.iter().map(Segment::len).sum()
+    }
+
+    /// Largest position appended so far — exactly what has gone over the
+    /// wire when the archive is attached to a shipper, which makes it the
+    /// survivable log end after a primary crash (the crashed primary's
+    /// buffered-but-unshipped tail is not in here).
+    pub fn last_seq(&self) -> SeqNo {
+        self.inner.lock().last_seq
+    }
+
+    /// Largest position dropped by truncation (replays must start at or
+    /// above it).
+    pub fn truncated_through(&self) -> SeqNo {
+        self.inner.lock().truncated_through
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logger::segments_from_entries;
+    use crate::record::TxnEntry;
+    use c5_common::{RowRef, RowWrite, Timestamp, TxnId, Value};
+
+    /// Six transactions of two writes each, packed 4 records (= 2 txns) per
+    /// segment: boundaries at 2, 4, 6, 8, 10, 12; segment ends at 4, 8, 12.
+    fn archive_with_log() -> (LogArchive, Vec<Segment>) {
+        let entries: Vec<TxnEntry> = (1..=6u64)
+            .map(|t| {
+                TxnEntry::new(
+                    TxnId(t),
+                    Timestamp(t),
+                    vec![
+                        RowWrite::update(RowRef::new(0, t), Value::from_u64(t)),
+                        RowWrite::update(RowRef::new(0, 100 + t), Value::from_u64(t)),
+                    ],
+                )
+            })
+            .collect();
+        let segments = segments_from_entries(&entries, 4);
+        let archive = LogArchive::new();
+        for segment in &segments {
+            archive.append(segment);
+        }
+        (archive, segments)
+    }
+
+    #[test]
+    fn append_retains_and_tracks_the_log_end() {
+        let (archive, segments) = archive_with_log();
+        assert_eq!(archive.retained_segments(), segments.len());
+        assert_eq!(archive.retained_records(), 12);
+        assert_eq!(archive.last_seq(), SeqNo(12));
+        assert_eq!(archive.truncated_through(), SeqNo::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "log order")]
+    fn append_rejects_gaps() {
+        let (archive, segments) = archive_with_log();
+        // Re-appending the first segment is out of order.
+        archive.append(&segments[0]);
+    }
+
+    #[test]
+    fn replay_from_zero_returns_the_whole_log() {
+        let (archive, segments) = archive_with_log();
+        let replay = archive.replay_from(SeqNo::ZERO).unwrap();
+        assert_eq!(replay.len(), segments.len());
+        let seqs: Vec<u64> = crate::logger::flatten(&replay)
+            .iter()
+            .map(|r| r.seq.as_u64())
+            .collect();
+        assert_eq!(seqs, (1..=12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn replay_from_a_mid_segment_boundary_trims_the_straddling_segment() {
+        let (archive, _) = archive_with_log();
+        // Cut 6 is a transaction boundary inside the second segment (5..=8).
+        let replay = archive.replay_from(SeqNo(6)).unwrap();
+        let records = crate::logger::flatten(&replay);
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq.as_u64()).collect();
+        assert_eq!(seqs, (7..=12).collect::<Vec<_>>());
+        assert!(records[0].is_txn_first());
+        // The trimmed segment still covers its parent's span.
+        assert_eq!(replay[0].covered_through(), SeqNo(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "splits a transaction")]
+    fn replay_from_a_torn_cut_fails_loudly() {
+        let (archive, _) = archive_with_log();
+        // Seq 5 is mid-transaction (txn 3 writes 5 and 6).
+        let _ = archive.replay_from(SeqNo(5));
+    }
+
+    #[test]
+    fn truncation_drops_covered_segments_and_bounds_replay() {
+        let (archive, _) = archive_with_log();
+        // A checkpoint at 6 covers segment 0 entirely; segment 1 straddles
+        // and is kept whole.
+        assert_eq!(archive.truncate_through(SeqNo(6)), 1);
+        assert_eq!(archive.retained_segments(), 2);
+        assert_eq!(archive.truncated_through(), SeqNo(4));
+
+        // Replays at or above the truncation point still work...
+        let replay = archive.replay_from(SeqNo(6)).unwrap();
+        let seqs: Vec<u64> = crate::logger::flatten(&replay)
+            .iter()
+            .map(|r| r.seq.as_u64())
+            .collect();
+        assert_eq!(seqs, (7..=12).collect::<Vec<_>>());
+        assert_eq!(archive.replay_from(SeqNo(4)).unwrap().len(), 2);
+        // ...but a replay below it reports the gap instead of a corrupt log.
+        assert!(archive.replay_from(SeqNo(2)).is_none());
+
+        // Truncating everything leaves appends still contiguous.
+        archive.truncate_through(SeqNo(12));
+        assert_eq!(archive.retained_segments(), 0);
+        assert_eq!(archive.replay_from(SeqNo(12)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn starting_at_accepts_a_continuation_log() {
+        // A promoted primary's log resumes at cut + 1; its archive must
+        // accept that as the first segment and replay from the cut.
+        let entry = TxnEntry::new(
+            TxnId(1),
+            Timestamp(11),
+            vec![RowWrite::update(RowRef::new(0, 1), Value::from_u64(1))],
+        );
+        let (records, _) = crate::record::explode_txn(&entry, SeqNo(10));
+        let archive = LogArchive::starting_at(SeqNo(10));
+        archive.append(&Segment::new(0, records));
+        let replay = archive.replay_from(SeqNo(10)).unwrap();
+        assert_eq!(crate::logger::flatten(&replay)[0].seq, SeqNo(11));
+        assert!(archive.replay_from(SeqNo(9)).is_none());
+    }
+
+    #[test]
+    fn empty_segments_are_not_retained() {
+        let archive = LogArchive::new();
+        archive.append(&Segment::new(0, vec![]));
+        assert_eq!(archive.retained_segments(), 0);
+        assert_eq!(archive.last_seq(), SeqNo::ZERO);
+    }
+}

@@ -33,15 +33,26 @@
 //! Using log positions keeps the backup machinery identical across the 2PL
 //! and MVTSO primaries.
 
+//! For failover, the log additionally supports **retention and replay**
+//! ([`archive::LogArchive`]): a shipper with an attached archive records
+//! every segment that goes on the wire, a checkpoint truncates the archive
+//! at its cut, and a cold replica bootstraps by installing the checkpoint
+//! and replaying the retained tail from the cut.
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod archive;
 pub mod logger;
 pub mod record;
 pub mod segment;
 pub mod ship;
 
+pub use archive::LogArchive;
 pub use logger::{coalesce, flatten, segments_from_entries, StreamingLogger, ThreadLog};
 pub use record::{explode_txn, now_nanos, LogRecord, TxnEntry};
 pub use segment::{Segment, SegmentHeader};
-pub use ship::{route_segment, LogReceiver, LogShipper, RoutedSegments, RoutingStats};
+pub use ship::{
+    route_segment, route_segment_with, LogReceiver, LogShipper, RoutedSegments, RoutingStats,
+    TxnShardTracker,
+};

@@ -31,11 +31,22 @@ impl StreamingLogger {
     /// Creates a logger that packs `segment_records` records per segment and
     /// ships them through `shipper`.
     pub fn new(segment_records: usize, shipper: LogShipper) -> Self {
+        Self::resume_at(segment_records, shipper, SeqNo::ZERO)
+    }
+
+    /// Creates a logger that resumes a promoted log: sequence numbers and
+    /// commit timestamps continue from `cut` (a promoted replica's exposed
+    /// cut), so the new primary's log is a seamless continuation of the old
+    /// one — a backup that applied the old log through `cut` can keep
+    /// consuming this logger's segments without a gap, and every new commit
+    /// timestamp exceeds every version the promoted store holds (the backup
+    /// installs versions at log positions, all `<= cut`).
+    pub fn resume_at(segment_records: usize, shipper: LogShipper, cut: SeqNo) -> Self {
         Self {
             inner: Mutex::new(StreamingInner {
                 builder: SegmentBuilder::new(segment_records),
-                next_seq: SeqNo::ZERO,
-                next_commit_ts: Timestamp::ZERO,
+                next_seq: cut,
+                next_commit_ts: Timestamp(cut.as_u64()),
                 appended_txns: 0,
             }),
             shipper,
@@ -87,14 +98,38 @@ impl StreamingLogger {
         self.inner.lock().appended_txns
     }
 
-    /// Highest write sequence number assigned so far.
+    /// Highest write sequence number assigned so far. Includes records still
+    /// buffered in the current segment, i.e. assigned but not yet shipped.
     pub fn last_seq(&self) -> SeqNo {
         self.inner.lock().next_seq
     }
 
-    /// Closes the shipping channel, signalling end-of-log to the replica.
+    /// Flushes the buffered tail and closes the shipping channel, signalling
+    /// end-of-log to the replica.
+    ///
+    /// The final flush and the channel close happen under one logger lock:
+    /// the flushed tail is shipped exactly once, and no concurrent `append`
+    /// or `flush` can slip another segment onto the wire after it (the
+    /// replica's `BoundaryLedger` hard-asserts segment contiguity, so a
+    /// post-tail segment would fail loudly there). Idempotent — a second
+    /// close finds an empty builder and an already-closed shipper.
     pub fn close(&self) {
-        self.flush();
+        let mut inner = self.inner.lock();
+        if let Some(seg) = inner.builder.flush() {
+            self.shipper.ship(seg);
+        }
+        self.shipper.close();
+    }
+
+    /// Simulates a primary crash: closes the shipping channel *without*
+    /// flushing the buffered tail. Records already assigned sequence numbers
+    /// but not yet shipped are lost, exactly as an asynchronously replicated
+    /// primary loses its unshipped tail on failure. The failover experiments
+    /// use this to kill the primary mid-workload.
+    pub fn crash(&self) {
+        // Take the logger lock so no append is mid-ship while the wire
+        // closes (the wire sees a clean, segment-aligned prefix).
+        let _inner = self.inner.lock();
         self.shipper.close();
     }
 }
@@ -214,6 +249,86 @@ mod tests {
         assert_eq!(receiver.try_len(), 0);
         logger.flush();
         assert_eq!(flatten(&receiver.drain_available()).len(), 1);
+    }
+
+    #[test]
+    fn tail_shipping_is_exactly_once_across_flush_and_close() {
+        // A segment target that is never reached, so every ship is a tail
+        // ship: repeated flushes and closes must deliver each record exactly
+        // once and never produce an empty segment on the wire.
+        let (shipper, receiver) = LogShipper::bounded(16);
+        let logger = StreamingLogger::new(100, shipper);
+        logger.append(TxnId(1), vec![write(1, 1)]);
+        logger.flush();
+        logger.flush(); // nothing buffered: must ship nothing
+        logger.append(TxnId(2), vec![write(2, 2)]);
+        logger.close();
+        logger.close(); // idempotent: no duplicate tail, no empty segment
+
+        let segments = receiver.drain();
+        assert!(
+            segments.iter().all(|s| !s.is_empty()),
+            "no empty segment may reach the wire"
+        );
+        let seqs: Vec<u64> = flatten(&segments).iter().map(|r| r.seq.as_u64()).collect();
+        assert_eq!(seqs, vec![1, 2], "each record ships exactly once");
+    }
+
+    #[test]
+    fn concurrent_appends_during_close_keep_the_wire_a_contiguous_prefix() {
+        use std::sync::Arc;
+        // Appenders race with close(); whatever reaches the wire must be a
+        // gapless prefix of the assigned sequence numbers (appends that lose
+        // the race are dropped whole, never reordered or duplicated).
+        let (shipper, receiver) = LogShipper::unbounded();
+        let logger = Arc::new(StreamingLogger::new(2, shipper));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let logger = Arc::clone(&logger);
+                scope.spawn(move || {
+                    for i in 0..25u64 {
+                        logger.append(TxnId(1 + t * 100 + i), vec![write(t * 1000 + i, i)]);
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            logger.close();
+        });
+        let seqs: Vec<u64> = flatten(&receiver.drain())
+            .iter()
+            .map(|r| r.seq.as_u64())
+            .collect();
+        let expect: Vec<u64> = (1..=seqs.len() as u64).collect();
+        assert_eq!(seqs, expect, "the wire must carry a gapless log prefix");
+    }
+
+    #[test]
+    fn crash_loses_the_buffered_tail() {
+        let (shipper, receiver) = LogShipper::bounded(16);
+        let logger = StreamingLogger::new(2, shipper);
+        logger.append(TxnId(1), vec![write(1, 1), write(2, 1)]); // ships: fills a segment
+        logger.append(TxnId(2), vec![write(3, 2)]); // buffered
+        logger.crash();
+        // Only the shipped segment survives; the buffered tail is lost even
+        // though its sequence numbers were assigned.
+        assert_eq!(flatten(&receiver.drain()).len(), 2);
+        assert_eq!(logger.last_seq(), SeqNo(3));
+        // A close after the crash must not resurrect the tail.
+        logger.close();
+        assert!(receiver.drain().is_empty());
+    }
+
+    #[test]
+    fn resume_at_continues_seq_and_commit_order() {
+        let (shipper, receiver) = LogShipper::bounded(16);
+        let logger = StreamingLogger::resume_at(1, shipper, SeqNo(10));
+        let ts = logger.append(TxnId(1), vec![write(5, 5)]);
+        assert_eq!(ts, Timestamp(11));
+        logger.close();
+        let records = flatten(&receiver.drain());
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].seq, SeqNo(11));
+        assert_eq!(logger.last_seq(), SeqNo(11));
     }
 
     #[test]

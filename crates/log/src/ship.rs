@@ -24,6 +24,7 @@
 //! quiet shard's progress advance through the gap — the cross-shard cut
 //! coordinator in `c5-core` depends on that.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -31,8 +32,9 @@ use std::time::Duration;
 use crossbeam::channel::{self, Receiver, SendError, Sender, TryRecvError};
 use parking_lot::Mutex;
 
-use c5_common::{pacing::Pacer, ShardRouter};
+use c5_common::{pacing::Pacer, ShardRouter, TxnId};
 
+use crate::archive::LogArchive;
 use crate::segment::Segment;
 
 /// The shared, immutable set of per-replica senders. Behind its own `Arc` so
@@ -53,6 +55,10 @@ pub struct LogShipper {
     /// Key-ranged routing: when set, each shipped segment is split into one
     /// sub-segment per shard instead of being replicated to every receiver.
     routing: Option<Arc<Routing>>,
+    /// Retention: when set, every segment that actually goes on the wire is
+    /// also recorded here (before routing, so the archive holds the whole
+    /// log), enabling checkpoint truncation and cold-replica replay.
+    archive: Option<Arc<LogArchive>>,
 }
 
 /// Routing state of a sharded shipper.
@@ -60,6 +66,10 @@ struct Routing {
     router: ShardRouter,
     txns: AtomicU64,
     cross_shard_txns: AtomicU64,
+    /// Shard masks of transactions whose last write has not been shipped
+    /// yet, carried across segments so a transaction straddling a segment
+    /// boundary is counted once, by id — not once per segment.
+    tracker: Mutex<TxnShardTracker>,
 }
 
 /// Transaction counts observed by a sharded shipper.
@@ -94,6 +104,7 @@ impl LogShipper {
             txs: Arc::new(Mutex::new(Some(Arc::new(txs)))),
             pace: None,
             routing: None,
+            archive: None,
         }
     }
 
@@ -162,6 +173,7 @@ impl LogShipper {
             router,
             txns: AtomicU64::new(0),
             cross_shard_txns: AtomicU64::new(0),
+            tracker: Mutex::new(TxnShardTracker::default()),
         }));
         (shipper, receivers)
     }
@@ -183,6 +195,15 @@ impl LogShipper {
         } else {
             Some(Arc::new(Mutex::new(Pacer::new(delay))))
         };
+        self
+    }
+
+    /// Attaches a retention archive: every segment that goes on the wire is
+    /// also recorded in `archive` (whole, before any shard routing), so a
+    /// checkpoint can truncate the log and a cold replica can replay its
+    /// tail. Shared across clones like the wire itself.
+    pub fn with_archive(mut self, archive: Arc<LogArchive>) -> Self {
+        self.archive = Some(archive);
         self
     }
 
@@ -210,8 +231,14 @@ impl LogShipper {
         // does not hold the lock and deadlock against `close()`.
         let senders = self.txs.lock().clone();
         let Some(senders) = senders else { return };
+        // Archive only what actually goes on the wire: segments shipped into
+        // a closed shipper are discarded above, exactly as a crashed
+        // primary's unshipped tail is lost.
+        if let Some(archive) = &self.archive {
+            archive.append(&segment);
+        }
         if let Some(routing) = &self.routing {
-            let routed = route_segment(segment, &routing.router);
+            let routed = route_segment_with(segment, &routing.router, &mut routing.tracker.lock());
             routing.txns.fetch_add(routed.txns, Ordering::Relaxed);
             routing
                 .cross_shard_txns
@@ -255,29 +282,67 @@ pub struct RoutedSegments {
     pub cross_shard_txns: u64,
 }
 
+/// Shard membership of transactions whose last write has not been seen yet,
+/// keyed by transaction id. Carrying this state across
+/// [`route_segment_with`] calls makes the cross-shard count *per
+/// transaction*: a transaction whose records straddle a segment boundary
+/// accumulates one mask and is judged once, at its last write — instead of
+/// being judged per segment, which either double-counts a transaction whose
+/// every fragment spans shards or misses one that only spans shards across
+/// the boundary.
+#[derive(Debug, Default)]
+pub struct TxnShardTracker {
+    open: HashMap<TxnId, u64>,
+}
+
+impl TxnShardTracker {
+    /// Number of transactions whose last write has not been routed yet
+    /// (diagnostic; non-zero only while a transaction straddles segments).
+    pub fn open_txns(&self) -> usize {
+        self.open.len()
+    }
+}
+
 /// Splits a segment into per-shard sub-segments under `router`. Each record
 /// moves to the shard owning its row; within a shard, records keep their log
 /// order. Every part's `covers_through` is the parent's, so a shard that owns
 /// nothing in this segment still learns the log has moved past it.
+///
+/// Convenience form of [`route_segment_with`] for producers whose segments
+/// never split transactions (the [`crate::segment::SegmentBuilder`]
+/// invariant); a stream that *can* split them must thread one
+/// [`TxnShardTracker`] through every call to keep the cross-shard count
+/// exact.
 pub fn route_segment(segment: Segment, router: &ShardRouter) -> RoutedSegments {
+    route_segment_with(segment, router, &mut TxnShardTracker::default())
+}
+
+/// [`route_segment`] with cross-segment transaction state: shard masks of
+/// transactions still open at the segment boundary are carried in `tracker`,
+/// so each transaction is counted exactly once, by id, at its last write.
+pub fn route_segment_with(
+    segment: Segment,
+    router: &ShardRouter,
+    tracker: &mut TxnShardTracker,
+) -> RoutedSegments {
     let covers = segment.covered_through();
     let id = segment.header.id;
     let mut parts: Vec<Vec<crate::record::LogRecord>> = Vec::new();
     parts.resize_with(router.shards(), Vec::new);
     let mut txns = 0u64;
     let mut cross_shard_txns = 0u64;
-    // Shard bitmask of the transaction currently being scanned; segments
-    // never split transactions, so each mask completes within the segment.
-    let mut txn_shards: u64 = 0;
     for record in segment.records {
         let shard = router.route(record.write.row);
-        txn_shards |= 1u64 << shard;
         if record.is_txn_last() {
+            // The complete mask: fragments from earlier segments, if any,
+            // plus this final write's shard.
+            let mask = tracker.open.remove(&record.txn).unwrap_or(0) | (1u64 << shard);
             txns += 1;
-            if !txn_shards.is_power_of_two() {
+            if !mask.is_power_of_two() {
                 cross_shard_txns += 1;
             }
-            txn_shards = 0;
+        } else {
+            *tracker.open.entry(record.txn).or_insert(0) |= 1u64 << shard;
         }
         parts[shard].push(record);
     }
@@ -543,5 +608,94 @@ mod tests {
     fn replicating_shipper_reports_no_routing_stats() {
         let (tx, _rx) = LogShipper::bounded(4);
         assert!(tx.routing_stats().is_none());
+    }
+
+    /// One cross-shard transaction (keys 1 and 5 under a 2-shard router over
+    /// [0, 8)) whose two records are deliberately split across two segments —
+    /// the shape a segment-splitting producer would emit.
+    fn straddling_txn_segments() -> (Segment, Segment) {
+        let entry = TxnEntry::new(
+            TxnId(1),
+            Timestamp(1),
+            vec![
+                RowWrite::insert(RowRef::new(0, 1), Value::from_u64(1)),
+                RowWrite::insert(RowRef::new(0, 5), Value::from_u64(5)),
+            ],
+        );
+        let (mut records, _) = explode_txn(&entry, SeqNo::ZERO);
+        let second = records.split_off(1);
+        (Segment::new(0, records), Segment::new(1, second))
+    }
+
+    #[test]
+    fn txn_straddling_segments_is_counted_once_by_id() {
+        let router = c5_common::ShardRouter::new(2, 8);
+        let (seg1, seg2) = straddling_txn_segments();
+        let mut tracker = TxnShardTracker::default();
+
+        let first = route_segment_with(seg1, &router, &mut tracker);
+        // No last write seen yet: nothing is counted, the mask stays open.
+        assert_eq!(first.txns, 0);
+        assert_eq!(first.cross_shard_txns, 0);
+        assert_eq!(tracker.open_txns(), 1);
+
+        let second = route_segment_with(seg2, &router, &mut tracker);
+        // The final write completes the mask {shard 0, shard 1}: exactly one
+        // transaction, counted as cross-shard exactly once. Without the
+        // carried mask the second segment only sees shard 1 and the
+        // transaction would be misclassified as single-shard.
+        assert_eq!(second.txns, 1);
+        assert_eq!(second.cross_shard_txns, 1);
+        assert_eq!(tracker.open_txns(), 0);
+    }
+
+    #[test]
+    fn sharded_shipper_counts_straddling_txns_once() {
+        let router = c5_common::ShardRouter::new(2, 8);
+        let (tx, receivers) = LogShipper::shard_routed(router, 8);
+        let (seg1, seg2) = straddling_txn_segments();
+        tx.ship(seg1);
+        tx.ship(seg2);
+        let stats = tx.routing_stats().unwrap();
+        assert_eq!(stats.txns, 1);
+        assert_eq!(stats.cross_shard_txns, 1);
+        tx.close();
+        // Both records still arrive, each on its own shard (alongside the
+        // empty coverage-only sub-segments of the shard that owns nothing
+        // in a given parent segment).
+        let total: usize = receivers
+            .iter()
+            .flat_map(|r| r.drain())
+            .map(|s| s.len())
+            .sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn attached_archive_records_exactly_the_wire() {
+        let archive = Arc::new(crate::archive::LogArchive::new());
+        let (tx, rx) = LogShipper::bounded(8);
+        let tx = tx.with_archive(Arc::clone(&archive));
+        let entry = TxnEntry::new(
+            TxnId(1),
+            Timestamp(1),
+            vec![RowWrite::insert(RowRef::new(0, 1), Value::from_u64(1))],
+        );
+        let (records, next) = explode_txn(&entry, SeqNo::ZERO);
+        tx.ship(Segment::new(0, records));
+        tx.close();
+        // A segment shipped after close never reached the wire, so the
+        // archive must not retain it either.
+        let entry2 = TxnEntry::new(
+            TxnId(2),
+            Timestamp(2),
+            vec![RowWrite::insert(RowRef::new(0, 2), Value::from_u64(2))],
+        );
+        let (records2, _) = explode_txn(&entry2, next);
+        tx.ship(Segment::new(1, records2));
+
+        assert_eq!(rx.drain().len(), 1);
+        assert_eq!(archive.retained_records(), 1);
+        assert_eq!(archive.last_seq(), SeqNo(1));
     }
 }

@@ -68,6 +68,15 @@ impl ClockSet {
         let coarse = ts.as_u64() >> THREAD_BITS;
         self.global_max.fetch_max(coarse, Ordering::Relaxed);
     }
+
+    /// Fast-forwards the global clock past a raw *coarse* value — used when
+    /// an engine resumes over a promoted backup store, whose version
+    /// timestamps are log positions rather than packed clock values: after
+    /// `fast_forward(cut)`, every timestamp any thread issues exceeds `cut`
+    /// even before the thread-index packing.
+    pub fn fast_forward(&self, coarse: u64) {
+        self.global_max.fetch_max(coarse, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]

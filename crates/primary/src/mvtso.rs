@@ -34,7 +34,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use c5_common::{
-    error::AbortReason, Error, PrimaryConfig, Result, RowRef, RowWrite, Timestamp, TxnId, Value,
+    error::AbortReason, Error, PrimaryConfig, Result, RowRef, RowWrite, SeqNo, Timestamp, TxnId,
+    Value,
 };
 use c5_log::{coalesce, Segment, ThreadLog, TxnEntry};
 use c5_storage::MvStore;
@@ -66,6 +67,17 @@ impl MvtsoEngine {
             aborted: AtomicU64::new(0),
             thread_logs: (0..threads).map(|_| Mutex::new(ThreadLog::new())).collect(),
         }
+    }
+
+    /// Creates an engine resuming over a **promoted backup store** (the
+    /// failover takeover path): the clocks are fast-forwarded past `cut`, so
+    /// every new commit timestamp strictly exceeds every version the backup
+    /// installed (backups install versions at log positions, all `<= cut`),
+    /// and MVTSO validation admits new transactions immediately.
+    pub fn resume_at(store: Arc<MvStore>, config: PrimaryConfig, cut: SeqNo) -> Self {
+        let engine = Self::new(store, config);
+        engine.clocks.fast_forward(cut.as_u64());
+        engine
     }
 
     /// The underlying store.
@@ -370,6 +382,35 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, Error::DuplicateRow(_)));
+    }
+
+    #[test]
+    fn resume_at_commits_strictly_above_the_promoted_cut() {
+        // A promoted backup store: versions live at log positions <= cut.
+        let store = Arc::new(MvStore::default());
+        store.install(
+            row(1),
+            Timestamp(40),
+            c5_common::WriteKind::Insert,
+            Some(Value::from_u64(40)),
+        );
+        let e = MvtsoEngine::resume_at(
+            Arc::clone(&store),
+            PrimaryConfig::default().with_threads(2),
+            SeqNo(40),
+        );
+        // Without the fast-forward this transaction's timestamp would start
+        // near zero and fail validation against the promoted versions
+        // forever; resumed, it reads the promoted state and commits above it.
+        let ts = e
+            .execute_on(0, &|ctx: &mut dyn TxnCtx| {
+                let v = ctx.read_expected(row(1))?.as_u64().unwrap();
+                ctx.update(row(1), Value::from_u64(v + 2))
+            })
+            .unwrap();
+        assert!(ts > Timestamp(40));
+        assert_eq!(store.read_latest(row(1)).unwrap().as_u64(), Some(42));
+        assert_eq!(e.aborted(), 0);
     }
 
     #[test]

@@ -20,8 +20,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use c5_common::{
-    error::AbortReason, Error, IsolationLevel, PrimaryConfig, Result, RowRef, RowWrite, Timestamp,
-    TxnId, Value,
+    error::AbortReason, Error, IsolationLevel, PrimaryConfig, Result, RowRef, RowWrite, SeqNo,
+    Timestamp, TxnId, Value,
 };
 use c5_log::StreamingLogger;
 use c5_storage::MvStore;
@@ -78,6 +78,21 @@ impl TplEngine {
     /// Flushes and closes the replication log (call when the workload ends).
     pub fn close_log(&self) {
         self.logger.close();
+    }
+
+    /// Crashes the replication log: the shipping channel closes *without*
+    /// flushing the buffered tail, which is lost exactly as an
+    /// asynchronously replicated primary loses its unshipped writes on
+    /// failure. Failover experiments use this to kill the primary.
+    pub fn crash_log(&self) {
+        self.logger.crash();
+    }
+
+    /// Highest log position assigned so far, including any buffered
+    /// (crash-lossable) tail. The durable log end after a crash is the
+    /// attached archive's `last_seq`, not this.
+    pub fn log_last_seq(&self) -> SeqNo {
+        self.logger.last_seq()
     }
 
     /// Loads a row directly into the store, bypassing concurrency control and

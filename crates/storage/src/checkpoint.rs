@@ -1,0 +1,335 @@
+//! Checkpoints: consistent snapshots a cold replica can be bootstrapped from.
+//!
+//! Failover needs the backup's state to be *transplantable*: a consistent cut
+//! of the store, exported once, installed into a fresh store, and then caught
+//! up from the retained log tail (`c5-log`'s `LogArchive::replay_from`). A
+//! plain scan is not enough for that — catch-up runs the same per-row ordered
+//! apply as live replication, and `MvStore::install_if_prev` admits a write
+//! only when the row's chain head carries exactly the timestamp the log
+//! record names as its predecessor. A checkpoint therefore preserves, for
+//! every row, the newest version at the cut *with its write timestamp*, and
+//! it keeps tombstones: a row deleted before the cut and re-inserted after it
+//! must find the tombstone's timestamp at the head of its chain.
+//!
+//! [`CheckpointWriter`] exports a checkpoint at a cut pinned by a read view
+//! (the caller reads `view.as_of()` from an unsharded replica, or the full
+//! cut vector from a `ShardedReadView` — [`CheckpointWriter::capture_vector`]
+//! exports each row at its own shard's component, which is consistent because
+//! no shard-owned version exists between the global cut and the component).
+//! [`CheckpointInstaller`] installs one into a store. The reproduction keeps
+//! checkpoints in memory; a disk format would serialize
+//! [`VersionExport`] rows plus the cut, nothing more.
+
+use std::sync::Arc;
+
+use c5_common::{SeqNo, ShardRouter, Timestamp, WriteKind};
+
+use crate::mvstore::{MvStore, VersionExport};
+
+/// A consistent snapshot of a backup's store at a transaction-aligned cut:
+/// every row's newest version at the cut, with timestamps and tombstones
+/// preserved so ordered apply can resume on top of it.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    cut: SeqNo,
+    rows: Vec<VersionExport>,
+}
+
+impl Checkpoint {
+    /// The log position this checkpoint reflects (all writes at or below it,
+    /// none above).
+    pub fn cut(&self) -> SeqNo {
+        self.cut
+    }
+
+    /// The exported row versions.
+    pub fn rows(&self) -> &[VersionExport] {
+        &self.rows
+    }
+
+    /// Number of rows (live or deleted) captured.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the checkpoint captured nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The largest version timestamp the checkpoint holds. Equal to or below
+    /// the cut for a uniform capture; a *vector* capture
+    /// ([`CheckpointWriter::capture_vector`]) may exceed the global cut on
+    /// shards whose component has advanced — such checkpoints can only
+    /// bootstrap a consumer that understands the vector, not a replica that
+    /// replays the whole log from the global cut (it would re-deliver the
+    /// records in `(cut, component]` against chain heads already past them).
+    pub fn max_version(&self) -> SeqNo {
+        self.rows
+            .iter()
+            .map(|r| SeqNo(r.write_ts.as_u64()))
+            .max()
+            .unwrap_or(SeqNo::ZERO)
+    }
+
+    /// Per-row last-write positions, for seeding a resuming scheduler's
+    /// `prev_seq` map: the first post-checkpoint write to a row must name the
+    /// row's checkpointed version as its predecessor, not "no predecessor".
+    /// Rows whose head is the pre-log population (timestamp zero) are
+    /// omitted — zero already means "first write" to the scheduler.
+    pub fn last_writes(&self) -> impl Iterator<Item = (c5_common::RowRef, SeqNo)> + '_ {
+        self.rows
+            .iter()
+            .filter(|r| r.write_ts > Timestamp::ZERO)
+            .map(|r| (r.row, SeqNo(r.write_ts.as_u64())))
+    }
+}
+
+/// Exports [`Checkpoint`]s from a store at a pinned cut.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointWriter;
+
+impl CheckpointWriter {
+    /// Captures a checkpoint of `store` at `cut` — a cut pinned by a read
+    /// view (`view.as_of()`), so it is transaction-aligned and its versions
+    /// are immutable under concurrent applies. The *caller* must keep the
+    /// version-GC horizon at or below `cut` for the duration of the capture
+    /// (a horizon past the cut may collect the very versions the export
+    /// needs); the replica-level helpers (`C5Replica::checkpoint`,
+    /// `ShardedC5Replica::checkpoint`) verify this after the export — the
+    /// horizon is monotone, so a post-scan check proves the scan was safe.
+    pub fn capture(store: &MvStore, cut: SeqNo) -> Checkpoint {
+        let ts = Timestamp(cut.as_u64());
+        Checkpoint {
+            cut,
+            rows: store.export_versions_at(|_| ts),
+        }
+    }
+
+    /// Captures a checkpoint of a sharded backup at a full cut vector (from
+    /// a pinned `ShardedReadView`): each row is exported at its own shard's
+    /// component, exactly as the spanning view reads it. `cut` is the global
+    /// cut the vector realizes.
+    ///
+    /// # Panics
+    /// Panics if the vector's length differs from the router's shard count.
+    pub fn capture_vector(
+        store: &MvStore,
+        router: &ShardRouter,
+        vector: &[SeqNo],
+        cut: SeqNo,
+    ) -> Checkpoint {
+        assert_eq!(
+            vector.len(),
+            router.shards(),
+            "cut vector must have one component per shard"
+        );
+        Checkpoint {
+            cut,
+            rows: store.export_versions_at(|row| Timestamp(vector[router.route(row)].as_u64())),
+        }
+    }
+}
+
+/// Installs [`Checkpoint`]s into stores.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointInstaller;
+
+impl CheckpointInstaller {
+    /// Installs the checkpoint into a fresh store — the cold-replica
+    /// bootstrap path. The store afterwards reads identically to the source
+    /// at every timestamp from the cut up to the first replayed record.
+    pub fn install(checkpoint: &Checkpoint) -> Arc<MvStore> {
+        let store = Arc::new(MvStore::default());
+        Self::install_into(checkpoint, &store);
+        store
+    }
+
+    /// Installs the checkpoint's rows into `store` at their original write
+    /// timestamps (tombstones included). Returns the number of rows
+    /// installed. The store should be empty — installing over existing rows
+    /// merges histories, which is never what failover wants.
+    pub fn install_into(checkpoint: &Checkpoint, store: &MvStore) -> usize {
+        for row in &checkpoint.rows {
+            let kind = if row.tombstone {
+                WriteKind::Delete
+            } else {
+                WriteKind::Insert
+            };
+            store.install(row.row, row.write_ts, kind, row.value.clone());
+        }
+        checkpoint.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c5_common::{RowRef, Value};
+
+    fn row(k: u64) -> RowRef {
+        RowRef::new(0, k)
+    }
+
+    fn seeded_store() -> Arc<MvStore> {
+        let store = Arc::new(MvStore::default());
+        // Population at timestamp zero, then log writes at positions 1..=4:
+        // row 1 updated twice, row 2 deleted, row 3 created after the cut.
+        store.install(
+            row(1),
+            Timestamp::ZERO,
+            WriteKind::Insert,
+            Some(Value::from_u64(0)),
+        );
+        store.install(
+            row(2),
+            Timestamp::ZERO,
+            WriteKind::Insert,
+            Some(Value::from_u64(0)),
+        );
+        store.install(
+            row(1),
+            Timestamp(1),
+            WriteKind::Update,
+            Some(Value::from_u64(10)),
+        );
+        store.install(row(2), Timestamp(2), WriteKind::Delete, None);
+        store.install(
+            row(1),
+            Timestamp(3),
+            WriteKind::Update,
+            Some(Value::from_u64(30)),
+        );
+        store.install(
+            row(3),
+            Timestamp(4),
+            WriteKind::Insert,
+            Some(Value::from_u64(40)),
+        );
+        store
+    }
+
+    #[test]
+    fn capture_respects_the_cut_and_keeps_tombstones() {
+        let store = seeded_store();
+        let checkpoint = CheckpointWriter::capture(&store, SeqNo(2));
+        assert_eq!(checkpoint.cut(), SeqNo(2));
+        // Row 3 does not exist at the cut; rows 1 and 2 do (2 as a tombstone).
+        assert_eq!(checkpoint.len(), 2);
+        let r1 = checkpoint.rows().iter().find(|r| r.row == row(1)).unwrap();
+        assert_eq!(r1.write_ts, Timestamp(1));
+        assert_eq!(r1.value.as_ref().unwrap().as_u64(), Some(10));
+        let r2 = checkpoint.rows().iter().find(|r| r.row == row(2)).unwrap();
+        assert!(r2.tombstone);
+        assert_eq!(r2.write_ts, Timestamp(2));
+    }
+
+    #[test]
+    fn install_reproduces_the_cut_state_and_chain_heads() {
+        let store = seeded_store();
+        let checkpoint = CheckpointWriter::capture(&store, SeqNo(2));
+        let fresh = CheckpointInstaller::install(&checkpoint);
+
+        // Visible state at (and above) the cut matches the source at the cut.
+        assert_eq!(
+            fresh.read_at(row(1), Timestamp(2)).unwrap().as_u64(),
+            Some(10)
+        );
+        assert_eq!(fresh.read_at(row(2), Timestamp(2)), None);
+        assert_eq!(fresh.read_latest(row(3)), None);
+
+        // Ordered apply resumes: the next write to row 1 names position 1 as
+        // its predecessor and installs; a stale predecessor is still refused.
+        assert!(!fresh.install_if_prev(
+            row(1),
+            Timestamp::ZERO,
+            Timestamp(3),
+            WriteKind::Update,
+            Some(Value::from_u64(99))
+        ));
+        assert!(fresh.install_if_prev(
+            row(1),
+            Timestamp(1),
+            Timestamp(3),
+            WriteKind::Update,
+            Some(Value::from_u64(30))
+        ));
+        // A re-insert after the delete names the tombstone.
+        assert!(fresh.install_if_prev(
+            row(2),
+            Timestamp(2),
+            Timestamp(5),
+            WriteKind::Insert,
+            Some(Value::from_u64(50))
+        ));
+    }
+
+    #[test]
+    fn last_writes_seed_omits_population_rows() {
+        let store = seeded_store();
+        let checkpoint = CheckpointWriter::capture(&store, SeqNo(2));
+        let seeds: Vec<_> = checkpoint.last_writes().collect();
+        assert!(seeds.contains(&(row(1), SeqNo(1))));
+        assert!(seeds.contains(&(row(2), SeqNo(2))));
+        assert_eq!(seeds.len(), 2);
+
+        // A population-only checkpoint seeds nothing (zero already means
+        // "first write").
+        let pop = Arc::new(MvStore::default());
+        pop.install(
+            row(9),
+            Timestamp::ZERO,
+            WriteKind::Insert,
+            Some(Value::from_u64(9)),
+        );
+        let checkpoint = CheckpointWriter::capture(&pop, SeqNo::ZERO);
+        assert_eq!(checkpoint.len(), 1);
+        assert_eq!(checkpoint.last_writes().count(), 0);
+    }
+
+    #[test]
+    fn capture_vector_exports_each_row_at_its_shard_component() {
+        // Two shards over [0, 8): rows 1 and 5 land in shards 0 and 1.
+        let store = Arc::new(MvStore::default());
+        store.install(
+            row(1),
+            Timestamp(1),
+            WriteKind::Insert,
+            Some(Value::from_u64(1)),
+        );
+        store.install(
+            row(5),
+            Timestamp(2),
+            WriteKind::Insert,
+            Some(Value::from_u64(2)),
+        );
+        store.install(
+            row(5),
+            Timestamp(4),
+            WriteKind::Update,
+            Some(Value::from_u64(20)),
+        );
+        let router = ShardRouter::new(2, 8);
+
+        // Global cut 2, but shard 1's component has advanced to 4.
+        let checkpoint =
+            CheckpointWriter::capture_vector(&store, &router, &[SeqNo(2), SeqNo(4)], SeqNo(2));
+        assert_eq!(checkpoint.cut(), SeqNo(2));
+        let r5 = checkpoint.rows().iter().find(|r| r.row == row(5)).unwrap();
+        assert_eq!(
+            r5.write_ts,
+            Timestamp(4),
+            "shard 1 exports at its component"
+        );
+        let r1 = checkpoint.rows().iter().find(|r| r.row == row(1)).unwrap();
+        assert_eq!(r1.write_ts, Timestamp(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "one component per shard")]
+    fn capture_vector_rejects_a_short_vector() {
+        let store = Arc::new(MvStore::default());
+        let router = ShardRouter::new(2, 8);
+        let _ = CheckpointWriter::capture_vector(&store, &router, &[SeqNo(1)], SeqNo(1));
+    }
+}

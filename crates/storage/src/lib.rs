@@ -22,15 +22,23 @@
 //! is a deliberately simple single-threaded store used by the
 //! monotonic-prefix-consistency checker and by property tests as the oracle.
 
+//! For failover, [`checkpoint`] adds transplantable snapshots: a
+//! [`checkpoint::CheckpointWriter`] exports every row's newest version at a
+//! pinned cut (timestamps and tombstones preserved, so per-row ordered apply
+//! can resume on top), and a [`checkpoint::CheckpointInstaller`] installs
+//! one into a fresh store for a cold replica to catch up from the log tail.
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod logical;
 pub mod mvstore;
 pub mod reference;
 pub mod snapshot;
 
+pub use checkpoint::{Checkpoint, CheckpointInstaller, CheckpointWriter};
 pub use logical::{LogicalSnapshot, SnapshotStore};
-pub use mvstore::{MvStore, MvStoreConfig, MvStoreStats};
+pub use mvstore::{MvStore, MvStoreConfig, MvStoreStats, VersionExport};
 pub use reference::ReferenceStore;
 pub use snapshot::DbSnapshot;

@@ -111,6 +111,20 @@ impl VersionChain {
 
 type Shard = RwLock<HashMap<RowRef, VersionChain>>;
 
+/// One row's newest version at a cut, as exported by
+/// [`MvStore::export_versions_at`] (the raw material of a checkpoint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionExport {
+    /// The row.
+    pub row: RowRef,
+    /// The version's commit timestamp (a log position on a backup).
+    pub write_ts: Timestamp,
+    /// Whether the version is a delete marker.
+    pub tombstone: bool,
+    /// The payload (`None` for tombstones).
+    pub value: Option<Value>,
+}
+
 /// Aggregate statistics about a store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MvStoreStats {
@@ -439,6 +453,39 @@ impl MvStore {
                             out.push((*row, val.clone()));
                         }
                     }
+                }
+            }
+        }
+        out
+    }
+
+    /// Exports, for every row, the newest version visible at that row's cut
+    /// (`cut_for_row`), *including tombstones* and their write timestamps.
+    /// This is the checkpoint primitive: unlike [`scan_all_at`](Self::scan_all_at),
+    /// the export preserves enough of each chain head for a fresh store to
+    /// resume per-row ordered apply (`install_if_prev` checks the head's
+    /// timestamp, and a deleted row's next write names the tombstone).
+    /// Rows whose first version lies above their cut are skipped.
+    ///
+    /// The export is per-row consistent under concurrent installs (a version
+    /// at or below the cut never changes), but the caller must keep the GC
+    /// horizon at or below every row's cut for the duration — a horizon that
+    /// overtakes the cut may collect the very version the export needs.
+    pub fn export_versions_at(
+        &self,
+        cut_for_row: impl Fn(RowRef) -> Timestamp,
+    ) -> Vec<VersionExport> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (row, chain) in shard.iter() {
+                if let Some(v) = chain.version_at(cut_for_row(*row)) {
+                    out.push(VersionExport {
+                        row: *row,
+                        write_ts: v.write_ts,
+                        tombstone: v.tombstone,
+                        value: v.value.clone(),
+                    });
                 }
             }
         }

@@ -83,21 +83,24 @@ pub mod prelude {
         Value, WriteKind,
     };
     pub use c5_core::replica::{
-        drive_from_receiver, drive_segments, C5Mode, C5Replica, ClonedConcurrencyControl, ReadView,
-        ReplicaMetrics,
+        drive_from_receiver, drive_segments, C5Mode, C5Replica, ClonedConcurrencyControl,
+        Promotion, ReadView, ReplicaMetrics,
     };
     pub use c5_core::{
         CutCoordinator, LagSample, LagStats, LagTracker, MpcChecker, ShardedC5Replica,
         WatermarkTracker,
     };
     pub use c5_log::{
-        coalesce, segments_from_entries, LogReceiver, LogShipper, Segment, StreamingLogger,
-        TxnEntry,
+        coalesce, segments_from_entries, LogArchive, LogReceiver, LogShipper, Segment,
+        StreamingLogger, TxnEntry,
     };
     pub use c5_primary::{
         ClosedLoopDriver, MvtsoEngine, RunLength, StoredProcedure, TplEngine, TxnCtx, TxnFactory,
     };
-    pub use c5_storage::{DbSnapshot, MvStore, MvStoreConfig, ReferenceStore};
+    pub use c5_storage::{
+        Checkpoint, CheckpointInstaller, CheckpointWriter, DbSnapshot, MvStore, MvStoreConfig,
+        ReferenceStore,
+    };
     pub use c5_workloads::{
         AdversarialWorkload, InsertOnlyWorkload, SpikeTrace, TpccConfig, TpccMix, SYNTHETIC_TABLE,
     };

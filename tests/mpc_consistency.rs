@@ -447,3 +447,223 @@ fn unconstrained_kuafu_is_caught_by_the_checker() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Failover: promotion and checkpoint/catch-up.
+// ---------------------------------------------------------------------------
+
+/// Promoting a replica mid-stream seals it at a clean, MPC-verified cut, and
+/// the promoted primary's first snapshot *is* that cut: the store the new
+/// primary takes over contains exactly the drained prefix, nothing more.
+/// A 2PL primary then resumes on the promoted store, and the combined log
+/// (old prefix + resumed log) replays to the promoted store's final state.
+fn check_promotion_mid_stream(mode: C5Mode) {
+    let (population, segments) = contended_log(300);
+    let store = Arc::new(MvStore::default());
+    for (row, value) in &population {
+        store.install(
+            *row,
+            Timestamp::ZERO,
+            WriteKind::Insert,
+            Some(value.clone()),
+        );
+    }
+    let config = ReplicaConfig::default()
+        .with_workers(3)
+        .with_snapshot_interval(Duration::from_micros(200));
+    let replica = C5Replica::new(mode, store, config);
+
+    // Feed a strict prefix (the primary "dies" with the rest unshipped).
+    let fed = segments.len() / 2;
+    let prefix: Vec<Segment> = segments[..fed].to_vec();
+    let prefix_end = prefix.last().unwrap().last_seq().unwrap();
+    for segment in prefix.clone() {
+        replica.apply_segment(segment);
+    }
+
+    // Promote: drain in-flight applies, seal, take over the store.
+    let promotion = replica.promote();
+    assert_eq!(
+        promotion.cut, prefix_end,
+        "{mode:?}: segments end at transaction boundaries, so the drained cut \
+         is the end of the fed prefix"
+    );
+
+    // The promoted store's state at the cut is the serial replay of the
+    // prefix — and the *first snapshot* the new primary can serve (a
+    // whole-database snapshot of the current state) observes exactly that
+    // cut: nothing beyond the drained prefix exists in the store.
+    let mut checker = MpcChecker::new(&population, &prefix);
+    checker
+        .verify_state(promotion.cut, promotion.store.scan_all_at(Timestamp::MAX))
+        .unwrap_or_else(|e| panic!("{mode:?}: promoted state: {e}"));
+    assert_eq!(
+        DbSnapshot::of_current(&promotion.store).as_of(),
+        Timestamp(promotion.cut.as_u64()),
+        "{mode:?}: the promoted primary's first cut must equal the drained \
+         replica cut"
+    );
+    // A second promote is a no-op returning the same sealed cut.
+    let again = replica.promote();
+    assert_eq!(again.cut, promotion.cut);
+
+    // Resume a 2PL primary on the promoted store, its log a seamless
+    // continuation of the old one.
+    let (shipper, receiver) = LogShipper::unbounded();
+    let logger = StreamingLogger::resume_at(16, shipper, promotion.cut);
+    let engine = TplEngine::new(
+        Arc::clone(&promotion.store),
+        PrimaryConfig::default(),
+        logger,
+    );
+    for t in 1..=20u64 {
+        engine
+            .execute(&move |ctx: &mut dyn TxnCtx| {
+                let row = RowRef::new(0, t % 4);
+                let v = ctx.read_for_update(row)?.unwrap().as_u64().unwrap();
+                ctx.update(row, Value::from_u64(v + 1))?;
+                ctx.insert(RowRef::new(2, t), Value::from_u64(t))
+            })
+            .unwrap();
+    }
+    engine.close_log();
+    let resumed_log = receiver.drain();
+    assert_eq!(
+        resumed_log.first().unwrap().first_seq().unwrap(),
+        SeqNo(promotion.cut.as_u64() + 1),
+        "the resumed log must continue the old one without a gap"
+    );
+
+    // The combined log (fed prefix + resumed log) serially replays to the
+    // promoted primary's final state.
+    let combined: Vec<Segment> = prefix.into_iter().chain(resumed_log).collect();
+    let mut checker = MpcChecker::new(&population, &combined);
+    let final_seq = checker.final_seq();
+    checker
+        .verify_state(final_seq, promotion.store.scan_all_at(Timestamp::MAX))
+        .unwrap_or_else(|e| panic!("{mode:?}: resumed state: {e}"));
+}
+
+#[test]
+fn c5_faithful_promotion_seals_a_clean_cut() {
+    check_promotion_mid_stream(C5Mode::Faithful);
+}
+
+#[test]
+fn c5_myrocks_promotion_seals_a_clean_cut() {
+    check_promotion_mid_stream(C5Mode::OneWorkerPerTxn);
+}
+
+/// The cold-standby bootstrap path: a checkpoint exported at a live
+/// replica's exposed cut, installed into a fresh store, caught up from the
+/// archived log tail — MPC-verified while the standby replays, against the
+/// same ground truth as the original replica.
+#[test]
+fn checkpoint_and_replay_bootstrap_an_mpc_clean_standby() {
+    let (population, segments) = contended_log(300);
+    let archive = LogArchive::new();
+    for segment in &segments {
+        archive.append(segment);
+    }
+
+    // The original replica applies a prefix, then a checkpoint is taken at
+    // its exposed cut and the archive truncated to the cut.
+    let replica = build("c5", &population);
+    let fed = segments.len() / 2;
+    for segment in segments[..fed].iter().cloned() {
+        replica.apply_segment(segment);
+    }
+    replica.finish();
+    let view = replica.read_view();
+    let checkpoint = CheckpointWriter::capture(&replica.promote().store, view.as_of());
+    assert_eq!(checkpoint.cut(), view.as_of());
+    let dropped = archive.truncate_through(checkpoint.cut());
+    assert_eq!(dropped, fed, "every fully covered segment is reclaimed");
+
+    // Bootstrap the standby: install the checkpoint, replay the tail, and
+    // sample its views against the full-log ground truth while it catches
+    // up. Every sampled cut must be a consistent prefix at or above the
+    // checkpoint cut.
+    let tail = archive
+        .replay_from(checkpoint.cut())
+        .expect("the cut is exactly the truncation point");
+    let standby = C5Replica::resume_from_checkpoint(
+        C5Mode::Faithful,
+        &checkpoint,
+        ReplicaConfig::default()
+            .with_workers(3)
+            .with_snapshot_interval(Duration::from_micros(200)),
+    );
+    assert_eq!(standby.exposed_seq(), checkpoint.cut());
+
+    let mut checker = MpcChecker::new(&population, &segments);
+    let final_seq = checker.final_seq();
+    let sampler = {
+        let standby = Arc::clone(&standby);
+        std::thread::spawn(move || {
+            sample_views_until_exposed(standby.as_ref(), final_seq, Duration::from_micros(300))
+        })
+    };
+    drive_segments(standby.as_ref(), tail);
+    for (cut, state) in sampler.join().unwrap() {
+        assert!(cut >= checkpoint.cut());
+        checker
+            .verify_state(cut, state)
+            .unwrap_or_else(|e| panic!("standby: {e}"));
+    }
+    let final_view = standby.read_view();
+    assert_eq!(final_view.as_of(), final_seq, "the standby must catch up");
+    checker
+        .verify_state(final_view.as_of(), final_view.scan_all())
+        .unwrap_or_else(|e| panic!("standby final state: {e}"));
+}
+
+/// A sharded replica promotes exactly like the single-pipeline one: the
+/// parallel drain seals every shard at one global cut, and a checkpoint of
+/// the spanning view captures a state byte-identical to the serial replay.
+#[test]
+fn sharded_promotion_seals_at_the_global_cut() {
+    let (population, segments) = sharded_log(160, 64);
+    let store = Arc::new(MvStore::default());
+    for (row, value) in &population {
+        store.install(
+            *row,
+            Timestamp::ZERO,
+            WriteKind::Insert,
+            Some(value.clone()),
+        );
+    }
+    let replica = ShardedC5Replica::new(
+        store,
+        ReplicaConfig::default()
+            .with_workers(2)
+            .with_shards(4)
+            .with_shard_key_space(64)
+            .with_snapshot_interval(Duration::from_micros(200)),
+    );
+    let fed = segments.len() / 2;
+    let prefix: Vec<Segment> = segments[..fed].to_vec();
+    let prefix_end = prefix.last().unwrap().last_seq().unwrap();
+    for segment in prefix.clone() {
+        replica.apply_segment(segment);
+    }
+    let checkpoint_before = replica.checkpoint();
+    let promotion = replica.promote();
+    assert_eq!(promotion.cut, prefix_end);
+    assert!(checkpoint_before.cut() <= promotion.cut);
+
+    let mut checker = MpcChecker::new(&population, &prefix);
+    checker
+        .verify_state(promotion.cut, promotion.store.scan_all_at(Timestamp::MAX))
+        .unwrap_or_else(|e| panic!("sharded promoted state: {e}"));
+
+    // A post-seal checkpoint of the spanning view reproduces the cut state
+    // in a fresh store.
+    let checkpoint = replica.checkpoint();
+    assert_eq!(checkpoint.cut(), promotion.cut);
+    let fresh = CheckpointInstaller::install(&checkpoint);
+    let mut checker = MpcChecker::new(&population, &prefix);
+    checker
+        .verify_state(checkpoint.cut(), fresh.scan_all_at(Timestamp::MAX))
+        .unwrap_or_else(|e| panic!("sharded checkpoint state: {e}"));
+}
