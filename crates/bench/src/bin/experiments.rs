@@ -16,6 +16,7 @@
 //!   fig11           Adversarial workload on the MVTSO primary
 //!   fig12           The production load-spike trace
 //!   fanout          1 primary -> 3 replicas log fan-out, per-replica lag
+//!   reads           Consistency-class sessions over the fan-out fleet
 //!   sharded         Keyspace sharding sweep (1/2/4/8 shards), per-shard lag
 //!   failover        Kill the primary, promote the backup, resume + standby
 //!   insert-only     Insert-only workload, 2PL primary, all protocols
@@ -58,6 +59,7 @@ fn main() {
         "fig11" => experiments::fig11::run(&scale),
         "fig12" => experiments::fig12::run(&scale),
         "fanout" => experiments::fanout::run(&scale),
+        "reads" => experiments::reads::run(&scale),
         "sharded" => experiments::sharded::run(&scale),
         "failover" => experiments::failover::run(&scale),
         "insert-only" => experiments::insert_only::run_myrocks(&scale),
@@ -83,6 +85,7 @@ fn main() {
             "fig11",
             "fig12",
             "fanout",
+            "reads",
             "sharded",
             "failover",
             "insert-only",

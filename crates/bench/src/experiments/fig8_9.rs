@@ -89,17 +89,26 @@ pub fn run(scale: &Scale) {
             lag_rows.push(row);
         }
 
-        // Figure 9: read and write throughput.
+        // Figure 9: read and write throughput, plus read-latency percentiles
+        // (sampled; the paper reports throughput only).
         let read_tput = outcome
             .reads
             .as_ref()
             .map(|r| r.throughput())
             .unwrap_or(0.0);
+        let (read_p50, read_p99) = outcome
+            .reads
+            .as_ref()
+            .and_then(|r| r.latency())
+            .map(|l| (format!("{:.3}", l.p50_ms), format!("{:.3}", l.p99_ms)))
+            .unwrap_or_else(|| ("-".into(), "-".into()));
         tput_rows.push(vec![
             clients.to_string(),
             fmt_tps(outcome.primary_throughput()),
             fmt_tps(outcome.replica_throughput()),
             fmt_tps(read_tput),
+            read_p50,
+            read_p99,
         ]);
     }
 
@@ -118,7 +127,14 @@ pub fn run(scale: &Scale) {
     );
     print_table(
         "Figure 9 (measured): backup read-write and read-only throughput vs read-only clients [txns/s]",
-        &["read clients", "primary writes/s", "backup writes/s", "backup reads/s"],
+        &[
+            "read clients",
+            "primary writes/s",
+            "backup writes/s",
+            "backup reads/s",
+            "read p50 ms",
+            "read p99 ms",
+        ],
         &tput_rows,
     );
     println!(

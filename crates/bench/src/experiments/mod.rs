@@ -24,6 +24,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8_9;
 pub mod insert_only;
+pub mod reads;
 pub mod recorder;
 pub mod sched_offline;
 pub mod sharded;

@@ -794,6 +794,295 @@ pub fn run_failover_streaming(
     }
 }
 
+/// Aggregates maintained by the read-serving sessions of a reads run.
+#[derive(Debug, Clone, Default)]
+pub struct SessionAggregates {
+    /// Tokened writes the sessions committed on the primary.
+    pub writes: u64,
+    /// Read-your-writes reads performed — every one *asserted* that the
+    /// serving cut covered the session's token and that the session's own
+    /// latest write was the value read.
+    pub ryw_reads: u64,
+    /// Times a session's consecutive reads were served by different
+    /// replicas. The monotonic floor is asserted across every switch.
+    pub replica_switches: u64,
+    /// Reads that gave up waiting for a fresh-enough replica.
+    pub timeouts: u64,
+}
+
+/// Outcome of one read-serving experiment: a primary fanning its log out to
+/// a replica fleet while consistency-class sessions read from it.
+#[derive(Debug, Clone)]
+pub struct ReadsOutcome {
+    /// Primary-side statistics (background write load + session writes).
+    pub primary: PrimaryRunStats,
+    /// Wall-clock duration of the read-serving window.
+    pub wall: Duration,
+    /// Number of reader sessions.
+    pub sessions: usize,
+    /// Per-consistency-class read statistics, in `ClassKind::ALL` order.
+    pub per_class: Vec<c5_read::ClassStats>,
+    /// Final per-replica routing snapshot.
+    pub fleet: Vec<c5_read::ReplicaStatus>,
+    /// Final per-replica progress counters.
+    pub replica_metrics: Vec<ReplicaMetrics>,
+    /// Per-replica replication-lag summaries.
+    pub replica_lag: Vec<Option<LagStats>>,
+    /// Session-side aggregates (assertions included).
+    pub session_stats: SessionAggregates,
+    /// The primary's final log position; the closing strong read was served
+    /// at or above it.
+    pub final_seq: SeqNo,
+}
+
+impl ReadsOutcome {
+    /// Whether every replica applied exactly the primary's committed
+    /// transactions.
+    pub fn all_converged(&self) -> bool {
+        self.replica_metrics
+            .iter()
+            .all(|m| m.applied_txns == self.primary.committed)
+    }
+
+    /// Total reads served across all classes.
+    pub fn total_reads(&self) -> u64 {
+        self.per_class.iter().map(|c| c.reads).sum()
+    }
+}
+
+/// Table used by reader sessions for their own tokened writes (disjoint from
+/// every workload's tables, so sessions only ever race with themselves on
+/// their own keys).
+pub const SESSION_TABLE: u32 = 200;
+
+/// Runs one read-serving experiment:
+///
+/// * a 2PL primary executes `factory`'s workload with closed-loop clients
+///   for `setup.duration`, its log fanning out to `replicas` independent
+///   backups of `spec` (one bounded channel each);
+/// * a [`c5_read::ReadRouter`] spans the fleet, its primary frontier wired to
+///   the engine's log position (so `Strong` reads are primary-verified);
+/// * `sessions` reader threads each run a session loop: commit a tokened
+///   write on the primary, causally read it back (**asserting**
+///   read-your-writes: the serving cut covers the token and the value is
+///   the session's own latest write), and mix in `Strong` and
+///   `BoundedStaleness(staleness_bound)` reads of random keys — asserting
+///   after every read that the session never reads backwards, across
+///   whatever replica switches the router makes;
+/// * after the log closes and the fleet drains, a final `Strong` read
+///   verifies the router serves the complete log end-to-end.
+///
+/// # Panics
+/// Panics inside a session thread if read-your-writes or monotonicity is
+/// violated — the experiment's built-in correctness assertions.
+pub fn run_reads_streaming(
+    setup: &StreamingSetup,
+    factory: Arc<dyn TxnFactory>,
+    spec: ReplicaSpec,
+    replicas: usize,
+    sessions: usize,
+    staleness_bound: Duration,
+) -> ReadsOutcome {
+    use c5_read::{ConsistencyClass, ReadRouter};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    assert!(replicas > 0 && sessions > 0);
+    // Primary with 1→N fan-out.
+    let primary_store = Arc::new(MvStore::default());
+    preload(&primary_store, &setup.population);
+    let (shipper, receivers) = LogShipper::fan_out(replicas, 1024);
+    let logger = StreamingLogger::new(setup.segment_records, shipper);
+    let primary_config = PrimaryConfig::default()
+        .with_threads(setup.primary_threads)
+        .with_op_cost(setup.op_cost);
+    let engine = Arc::new(TplEngine::new(primary_store, primary_config, logger));
+
+    // The fleet.
+    let replica_config = ReplicaConfig::default()
+        .with_workers(setup.replica_workers)
+        .with_op_cost(setup.op_cost)
+        .with_snapshot_interval(setup.snapshot_interval);
+    let backups: Vec<Arc<dyn ClonedConcurrencyControl>> = (0..replicas)
+        .map(|_| {
+            let store = Arc::new(MvStore::default());
+            preload(&store, &setup.population);
+            spec.build(store, replica_config.clone())
+        })
+        .collect();
+
+    // The router: frontier = the primary's assigned log end, so strong reads
+    // verify against what the primary has committed, not just shipped; the
+    // tail-flush hook lets a blocked read ship a committed-but-buffered
+    // token instead of waiting for its segment to fill.
+    let frontier_engine = Arc::clone(&engine);
+    let flush_engine = Arc::clone(&engine);
+    let router = Arc::new(
+        ReadRouter::new(
+            backups.clone(),
+            c5_common::ReadConfig::default().with_max_wait(Duration::from_secs(5)),
+        )
+        .with_frontier(move || frontier_engine.log_last_seq())
+        .with_tail_flush(move || flush_engine.flush_log()),
+    );
+
+    let start = Instant::now();
+    let stop_readers = AtomicBool::new(false);
+    let mut primary_stats = PrimaryRunStats::default();
+    let mut wall = Duration::ZERO;
+    let session_stats = parking_lot::Mutex::new(SessionAggregates::default());
+
+    std::thread::scope(|scope| {
+        // Fleet ingestion.
+        let drivers: Vec<_> = backups
+            .iter()
+            .zip(receivers)
+            .map(|(backup, receiver)| {
+                let backup_ref: &dyn ClonedConcurrencyControl = backup.as_ref();
+                scope.spawn(move || drive_from_receiver(backup_ref, receiver))
+            })
+            .collect();
+
+        // Reader sessions.
+        let reader_handles: Vec<_> = (0..sessions)
+            .map(|s| {
+                let engine = Arc::clone(&engine);
+                let router = Arc::clone(&router);
+                let stop_readers = &stop_readers;
+                let session_stats = &session_stats;
+                let seed = setup.seed.wrapping_add(s as u64);
+                scope.spawn(move || {
+                    use c5_primary::TxnCtx;
+                    use rand::rngs::StdRng;
+                    use rand::{Rng, SeedableRng};
+                    let mut session = router.session();
+                    let mut local = SessionAggregates::default();
+                    let mut last_as_of = SeqNo::ZERO;
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut assert_monotonic = |read: &c5_read::SessionRead| {
+                        assert!(
+                            read.as_of >= last_as_of,
+                            "session read went backwards: {} after {last_as_of}",
+                            read.as_of
+                        );
+                        last_as_of = read.as_of;
+                    };
+                    let mut iteration = 0u64;
+                    while !stop_readers.load(Ordering::Relaxed) {
+                        // 1. Commit a tokened write to the session's own key.
+                        let own_row = RowRef::new(SESSION_TABLE, s as u64 * 1_000 + iteration % 50);
+                        let own_value = Value::from_u64(iteration + 1);
+                        let write_value = own_value.clone();
+                        let token = match engine.execute_with_token(&move |ctx: &mut dyn TxnCtx| {
+                            ctx.update(own_row, write_value.clone())
+                        }) {
+                            Ok((_, token)) => token,
+                            Err(_) => continue, // retries exhausted under contention
+                        };
+                        session.observe_commit(token);
+                        local.writes += 1;
+
+                        // 2. Read-your-writes: causally read the write back.
+                        match session.read(&session.causal(), own_row) {
+                            Ok(read) => {
+                                assert!(
+                                    read.as_of >= token,
+                                    "RYW violated: served at {} below token {token}",
+                                    read.as_of
+                                );
+                                // Only this session writes this key, and its
+                                // next write doesn't exist yet, so the value
+                                // must be exactly the one just written.
+                                assert_eq!(
+                                    read.value.as_ref(),
+                                    Some(&own_value),
+                                    "RYW violated: stale value at cut {}",
+                                    read.as_of
+                                );
+                                assert_monotonic(&read);
+                                local.ryw_reads += 1;
+                            }
+                            Err(c5_common::Error::ReadTimeout { .. }) => local.timeouts += 1,
+                            Err(err) => panic!("session read failed: {err}"),
+                        }
+
+                        // 3. A strong or bounded-staleness read of a random key.
+                        let random_row =
+                            RowRef::new(c5_workloads::SYNTHETIC_TABLE, rng.gen_range(0..100_000));
+                        let class = if iteration % 4 == 0 {
+                            ConsistencyClass::Strong
+                        } else {
+                            ConsistencyClass::BoundedStaleness(staleness_bound)
+                        };
+                        match session.read(&class, random_row) {
+                            Ok(read) => assert_monotonic(&read),
+                            Err(c5_common::Error::ReadTimeout { .. }) => local.timeouts += 1,
+                            Err(err) => panic!("session read failed: {err}"),
+                        }
+                        iteration += 1;
+                    }
+                    local.replica_switches = session.replica_switches();
+                    let mut total = session_stats.lock();
+                    total.writes += local.writes;
+                    total.ryw_reads += local.ryw_reads;
+                    total.replica_switches += local.replica_switches;
+                    total.timeouts += local.timeouts;
+                })
+            })
+            .collect();
+
+        // Background write load on the primary.
+        primary_stats = ClosedLoopDriver::with_seed(setup.seed).run_tpl(
+            &engine,
+            &factory,
+            setup.clients,
+            RunLength::Timed(setup.duration),
+        );
+        // Stop the sessions. A session mid-iteration can still commit a
+        // token into a partial segment after the background load ends; its
+        // own blocked read ships it via the router's tail-flush hook.
+        stop_readers.store(true, Ordering::Relaxed);
+        for handle in reader_handles {
+            handle.join().expect("reader session");
+        }
+        wall = start.elapsed();
+        engine.close_log();
+        for driver in drivers {
+            driver.join().expect("replica driver");
+        }
+    });
+
+    // The fleet has the whole log; a closing strong read must see it.
+    let final_seq = engine.log_last_seq();
+    let closing = router
+        .session()
+        .read(
+            &c5_read::ConsistencyClass::Strong,
+            RowRef::new(SESSION_TABLE, 0),
+        )
+        .expect("a drained fleet serves strong reads immediately");
+    assert!(
+        closing.as_of >= final_seq,
+        "closing strong read at {} misses the log end {final_seq}",
+        closing.as_of
+    );
+
+    // Session writes ride the same engine; fold them into the committed
+    // count the convergence check compares against.
+    primary_stats.committed = engine.committed();
+
+    ReadsOutcome {
+        primary: primary_stats,
+        wall,
+        sessions,
+        per_class: router.all_class_stats(),
+        fleet: router.fleet_status(),
+        replica_metrics: backups.iter().map(|b| b.metrics()).collect(),
+        replica_lag: backups.iter().map(|b| b.lag().stats()).collect(),
+        session_stats: session_stats.into_inner(),
+        final_seq,
+    }
+}
+
 /// Parameters for the offline (Cicada-style) experiments.
 #[derive(Debug, Clone)]
 pub struct OfflineSetup {
@@ -1010,6 +1299,39 @@ mod tests {
     // run_fanout_streaming is covered end-to-end by the workspace
     // integration test `fan_out_harness_reports_per_replica_lag`
     // (tests/mpc_consistency.rs) and by the `fanout` CI smoke step.
+
+    #[test]
+    fn reads_experiment_runs_end_to_end() {
+        let mut setup = StreamingSetup::new(Duration::from_millis(250), 2, 2);
+        setup.op_cost = OpCost::free();
+        setup.population = adversarial_population();
+        setup.segment_records = 32;
+        let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(2));
+        let outcome = run_reads_streaming(
+            &setup,
+            factory,
+            ReplicaSpec::C5Faithful,
+            2,
+            2,
+            Duration::from_millis(250),
+        );
+        // The RYW and monotonicity assertions already ran inside the session
+        // threads; check the reporting surface here.
+        assert!(outcome.all_converged());
+        assert!(outcome.session_stats.writes > 0);
+        assert!(outcome.session_stats.ryw_reads > 0);
+        assert_eq!(outcome.per_class.len(), 3);
+        for class in &outcome.per_class {
+            assert!(class.reads > 0, "{} served no reads", class.kind.name());
+        }
+        assert_eq!(outcome.fleet.len(), 2);
+        assert_eq!(
+            outcome.fleet.iter().map(|f| f.served).sum::<u64>(),
+            outcome.total_reads(),
+            "every read (including the closing strong read) was served by the fleet"
+        );
+        assert!(outcome.total_reads() > 0);
+    }
 
     #[test]
     fn failover_experiment_runs_end_to_end() {

@@ -212,6 +212,60 @@ impl ReplicaConfig {
     }
 }
 
+/// Configuration for the read-serving layer (`c5-read`): sessions, read-only
+/// transactions, and the freshness-aware router over a replica fleet.
+#[derive(Debug, Clone)]
+pub struct ReadConfig {
+    /// The longest a read may block waiting for some replica's exposed cut to
+    /// cover its required position (a causal token, the primary frontier for
+    /// strong reads, or a session's monotonic floor) before it fails with
+    /// [`crate::Error::ReadTimeout`].
+    pub max_wait: Duration,
+    /// One in every `latency_sample_every` reads records its latency and
+    /// observed staleness into the router's percentile reservoirs. `1`
+    /// samples everything; larger values keep the metrics path off the hot
+    /// read path in throughput experiments.
+    pub latency_sample_every: u64,
+}
+
+impl Default for ReadConfig {
+    fn default() -> Self {
+        Self {
+            max_wait: Duration::from_secs(2),
+            latency_sample_every: 8,
+        }
+    }
+}
+
+impl ReadConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_wait.is_zero() {
+            return Err(Error::InvalidConfig(
+                "read max_wait must be non-zero".into(),
+            ));
+        }
+        if self.latency_sample_every == 0 {
+            return Err(Error::InvalidConfig(
+                "latency_sample_every must be non-zero".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builder-style setter for the blocking bound.
+    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// Builder-style setter for the latency sampling stride.
+    pub fn with_latency_sample_every(mut self, every: u64) -> Self {
+        self.latency_sample_every = every;
+        self
+    }
+}
+
 impl PrimaryConfig {
     /// Builder-style setter for the thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -240,6 +294,25 @@ mod tests {
     fn default_configs_validate() {
         assert!(PrimaryConfig::default().validate().is_ok());
         assert!(ReplicaConfig::default().validate().is_ok());
+        assert!(ReadConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn read_config_rejects_degenerate_knobs() {
+        assert!(ReadConfig::default()
+            .with_max_wait(Duration::ZERO)
+            .validate()
+            .is_err());
+        assert!(ReadConfig::default()
+            .with_latency_sample_every(0)
+            .validate()
+            .is_err());
+        let cfg = ReadConfig::default()
+            .with_max_wait(Duration::from_millis(50))
+            .with_latency_sample_every(1);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.max_wait, Duration::from_millis(50));
+        assert_eq!(cfg.latency_sample_every, 1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::ids::{RowRef, TxnId};
+use crate::ids::{RowRef, SeqNo, TxnId};
 
 /// Convenience alias used throughout the workspace.
 pub type Result<T, E = Error> = std::result::Result<T, E>;
@@ -33,6 +33,16 @@ pub enum Error {
     /// The monotonic-prefix-consistency checker found a violation. This is an
     /// error (rather than a panic) so property tests can assert on it.
     ConsistencyViolation(String),
+    /// A read gave up waiting for any replica's exposed cut to cover the
+    /// position its consistency class requires. The caller may retry, route
+    /// to the primary, or surface the timeout.
+    ReadTimeout {
+        /// The log position the read needed covered (causal token, primary
+        /// frontier, or session floor).
+        required: SeqNo,
+        /// The freshest exposed cut in the fleet when the wait gave up.
+        freshest: SeqNo,
+    },
 }
 
 /// Why a concurrency control protocol aborted a transaction.
@@ -76,6 +86,10 @@ impl fmt::Display for Error {
             Error::ConsistencyViolation(msg) => {
                 write!(f, "monotonic prefix consistency violated: {msg}")
             }
+            Error::ReadTimeout { required, freshest } => write!(
+                f,
+                "read timed out waiting for cut {required} (freshest replica at {freshest})"
+            ),
         }
     }
 }
@@ -118,6 +132,11 @@ mod tests {
 
         assert!(!Error::LogChannelClosed.is_retryable());
         assert!(!Error::RowNotFound(RowRef::new(0, 0)).is_retryable());
+        assert!(!Error::ReadTimeout {
+            required: SeqNo(10),
+            freshest: SeqNo(4),
+        }
+        .is_retryable());
     }
 
     #[test]

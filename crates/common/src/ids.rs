@@ -183,6 +183,21 @@ impl fmt::Display for WorkerId {
     }
 }
 
+/// Identifies a read session (a client's sequence of causally related reads
+/// against the replica fleet).
+///
+/// Session ids are handed out by the read router; they carry no ordering
+/// meaning and exist so per-session guarantees (read-your-writes, monotonic
+/// reads) can be attributed in logs and metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +232,7 @@ mod tests {
         assert_eq!(Timestamp(5).to_string(), "ts5");
         assert_eq!(SeqNo(5).to_string(), "seq5");
         assert_eq!(WorkerId(5).to_string(), "w5");
+        assert_eq!(SessionId(5).to_string(), "s5");
     }
 
     #[test]

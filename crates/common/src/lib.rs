@@ -35,10 +35,10 @@ pub mod pacing;
 pub mod shard;
 pub mod value;
 
-pub use config::{IsolationLevel, PrimaryConfig, ReplicaConfig, SnapshotMode};
+pub use config::{IsolationLevel, PrimaryConfig, ReadConfig, ReplicaConfig, SnapshotMode};
 pub use cost::OpCost;
 pub use error::{Error, Result};
-pub use ids::{Key, RowRef, SeqNo, TableId, Timestamp, TxnId, WorkerId};
+pub use ids::{Key, RowRef, SeqNo, SessionId, TableId, Timestamp, TxnId, WorkerId};
 pub use pacing::{poll_until, Pacer};
 pub use shard::ShardRouter;
 pub use value::{RowWrite, Value, WriteKind};

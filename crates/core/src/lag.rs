@@ -115,6 +115,10 @@ pub struct LagTracker {
     /// Their lag is clamped to zero rather than discarded, but the count is
     /// surfaced so non-monotonic clocks are visible instead of masked.
     clock_skew: AtomicU64,
+    /// Largest primary commit wall time (nanos) over all recorded samples —
+    /// the commit time of the newest transaction the replica has exposed.
+    /// Lock-free so freshness probes stay off the sample lock.
+    covered_commit: AtomicU64,
 }
 
 impl LagTracker {
@@ -135,7 +139,21 @@ impl LagTracker {
         if sample.is_clock_skewed() {
             self.clock_skew.fetch_add(1, Ordering::Relaxed);
         }
+        self.covered_commit
+            .fetch_max(committed_at_nanos, Ordering::Relaxed);
         self.samples.lock().push(sample);
+    }
+
+    /// Primary commit wall time (nanoseconds since the Unix epoch) of the
+    /// newest transaction any recorded sample covers, or `None` before the
+    /// first sample. A router estimates a replica's staleness as
+    /// `now - latest_covered_commit_nanos()`: everything the primary
+    /// committed up to that instant is already visible on the replica.
+    pub fn latest_covered_commit_nanos(&self) -> Option<u64> {
+        match self.covered_commit.load(Ordering::Relaxed) {
+            0 => None,
+            nanos => Some(nanos),
+        }
     }
 
     /// Number of samples recorded with reversed clock stamps (their lag reads
@@ -272,6 +290,17 @@ mod tests {
         assert_eq!(t.len(), 3);
         // The skewed sample still contributes a (clamped) zero-lag sample.
         assert_eq!(t.stats().unwrap().min_ms, 0.0);
+    }
+
+    #[test]
+    fn latest_covered_commit_tracks_the_newest_commit_seen() {
+        let t = LagTracker::new();
+        assert_eq!(t.latest_covered_commit_nanos(), None);
+        t.record(SeqNo(1), 100, 200);
+        t.record(SeqNo(3), 400, 500);
+        // Out-of-order recording must not regress the watermark.
+        t.record(SeqNo(2), 300, 350);
+        assert_eq!(t.latest_covered_commit_nanos(), Some(400));
     }
 
     #[test]

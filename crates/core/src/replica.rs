@@ -53,11 +53,17 @@ pub trait ReadView: Send {
     fn get(&self, row: RowRef) -> Option<Value>;
     /// The log position this view reflects.
     fn as_of(&self) -> SeqNo;
-    /// Unordered scan of one table.
+    /// Key-sorted scan of one table.
     fn scan_table(&self, table: TableId) -> Vec<(RowRef, Value)>;
-    /// Unordered scan of the whole database (used by the consistency
+    /// Key-sorted scan of the whole database (used by the consistency
     /// checker).
     fn scan_all(&self) -> Vec<(RowRef, Value)>;
+    /// Reads a batch of rows from the same pinned state. Every value comes
+    /// from the one cut this view was pinned at, which is what makes a
+    /// multi-key read-only transaction transactional.
+    fn get_many(&self, rows: &[RowRef]) -> Vec<Option<Value>> {
+        rows.iter().map(|&row| self.get(row)).collect()
+    }
 }
 
 /// Counters describing a replica's progress, exposed uniformly by every
@@ -146,6 +152,15 @@ pub trait ClonedConcurrencyControl: Send + Sync {
     /// returns whether it did.
     fn wait_until_exposed(&self, seq: SeqNo, timeout: Duration) -> bool {
         c5_common::pacing::poll_until(timeout, || self.exposed_seq() >= seq)
+    }
+
+    /// Primary commit wall time (nanoseconds since the Unix epoch) of the
+    /// newest transaction this replica has exposed, or `None` before the
+    /// first exposure. `now - freshness_commit_nanos()` bounds the replica's
+    /// staleness: everything the primary committed up to that instant is
+    /// visible here. The read router maps bounded-staleness reads onto this.
+    fn freshness_commit_nanos(&self) -> Option<u64> {
+        self.lag().latest_covered_commit_nanos()
     }
 }
 

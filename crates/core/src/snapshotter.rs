@@ -250,8 +250,10 @@ impl ReadView for TimestampedView {
 /// A spanning read view over a sharded replica, pinned at a full cut vector
 /// (see [`crate::shard`]).
 ///
-/// Point reads serve each row at its *own shard's* vector component `c_s`;
-/// scans read at the global cut `B`. The two are guaranteed to agree — the
+/// Point reads *and* scans serve each row at its *own shard's* vector
+/// component `c_s` (scans via [`MvStore::scan_table_at_for`], so cross-shard
+/// scans are pinned at the same vector as point reads). Reading at the
+/// vector is guaranteed to agree with reading at the global cut `B` — the
 /// coordinator chooses each component as the shard's frontier, one position
 /// before the shard's earliest record above `B`, so no shard-owned version
 /// exists in `(B, c_s]` — and the vector (exposed via
@@ -280,12 +282,16 @@ impl ShardedReadView {
     pub fn cut_vector(&self) -> &[SeqNo] {
         &self.vector
     }
+
+    /// The cut a given row is served at: its shard's vector component.
+    fn row_cut(&self, row: RowRef) -> Timestamp {
+        Timestamp(self.vector[self.router.route(row)].as_u64())
+    }
 }
 
 impl ReadView for ShardedReadView {
     fn get(&self, row: RowRef) -> Option<Value> {
-        let cut = self.vector[self.router.route(row)];
-        self.store.read_at(row, Timestamp(cut.as_u64()))
+        self.store.read_at(row, self.row_cut(row))
     }
 
     fn as_of(&self) -> SeqNo {
@@ -293,12 +299,11 @@ impl ReadView for ShardedReadView {
     }
 
     fn scan_table(&self, table: TableId) -> Vec<(RowRef, Value)> {
-        self.store
-            .scan_table_at(table, Timestamp(self.as_of.as_u64()))
+        self.store.scan_table_at_for(table, |row| self.row_cut(row))
     }
 
     fn scan_all(&self) -> Vec<(RowRef, Value)> {
-        self.store.scan_all_at(Timestamp(self.as_of.as_u64()))
+        self.store.scan_all_at_for(|row| self.row_cut(row))
     }
 }
 
@@ -438,6 +443,43 @@ mod tests {
         );
         // The post-cut snapshot excludes the blocked write.
         assert_eq!(cursor.read_view().get(row(2)), None);
+    }
+
+    #[test]
+    fn sharded_view_scans_pin_each_row_at_its_shard_component() {
+        // Two shards over keys [0, 16): shard 0 owns 0..8, shard 1 owns
+        // 8..16. Shard 1's component is ahead of shard 0's; scans must serve
+        // each row at its own component, exactly like point reads.
+        let store = Arc::new(MvStore::default());
+        let router = ShardRouter::new(2, 16);
+        install(&store, 1, 1, 10); // shard 0
+        install(&store, 2, 9, 90); // shard 1
+        install(&store, 5, 9, 95); // shard 1, above shard 0's component
+
+        let view = ShardedReadView::new(
+            Arc::clone(&store),
+            router,
+            vec![SeqNo(2), SeqNo(5)],
+            SeqNo(2),
+        );
+        assert_eq!(view.cut_vector(), &[SeqNo(2), SeqNo(5)]);
+
+        // Point reads and scans agree row for row.
+        assert_eq!(view.get(row(1)).unwrap().as_u64(), Some(10));
+        assert_eq!(view.get(row(9)).unwrap().as_u64(), Some(95));
+        let scan = view.scan_table(TableId(0));
+        assert_eq!(
+            scan,
+            vec![(row(1), Value::from_u64(10)), (row(9), Value::from_u64(95)),],
+            "scan must be key-sorted and vector-pinned"
+        );
+        assert_eq!(view.scan_all(), scan);
+
+        // A batched multi-key read observes the same pinned state.
+        let batch = view.get_many(&[row(9), row(1), row(3)]);
+        assert_eq!(batch[0].as_ref().unwrap().as_u64(), Some(95));
+        assert_eq!(batch[1].as_ref().unwrap().as_u64(), Some(10));
+        assert!(batch[2].is_none());
     }
 
     #[test]

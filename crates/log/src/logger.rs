@@ -58,6 +58,21 @@ impl StreamingLogger {
     ///
     /// Returns the assigned commit timestamp.
     pub fn append(&self, txn: TxnId, writes: Vec<c5_common::RowWrite>) -> Timestamp {
+        self.append_tokened(txn, writes).0
+    }
+
+    /// Appends a committed transaction and also returns its **causal token**:
+    /// the sequence number of the transaction's last write (its boundary).
+    /// A backup whose exposed cut reaches the token has made this
+    /// transaction visible, so the token is what a session carries to get
+    /// read-your-writes from the replica fleet. A write-free transaction's
+    /// token is the boundary of the previous transaction (nothing new to
+    /// wait for).
+    pub fn append_tokened(
+        &self,
+        txn: TxnId,
+        writes: Vec<c5_common::RowWrite>,
+    ) -> (Timestamp, SeqNo) {
         let mut inner = self.inner.lock();
         inner.next_commit_ts = inner.next_commit_ts.next();
         let commit_ts = inner.next_commit_ts;
@@ -79,7 +94,7 @@ impl StreamingLogger {
             // from a bounded shipper deliberately propagates to committers.
             self.shipper.ship(seg);
         }
-        commit_ts
+        (commit_ts, inner.next_seq)
     }
 
     /// Flushes any buffered records into a final segment and ships it.
@@ -238,6 +253,23 @@ mod tests {
         assert_eq!(records[1].txn, TxnId(2));
         assert!(records[0].seq < records[1].seq);
         assert_eq!(logger.appended_txns(), 2);
+    }
+
+    #[test]
+    fn append_tokened_returns_the_txn_boundary() {
+        let (shipper, receiver) = LogShipper::bounded(16);
+        let logger = StreamingLogger::new(4, shipper);
+        let (ts1, tok1) = logger.append_tokened(TxnId(1), vec![write(1, 1), write(2, 1)]);
+        let (ts2, tok2) = logger.append_tokened(TxnId(2), vec![write(3, 2)]);
+        assert_eq!(tok1, SeqNo(2), "token is the seq of the txn's last write");
+        assert_eq!(tok2, SeqNo(3));
+        assert!(ts2 > ts1);
+        // A write-free transaction carries the previous boundary: nothing new
+        // for a session to wait on.
+        let (_, tok3) = logger.append_tokened(TxnId(3), vec![]);
+        assert_eq!(tok3, tok2);
+        logger.close();
+        drop(receiver);
     }
 
     #[test]

@@ -80,6 +80,13 @@ impl TplEngine {
         self.logger.close();
     }
 
+    /// Ships the log's buffered tail without closing it. Read routers use
+    /// this so strong and causal reads never wait on records that are
+    /// committed but still sitting in a partially filled segment.
+    pub fn flush_log(&self) {
+        self.logger.flush();
+    }
+
     /// Crashes the replication log: the shipping channel closes *without*
     /// flushing the buffered tail, which is lost exactly as an
     /// asynchronously replicated primary loses its unshipped writes on
@@ -110,13 +117,23 @@ impl TplEngine {
     /// Executes a stored procedure, retrying on protocol-induced aborts up to
     /// the configured maximum. Returns the commit timestamp.
     pub fn execute(&self, proc: &dyn StoredProcedure) -> Result<Timestamp> {
+        self.execute_with_token(proc).map(|(ts, _)| ts)
+    }
+
+    /// Executes a stored procedure and also returns its **causal token**:
+    /// the log position of the transaction's last write. A read session
+    /// carries the token to the replica fleet to get read-your-writes — a
+    /// replica whose exposed cut covers the token has made this
+    /// transaction's writes visible. Read-only procedures return the
+    /// previous transaction's boundary (nothing new to wait for).
+    pub fn execute_with_token(&self, proc: &dyn StoredProcedure) -> Result<(Timestamp, SeqNo)> {
         let mut attempts = 0;
         loop {
             let txn = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed) + 1);
             match self.try_execute(txn, proc) {
-                Ok(ts) => {
+                Ok(out) => {
                     self.committed.fetch_add(1, Ordering::Relaxed);
-                    return Ok(ts);
+                    return Ok(out);
                 }
                 Err(err) if err.is_retryable() && attempts < self.config.max_retries => {
                     self.aborted.fetch_add(1, Ordering::Relaxed);
@@ -130,7 +147,7 @@ impl TplEngine {
         }
     }
 
-    fn try_execute(&self, txn: TxnId, proc: &dyn StoredProcedure) -> Result<Timestamp> {
+    fn try_execute(&self, txn: TxnId, proc: &dyn StoredProcedure) -> Result<(Timestamp, SeqNo)> {
         let mut ctx = TplCtx {
             engine: self,
             txn,
@@ -139,8 +156,8 @@ impl TplEngine {
         };
         match proc.execute(&mut ctx) {
             Ok(()) => {
-                let ts = ctx.commit();
-                Ok(ts)
+                let out = ctx.commit();
+                Ok(out)
             }
             Err(err) => {
                 ctx.rollback();
@@ -187,19 +204,19 @@ impl TplCtx<'_> {
         self.held.clear();
     }
 
-    fn commit(&mut self) -> Timestamp {
+    fn commit(&mut self) -> (Timestamp, SeqNo) {
         let writes = std::mem::take(&mut self.writes).into_writes();
         // Append to the log while still holding write locks: the log order of
         // conflicting writes therefore matches the lock order, which is the
         // property the backup protocols depend on.
-        let commit_ts = self.engine.logger.append(self.txn, writes.clone());
+        let (commit_ts, token) = self.engine.logger.append_tokened(self.txn, writes.clone());
         for w in &writes {
             self.engine
                 .store
                 .install(w.row, commit_ts, w.kind, w.value.clone());
         }
         self.release_everything();
-        commit_ts
+        (commit_ts, token)
     }
 
     fn rollback(&mut self) {
@@ -343,6 +360,52 @@ mod tests {
         assert_eq!(records.len(), 3);
         // Log order matches commit order: txn 1's two inserts, then txn 2's update.
         assert!(records[0].commit_ts < records[2].commit_ts);
+    }
+
+    #[test]
+    fn execute_with_token_returns_the_logged_boundary() {
+        let (engine, receiver) = engine_with_receiver(1);
+        let (_, tok1) = engine
+            .execute_with_token(&|ctx: &mut dyn TxnCtx| {
+                ctx.insert(row(1), Value::from_u64(1))?;
+                ctx.insert(row(2), Value::from_u64(2))
+            })
+            .unwrap();
+        let (_, tok2) = engine
+            .execute_with_token(&|ctx: &mut dyn TxnCtx| ctx.update(row(1), Value::from_u64(3)))
+            .unwrap();
+        engine.close_log();
+
+        // Tokens are the log boundaries of the two transactions.
+        let records = flatten(&receiver.drain());
+        let boundaries: Vec<SeqNo> = records
+            .iter()
+            .filter(|r| r.is_txn_last())
+            .map(|r| r.seq)
+            .collect();
+        assert_eq!(boundaries, vec![tok1, tok2]);
+        assert!(tok2 > tok1);
+    }
+
+    #[test]
+    fn flush_log_ships_the_buffered_tail_without_closing() {
+        let (shipper, receiver) = LogShipper::unbounded();
+        // Huge segment target: nothing ships until flushed.
+        let logger = StreamingLogger::new(1_000, shipper);
+        let store = Arc::new(MvStore::default());
+        let engine = TplEngine::new(store, PrimaryConfig::default(), logger);
+        engine
+            .execute(&|ctx: &mut dyn TxnCtx| ctx.insert(row(1), Value::from_u64(1)))
+            .unwrap();
+        assert_eq!(receiver.try_len(), 0);
+        engine.flush_log();
+        assert_eq!(flatten(&receiver.drain_available()).len(), 1);
+        // The log is still open: later commits keep flowing.
+        engine
+            .execute(&|ctx: &mut dyn TxnCtx| ctx.insert(row(2), Value::from_u64(2)))
+            .unwrap();
+        engine.close_log();
+        assert_eq!(flatten(&receiver.drain()).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Consistency classes for reads against the replica fleet.
+//!
+//! The paper's backups guarantee monotonic prefix consistency per replica;
+//! a *fleet* of replicas serving one client's reads needs more vocabulary,
+//! because different replicas expose different prefixes. Each read names the
+//! guarantee it needs, and the router turns that into a requirement on the
+//! serving replica's exposed cut:
+//!
+//! * [`ConsistencyClass::Strong`] — the read reflects every transaction the
+//!   primary had committed when the read started. The router requires the
+//!   serving replica's cut to cover the primary's log frontier, sampled at
+//!   read start.
+//! * [`ConsistencyClass::Causal`] — the read reflects at least the
+//!   transaction named by a causal token (a [`SeqNo`] handed out at commit
+//!   time). Sessions use this for read-your-writes.
+//! * [`ConsistencyClass::BoundedStaleness`] — the read may be stale, but by
+//!   no more than the given wall-clock bound. The router maps the bound onto
+//!   each replica's lag-tracker freshness estimate.
+//!
+//! Every class additionally inherits the session's monotonic floor, so a
+//! session never reads backwards even when it switches replicas.
+
+use std::fmt;
+use std::time::Duration;
+
+use c5_common::SeqNo;
+
+/// The guarantee one read (or read-only transaction) asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsistencyClass {
+    /// Primary-verified: the serving replica's exposed cut must cover the
+    /// primary's log frontier as sampled when the read starts. Requires the
+    /// router to have a [`crate::router::PrimaryFrontier`].
+    Strong,
+    /// Causal: the serving replica's exposed cut must cover the token (the
+    /// boundary [`SeqNo`] of the transaction the reader depends on).
+    Causal(SeqNo),
+    /// Freshness-bounded: the serving replica's state may trail the primary
+    /// by at most this much wall-clock time.
+    BoundedStaleness(Duration),
+}
+
+impl ConsistencyClass {
+    /// The class's kind (the metrics key).
+    pub fn kind(&self) -> ClassKind {
+        match self {
+            ConsistencyClass::Strong => ClassKind::Strong,
+            ConsistencyClass::Causal(_) => ClassKind::Causal,
+            ConsistencyClass::BoundedStaleness(_) => ClassKind::BoundedStaleness,
+        }
+    }
+}
+
+impl fmt::Display for ConsistencyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsistencyClass::Strong => write!(f, "strong"),
+            ConsistencyClass::Causal(token) => write!(f, "causal({token})"),
+            ConsistencyClass::BoundedStaleness(bound) => {
+                write!(f, "bounded-staleness({bound:?})")
+            }
+        }
+    }
+}
+
+/// A consistency class stripped of its parameter — the key the router's
+/// per-class metrics are bucketed by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ClassKind {
+    /// [`ConsistencyClass::Strong`].
+    Strong,
+    /// [`ConsistencyClass::Causal`].
+    Causal,
+    /// [`ConsistencyClass::BoundedStaleness`].
+    BoundedStaleness,
+}
+
+impl ClassKind {
+    /// Every kind, in display order.
+    pub const ALL: [ClassKind; 3] = [
+        ClassKind::Strong,
+        ClassKind::Causal,
+        ClassKind::BoundedStaleness,
+    ];
+
+    /// Short name for report tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClassKind::Strong => "strong",
+            ClassKind::Causal => "causal",
+            ClassKind::BoundedStaleness => "bounded",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            ClassKind::Strong => 0,
+            ClassKind::Causal => 1,
+            ClassKind::BoundedStaleness => 2,
+        }
+    }
+}
+
+impl fmt::Display for ClassKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_cover_every_class() {
+        assert_eq!(ConsistencyClass::Strong.kind(), ClassKind::Strong);
+        assert_eq!(ConsistencyClass::Causal(SeqNo(7)).kind(), ClassKind::Causal);
+        assert_eq!(
+            ConsistencyClass::BoundedStaleness(Duration::from_millis(5)).kind(),
+            ClassKind::BoundedStaleness
+        );
+        for (i, kind) in ClassKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(ClassKind::Strong.to_string(), "strong");
+        assert_eq!(
+            ConsistencyClass::Causal(SeqNo(3)).to_string(),
+            "causal(seq3)"
+        );
+        assert!(ConsistencyClass::BoundedStaleness(Duration::from_millis(1))
+            .to_string()
+            .starts_with("bounded-staleness"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Per-consistency-class read metrics.
+//!
+//! The router buckets every read by its [`ClassKind`] and tracks counters
+//! plus two sampled distributions: end-to-end read latency (routing + any
+//! blocking + the storage read) and the observed staleness of the serving
+//! replica at the moment the read was pinned. Percentile summaries reuse the
+//! checked nearest-rank [`LagStats`] machinery from `c5-core`, so read
+//! latency and replication lag are reported with identical statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use c5_core::lag::LagStats;
+
+use crate::consistency::ClassKind;
+
+/// One class's counters and reservoirs.
+#[derive(Debug, Default)]
+struct ClassMetrics {
+    reads: AtomicU64,
+    hits: AtomicU64,
+    txns: AtomicU64,
+    blocked: AtomicU64,
+    block_nanos: AtomicU64,
+    timeouts: AtomicU64,
+    /// Drives the 1-in-N sampling of the reservoirs below.
+    sample_clock: AtomicU64,
+    latency_ms: Mutex<Vec<f64>>,
+    staleness_ms: Mutex<Vec<f64>>,
+}
+
+/// All classes' metrics, owned by the router.
+#[derive(Debug)]
+pub(crate) struct RouterMetrics {
+    classes: [ClassMetrics; 3],
+    sample_every: u64,
+}
+
+impl RouterMetrics {
+    pub(crate) fn new(sample_every: u64) -> Self {
+        Self {
+            classes: Default::default(),
+            sample_every,
+        }
+    }
+
+    fn class(&self, kind: ClassKind) -> &ClassMetrics {
+        &self.classes[kind.index()]
+    }
+
+    /// Records one served read. `staleness_ms` is evaluated *only* on
+    /// sampled ticks — computing it costs a frontier probe or a fleet
+    /// sweep, which must stay off the unsampled hot path — and may return
+    /// `None` when the serving replica's staleness was unbounded.
+    pub(crate) fn record_read(
+        &self,
+        kind: ClassKind,
+        latency: Duration,
+        blocked: Duration,
+        staleness_ms: impl FnOnce() -> Option<f64>,
+        hit: bool,
+    ) {
+        let class = self.class(kind);
+        class.reads.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            class.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if !blocked.is_zero() {
+            class.blocked.fetch_add(1, Ordering::Relaxed);
+            class
+                .block_nanos
+                .fetch_add(blocked.as_nanos() as u64, Ordering::Relaxed);
+        }
+        let tick = class.sample_clock.fetch_add(1, Ordering::Relaxed);
+        if tick % self.sample_every == 0 {
+            class.latency_ms.lock().push(latency.as_secs_f64() * 1e3);
+            if let Some(staleness) = staleness_ms() {
+                class.staleness_ms.lock().push(staleness);
+            }
+        }
+    }
+
+    /// Records one opened read-only transaction (its pin cost counts like a
+    /// read's; the reads it performs are recorded individually).
+    pub(crate) fn record_txn(&self, kind: ClassKind, latency: Duration, blocked: Duration) {
+        self.class(kind).txns.fetch_add(1, Ordering::Relaxed);
+        // An opened transaction is not itself a row read; count only its
+        // blocking and latency so pin cost is visible per class.
+        let class = self.class(kind);
+        if !blocked.is_zero() {
+            class.blocked.fetch_add(1, Ordering::Relaxed);
+            class
+                .block_nanos
+                .fetch_add(blocked.as_nanos() as u64, Ordering::Relaxed);
+        }
+        let tick = class.sample_clock.fetch_add(1, Ordering::Relaxed);
+        if tick % self.sample_every == 0 {
+            class.latency_ms.lock().push(latency.as_secs_f64() * 1e3);
+        }
+    }
+
+    /// Records one read inside an already-pinned read-only transaction.
+    pub(crate) fn record_txn_read(&self, kind: ClassKind, hit: bool) {
+        self.record_txn_reads(kind, 1, hit as u64);
+    }
+
+    /// Records a batch of reads (a `get_many` or a scan) inside an
+    /// already-pinned read-only transaction: two increments total, however
+    /// large the batch.
+    pub(crate) fn record_txn_reads(&self, kind: ClassKind, reads: u64, hits: u64) {
+        let class = self.class(kind);
+        class.reads.fetch_add(reads, Ordering::Relaxed);
+        class.hits.fetch_add(hits, Ordering::Relaxed);
+    }
+
+    /// Records a read that gave up waiting.
+    pub(crate) fn record_timeout(&self, kind: ClassKind, blocked: Duration) {
+        let class = self.class(kind);
+        class.timeouts.fetch_add(1, Ordering::Relaxed);
+        class.blocked.fetch_add(1, Ordering::Relaxed);
+        class
+            .block_nanos
+            .fetch_add(blocked.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of one class's statistics.
+    pub(crate) fn stats(&self, kind: ClassKind) -> ClassStats {
+        let class = self.class(kind);
+        ClassStats {
+            kind,
+            reads: class.reads.load(Ordering::Relaxed),
+            hits: class.hits.load(Ordering::Relaxed),
+            txns: class.txns.load(Ordering::Relaxed),
+            blocked: class.blocked.load(Ordering::Relaxed),
+            block_nanos: class.block_nanos.load(Ordering::Relaxed),
+            timeouts: class.timeouts.load(Ordering::Relaxed),
+            latency: LagStats::from_millis(class.latency_ms.lock().clone()),
+            staleness: LagStats::from_millis(class.staleness_ms.lock().clone()),
+        }
+    }
+}
+
+/// A snapshot of one consistency class's read statistics.
+#[derive(Debug, Clone)]
+pub struct ClassStats {
+    /// Which class this summarizes.
+    pub kind: ClassKind,
+    /// Point reads served (including reads inside read-only transactions).
+    pub reads: u64,
+    /// Reads that found a live row.
+    pub hits: u64,
+    /// Read-only transactions opened.
+    pub txns: u64,
+    /// Reads/transaction-opens that had to block for a fresh-enough replica.
+    pub blocked: u64,
+    /// Total time spent blocked, in nanoseconds.
+    pub block_nanos: u64,
+    /// Reads that gave up waiting ([`c5_common::Error::ReadTimeout`]).
+    pub timeouts: u64,
+    /// Sampled end-to-end read latency distribution (milliseconds).
+    pub latency: Option<LagStats>,
+    /// Sampled observed staleness of the serving replica (milliseconds).
+    pub staleness: Option<LagStats>,
+}
+
+impl ClassStats {
+    /// Reads per second over `wall`.
+    pub fn throughput(&self, wall: Duration) -> f64 {
+        if wall.is_zero() {
+            0.0
+        } else {
+            self.reads as f64 / wall.as_secs_f64()
+        }
+    }
+
+    /// Mean block time per *blocked* operation, in milliseconds.
+    pub fn mean_block_ms(&self) -> f64 {
+        if self.blocked == 0 {
+            0.0
+        } else {
+            self.block_nanos as f64 / self.blocked as f64 / 1e6
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_reservoirs_accumulate() {
+        let m = RouterMetrics::new(1);
+        m.record_read(
+            ClassKind::Causal,
+            Duration::from_millis(2),
+            Duration::from_millis(1),
+            || Some(0.5),
+            true,
+        );
+        m.record_read(
+            ClassKind::Causal,
+            Duration::from_millis(4),
+            Duration::ZERO,
+            || None,
+            false,
+        );
+        m.record_txn(ClassKind::Causal, Duration::from_millis(1), Duration::ZERO);
+        m.record_txn_read(ClassKind::Causal, true);
+        m.record_timeout(ClassKind::Strong, Duration::from_millis(10));
+
+        let causal = m.stats(ClassKind::Causal);
+        assert_eq!(causal.reads, 3);
+        assert_eq!(causal.hits, 2);
+        assert_eq!(causal.txns, 1);
+        assert_eq!(causal.blocked, 1);
+        assert_eq!(causal.timeouts, 0);
+        let latency = causal.latency.expect("sampled everything");
+        assert_eq!(latency.count, 3);
+        assert_eq!(causal.staleness.expect("one staleness sample").count, 1);
+        assert!(causal.throughput(Duration::from_secs(1)) > 0.0);
+        assert!(causal.mean_block_ms() >= 1.0);
+
+        let strong = m.stats(ClassKind::Strong);
+        assert_eq!(strong.timeouts, 1);
+        assert_eq!(strong.blocked, 1);
+
+        let bounded = m.stats(ClassKind::BoundedStaleness);
+        assert_eq!(bounded.reads, 0);
+        assert!(bounded.latency.is_none());
+        assert_eq!(bounded.throughput(Duration::ZERO), 0.0);
+        assert_eq!(bounded.mean_block_ms(), 0.0);
+    }
+
+    #[test]
+    fn sampling_stride_thins_the_reservoirs() {
+        let m = RouterMetrics::new(4);
+        // Count how often the lazy staleness probe actually runs: only on
+        // sampled ticks, never on the unsampled hot path.
+        let probes = AtomicU64::new(0);
+        for _ in 0..16 {
+            m.record_read(
+                ClassKind::Strong,
+                Duration::from_millis(1),
+                Duration::ZERO,
+                || {
+                    probes.fetch_add(1, Ordering::Relaxed);
+                    Some(1.0)
+                },
+                true,
+            );
+        }
+        assert_eq!(probes.load(Ordering::Relaxed), 4);
+        let stats = m.stats(ClassKind::Strong);
+        assert_eq!(stats.reads, 16);
+        assert_eq!(stats.latency.unwrap().count, 4);
+    }
+}

@@ -1,0 +1,691 @@
+//! Freshness- and load-aware routing of reads across a replica fleet.
+//!
+//! A [`ReadRouter`] owns handles to N backups (any
+//! [`ClonedConcurrencyControl`] — C5 in either mode, a sharded replica, or a
+//! baseline) and serves each read from the replica that can satisfy the
+//! read's [`ConsistencyClass`] with the least in-flight load. When no
+//! replica is fresh enough yet, the read *blocks, bounded*
+//! ([`c5_common::poll_until`]) — re-evaluating the whole fleet each poll, so
+//! a read waiting on replica A is served by replica B the moment B's cut
+//! covers the requirement (the "wait or re-route" rule). A read that cannot
+//! be served within [`c5_common::ReadConfig::max_wait`] fails with
+//! [`Error::ReadTimeout`] instead of wedging the client.
+//!
+//! The freshness estimate is deliberately conservative and observable: a
+//! replica whose exposed cut covers the primary's log frontier is fresh
+//! (staleness zero); otherwise its staleness is `now` minus the commit wall
+//! time of the newest transaction it has exposed
+//! ([`ClonedConcurrencyControl::freshness_commit_nanos`]) — everything the
+//! primary committed up to that instant is already visible there.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use c5_common::{poll_until, Error, ReadConfig, Result, SeqNo, SessionId};
+use c5_core::replica::{ClonedConcurrencyControl, ReadView};
+use c5_log::now_nanos;
+
+use crate::consistency::{ClassKind, ConsistencyClass};
+use crate::metrics::{ClassStats, RouterMetrics};
+use crate::session::ReadSession;
+use crate::txn::ReadOnlyTxn;
+
+/// A probe for the primary's log frontier: the highest log position assigned
+/// so far. [`ConsistencyClass::Strong`] reads require the serving replica's
+/// exposed cut to cover the frontier sampled at read start, and the
+/// staleness estimator treats a replica at or past the frontier as perfectly
+/// fresh. Implemented by any `Fn() -> SeqNo` closure.
+pub trait PrimaryFrontier: Send + Sync {
+    /// The primary's current log frontier.
+    fn frontier(&self) -> SeqNo;
+}
+
+impl<F: Fn() -> SeqNo + Send + Sync> PrimaryFrontier for F {
+    fn frontier(&self) -> SeqNo {
+        self()
+    }
+}
+
+/// One fleet member and its routing state.
+struct ReplicaSlot {
+    replica: Arc<dyn ClonedConcurrencyControl>,
+    /// Reads (and open read-only transactions) currently pinned here.
+    in_flight: Arc<AtomicU64>,
+    /// Reads ever served here (load-balance accounting).
+    served: AtomicU64,
+}
+
+/// A point-in-time description of one fleet member, for reports.
+#[derive(Debug, Clone)]
+pub struct ReplicaStatus {
+    /// Fleet index.
+    pub replica: usize,
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// The replica's exposed cut.
+    pub exposed: SeqNo,
+    /// Reads currently pinned to this replica.
+    pub in_flight: u64,
+    /// Reads ever served by this replica.
+    pub served: u64,
+    /// Estimated staleness in milliseconds (`None` = unbounded: the replica
+    /// trails the freshness reference and has exposed nothing to estimate
+    /// from).
+    pub staleness_ms: Option<f64>,
+}
+
+/// Routes reads across a fleet of replicas by consistency class, freshness,
+/// and in-flight load.
+pub struct ReadRouter {
+    fleet: Vec<ReplicaSlot>,
+    frontier: Option<Box<dyn PrimaryFrontier>>,
+    /// Ships the primary log's buffered tail (e.g. `TplEngine::flush_log`).
+    /// Called once when a read must block: everything at or below the
+    /// read's requirement was assigned before the call, so one flush puts
+    /// it on the wire.
+    tail_flush: Option<Box<dyn Fn() + Send + Sync>>,
+    config: ReadConfig,
+    metrics: RouterMetrics,
+    next_session: AtomicU64,
+}
+
+impl std::fmt::Debug for ReadRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadRouter")
+            .field("fleet", &self.fleet.len())
+            .field("has_frontier", &self.frontier.is_some())
+            .finish()
+    }
+}
+
+/// A view pinned by the router: the replica's read view plus the lease that
+/// releases the replica's in-flight slot when the pinned read (or read-only
+/// transaction) completes.
+pub(crate) struct Pinned {
+    pub(crate) view: Box<dyn ReadView>,
+    pub(crate) replica: usize,
+    pub(crate) blocked: Duration,
+    /// Held for its `Drop`: releases the replica's in-flight slot.
+    pub(crate) _lease: Lease,
+}
+
+/// Decrements a replica's in-flight counter on drop.
+pub(crate) struct Lease {
+    in_flight: Arc<AtomicU64>,
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl ReadRouter {
+    /// Creates a router over `fleet`.
+    ///
+    /// # Panics
+    /// Panics if the fleet is empty or the configuration is invalid.
+    pub fn new(fleet: Vec<Arc<dyn ClonedConcurrencyControl>>, config: ReadConfig) -> Self {
+        assert!(
+            !fleet.is_empty(),
+            "a read router needs at least one replica"
+        );
+        config.validate().expect("read configuration must be valid");
+        let sample_every = config.latency_sample_every;
+        Self {
+            fleet: fleet
+                .into_iter()
+                .map(|replica| ReplicaSlot {
+                    replica,
+                    in_flight: Arc::new(AtomicU64::new(0)),
+                    served: AtomicU64::new(0),
+                })
+                .collect(),
+            frontier: None,
+            tail_flush: None,
+            config,
+            metrics: RouterMetrics::new(sample_every),
+            next_session: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches a primary-frontier probe, enabling
+    /// [`ConsistencyClass::Strong`] reads and sharpening the staleness
+    /// estimate (a replica at the frontier is fresh even between commits).
+    pub fn with_frontier(mut self, frontier: impl PrimaryFrontier + 'static) -> Self {
+        self.frontier = Some(Box::new(frontier));
+        self
+    }
+
+    /// Attaches a primary log-tail flush hook (e.g.
+    /// `TplEngine::flush_log`), called once whenever a read must block: a
+    /// causal token or strong frontier can name a committed transaction
+    /// whose records still sit in the logger's partially filled segment,
+    /// and on a write-light primary that segment would otherwise never
+    /// ship — wedging the read until its wait bound expires. One flush
+    /// puts everything at or below the read's requirement on the wire
+    /// (sequence numbers are assigned at append, so the requirement's
+    /// records are already buffered or shipped).
+    pub fn with_tail_flush(mut self, flush: impl Fn() + Send + Sync + 'static) -> Self {
+        self.tail_flush = Some(Box::new(flush));
+        self
+    }
+
+    /// Number of replicas in the fleet.
+    pub fn fleet_len(&self) -> usize {
+        self.fleet.len()
+    }
+
+    /// Opens a new session. Sessions carry causal tokens and give
+    /// read-your-writes and monotonic reads across replica switches.
+    pub fn session(self: &Arc<Self>) -> ReadSession {
+        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed) + 1);
+        ReadSession::new(id, Arc::clone(self))
+    }
+
+    /// Opens a sessionless read-only transaction pinned at one consistent
+    /// view (for one-shot multi-key reads with no session history).
+    pub fn read_only_txn(self: &Arc<Self>, class: &ConsistencyClass) -> Result<ReadOnlyTxn> {
+        let start = Instant::now();
+        let pinned = self.pin(class, SeqNo::ZERO)?;
+        self.metrics
+            .record_txn(class.kind(), start.elapsed(), pinned.blocked);
+        Ok(ReadOnlyTxn::new(Arc::clone(self), class.kind(), pinned))
+    }
+
+    /// One class's statistics.
+    pub fn class_stats(&self, kind: ClassKind) -> ClassStats {
+        self.metrics.stats(kind)
+    }
+
+    /// Every class's statistics, in [`ClassKind::ALL`] order.
+    pub fn all_class_stats(&self) -> Vec<ClassStats> {
+        ClassKind::ALL
+            .into_iter()
+            .map(|kind| self.metrics.stats(kind))
+            .collect()
+    }
+
+    /// A point-in-time snapshot of every fleet member.
+    pub fn fleet_status(&self) -> Vec<ReplicaStatus> {
+        let reference = self.staleness_reference();
+        self.fleet
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| ReplicaStatus {
+                replica: i,
+                protocol: slot.replica.name(),
+                exposed: slot.replica.exposed_seq(),
+                in_flight: slot.in_flight.load(Ordering::Relaxed),
+                served: slot.served.load(Ordering::Relaxed),
+                staleness_ms: match self.staleness_nanos(slot, reference) {
+                    u64::MAX => None,
+                    nanos => Some(nanos as f64 / 1e6),
+                },
+            })
+            .collect()
+    }
+
+    /// Estimated staleness of one fleet member in milliseconds, for the
+    /// sampled metrics reservoirs (`None` = unbounded). Costs a frontier
+    /// probe (or a fleet sweep), so callers evaluate it lazily — only on
+    /// the reads the metrics actually sample.
+    pub(crate) fn staleness_ms_of(&self, replica: usize) -> Option<f64> {
+        match self.staleness_nanos(&self.fleet[replica], self.staleness_reference()) {
+            u64::MAX => None,
+            nanos => Some(nanos as f64 / 1e6),
+        }
+    }
+
+    pub(crate) fn metrics(&self) -> &RouterMetrics {
+        &self.metrics
+    }
+
+    /// The freshest exposed cut across the fleet (for timeout reporting).
+    pub fn freshest_exposed(&self) -> SeqNo {
+        self.fleet
+            .iter()
+            .map(|slot| slot.replica.exposed_seq())
+            .max()
+            .unwrap_or(SeqNo::ZERO)
+    }
+
+    /// The cut a replica must reach to count as perfectly fresh: the
+    /// primary frontier when a probe is attached, otherwise the freshest
+    /// exposed cut in the fleet (without a probe the router cannot know
+    /// what the whole fleet might be missing, but a replica no one is
+    /// ahead of is as fresh as anyone can tell — in particular, a fully
+    /// caught-up *idle* fleet never looks stale).
+    fn staleness_reference(&self) -> SeqNo {
+        match &self.frontier {
+            Some(frontier) => frontier.frontier(),
+            None => self.freshest_exposed(),
+        }
+    }
+
+    /// Estimated staleness of one replica, in nanoseconds, against
+    /// `reference` (see [`staleness_reference`](Self::staleness_reference)).
+    /// `u64::MAX` means unbounded: the replica trails the reference and has
+    /// exposed nothing to estimate from.
+    fn staleness_nanos(&self, slot: &ReplicaSlot, reference: SeqNo) -> u64 {
+        if slot.replica.exposed_seq() >= reference {
+            return 0;
+        }
+        match slot.replica.freshness_commit_nanos() {
+            Some(committed) => now_nanos().saturating_sub(committed),
+            None => u64::MAX,
+        }
+    }
+
+    /// The best eligible replica for a read requiring `required` to be
+    /// exposed and (optionally) staleness within `bound_nanos`: least
+    /// in-flight load wins, freshest exposed cut breaks ties.
+    fn eligible(&self, required: SeqNo, bound_nanos: Option<u64>) -> Option<usize> {
+        let reference = bound_nanos.map(|_| self.staleness_reference());
+        let mut best: Option<(u64, SeqNo, usize)> = None;
+        for (i, slot) in self.fleet.iter().enumerate() {
+            let exposed = slot.replica.exposed_seq();
+            if exposed < required {
+                continue;
+            }
+            if let (Some(bound), Some(reference)) = (bound_nanos, reference) {
+                if self.staleness_nanos(slot, reference) > bound {
+                    continue;
+                }
+            }
+            let load = slot.in_flight.load(Ordering::Relaxed);
+            let better = match best {
+                None => true,
+                Some((best_load, best_exposed, _)) => {
+                    load < best_load || (load == best_load && exposed > best_exposed)
+                }
+            };
+            if better {
+                best = Some((load, exposed, i));
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+
+    /// Pins a read view satisfying `class` on top of the session floor
+    /// `floor` (the monotonic-reads / read-your-writes minimum; `SeqNo::ZERO`
+    /// for sessionless reads). Blocks bounded; the fleet is re-evaluated on
+    /// every poll, so the read re-routes to whichever replica becomes
+    /// eligible first.
+    pub(crate) fn pin(&self, class: &ConsistencyClass, floor: SeqNo) -> Result<Pinned> {
+        let required = match class {
+            ConsistencyClass::Strong => {
+                let frontier = self.frontier.as_ref().ok_or_else(|| {
+                    Error::InvalidConfig(
+                        "strong reads require a primary frontier (ReadRouter::with_frontier)"
+                            .into(),
+                    )
+                })?;
+                floor.max(frontier.frontier())
+            }
+            ConsistencyClass::Causal(token) => floor.max(*token),
+            ConsistencyClass::BoundedStaleness(_) => floor,
+        };
+        let bound_nanos = match class {
+            ConsistencyClass::BoundedStaleness(bound) => Some(bound.as_nanos() as u64),
+            _ => None,
+        };
+
+        let mut chosen = self.eligible(required, bound_nanos);
+        let mut blocked = Duration::ZERO;
+        if chosen.is_none() {
+            let wait_start = Instant::now();
+            // About to block: ship the primary's buffered tail so a
+            // requirement naming committed-but-unshipped records can
+            // actually be met (see [`with_tail_flush`](Self::with_tail_flush)).
+            if let Some(flush) = &self.tail_flush {
+                flush();
+            }
+            poll_until(self.config.max_wait, || {
+                chosen = self.eligible(required, bound_nanos);
+                chosen.is_some()
+            });
+            blocked = wait_start.elapsed();
+        }
+        let Some(index) = chosen else {
+            self.metrics.record_timeout(class.kind(), blocked);
+            return Err(Error::ReadTimeout {
+                required,
+                freshest: self.freshest_exposed(),
+            });
+        };
+
+        let slot = &self.fleet[index];
+        slot.in_flight.fetch_add(1, Ordering::Relaxed);
+        slot.served.fetch_add(1, Ordering::Relaxed);
+        // The cut only advances, so the view taken now still covers
+        // `required` even if the eligibility check raced an exposure.
+        let view = slot.replica.read_view();
+        debug_assert!(view.as_of() >= required);
+        Ok(Pinned {
+            view,
+            replica: index,
+            blocked,
+            _lease: Lease {
+                in_flight: Arc::clone(&slot.in_flight),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c5_common::{ReplicaConfig, RowRef, RowWrite, Timestamp, TxnId, Value};
+    use c5_core::replica::{drive_segments, C5Mode, C5Replica};
+    use c5_log::{segments_from_entries, Segment, TxnEntry};
+    use c5_storage::MvStore;
+
+    fn row(k: u64) -> RowRef {
+        RowRef::new(0, k)
+    }
+
+    fn log(txns: std::ops::RangeInclusive<u64>) -> Vec<Segment> {
+        let entries: Vec<TxnEntry> = txns
+            .map(|t| {
+                TxnEntry::new(
+                    TxnId(t),
+                    Timestamp(t),
+                    vec![RowWrite::update(row(t % 8), Value::from_u64(t))],
+                )
+            })
+            .collect();
+        segments_from_entries(&entries, 4)
+    }
+
+    fn replica_at(prefix_txns: u64) -> Arc<dyn ClonedConcurrencyControl> {
+        let store = Arc::new(MvStore::default());
+        for k in 0..8 {
+            store.install(
+                row(k),
+                Timestamp::ZERO,
+                c5_common::WriteKind::Insert,
+                Some(Value::from_u64(0)),
+            );
+        }
+        let replica = C5Replica::new(
+            C5Mode::Faithful,
+            store,
+            ReplicaConfig::default()
+                .with_workers(2)
+                .with_snapshot_interval(Duration::from_micros(200)),
+        );
+        if prefix_txns > 0 {
+            drive_segments(replica.as_ref(), log(1..=prefix_txns));
+        } else {
+            replica.finish();
+        }
+        replica
+    }
+
+    #[test]
+    fn causal_reads_route_to_a_covering_replica() {
+        // Replica 0 exposes 10 txns, replica 1 exposes 30.
+        let router = Arc::new(ReadRouter::new(
+            vec![replica_at(10), replica_at(30)],
+            ReadConfig::default().with_max_wait(Duration::from_millis(100)),
+        ));
+        let mut session = router.session();
+
+        // A token beyond replica 0's cut must be served by replica 1.
+        let read = session
+            .read(&ConsistencyClass::Causal(SeqNo(25)), row(1))
+            .unwrap();
+        assert_eq!(read.replica, 1);
+        assert!(read.as_of >= SeqNo(25));
+
+        // A token no replica covers times out with a useful error.
+        let err = session
+            .read(&ConsistencyClass::Causal(SeqNo(1000)), row(1))
+            .unwrap_err();
+        match err {
+            Error::ReadTimeout { required, freshest } => {
+                assert_eq!(required, SeqNo(1000));
+                assert_eq!(freshest, SeqNo(30));
+            }
+            other => panic!("expected ReadTimeout, got {other}"),
+        }
+        let stats = router.class_stats(ClassKind::Causal);
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.timeouts, 1);
+    }
+
+    #[test]
+    fn strong_reads_require_a_frontier_and_verify_against_it() {
+        let fleet = vec![replica_at(20)];
+        let bare = Arc::new(ReadRouter::new(fleet.clone(), ReadConfig::default()));
+        let err = bare
+            .session()
+            .read(&ConsistencyClass::Strong, row(0))
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)));
+
+        let router = Arc::new(
+            ReadRouter::new(
+                fleet,
+                ReadConfig::default().with_max_wait(Duration::from_millis(50)),
+            )
+            .with_frontier(|| SeqNo(20)),
+        );
+        let read = router
+            .session()
+            .read(&ConsistencyClass::Strong, row(1))
+            .unwrap();
+        assert!(read.as_of >= SeqNo(20));
+
+        // A frontier beyond every replica's cut cannot be served.
+        let ahead = Arc::new(
+            ReadRouter::new(
+                vec![replica_at(5)],
+                ReadConfig::default().with_max_wait(Duration::from_millis(20)),
+            )
+            .with_frontier(|| SeqNo(50)),
+        );
+        assert!(matches!(
+            ahead.session().read(&ConsistencyClass::Strong, row(0)),
+            Err(Error::ReadTimeout { .. })
+        ));
+    }
+
+    #[test]
+    fn bounded_staleness_rejects_replicas_behind_a_live_frontier() {
+        // The replica exposed everything it was shipped, but the frontier
+        // says the primary is far ahead — its staleness estimate is its
+        // last exposure's age, which (after a sleep) exceeds a tight bound.
+        let router = Arc::new(
+            ReadRouter::new(
+                vec![replica_at(10)],
+                ReadConfig::default().with_max_wait(Duration::from_millis(30)),
+            )
+            .with_frontier(|| SeqNo(1_000)),
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        let err = router
+            .session()
+            .read(
+                &ConsistencyClass::BoundedStaleness(Duration::from_millis(1)),
+                row(0),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::ReadTimeout { .. }));
+
+        // A generous bound is served immediately.
+        let read = router
+            .session()
+            .read(
+                &ConsistencyClass::BoundedStaleness(Duration::from_secs(3600)),
+                row(0),
+            )
+            .unwrap();
+        assert_eq!(read.replica, 0);
+    }
+
+    #[test]
+    fn blocked_reads_flush_the_primary_tail_instead_of_wedging() {
+        use c5_log::{LogShipper, StreamingLogger};
+        // A write-light primary: one committed transaction sits buffered in
+        // a segment that is nowhere near full, so it never ships on its
+        // own. The causal read's block-time flush must put it on the wire.
+        let (shipper, receiver) = LogShipper::unbounded();
+        let logger = Arc::new(StreamingLogger::new(1_000, shipper));
+        let store = Arc::new(MvStore::default());
+        let replica = C5Replica::new(
+            C5Mode::Faithful,
+            store,
+            ReplicaConfig::default()
+                .with_workers(2)
+                .with_snapshot_interval(Duration::from_micros(200)),
+        );
+        let driver = {
+            let replica = Arc::clone(&replica);
+            std::thread::spawn(move || {
+                while let Some(segment) = receiver.recv() {
+                    replica.apply_segment(segment);
+                }
+            })
+        };
+        let (_, token) = logger.append_tokened(
+            c5_common::TxnId(1),
+            vec![RowWrite::update(row(1), Value::from_u64(7))],
+        );
+        assert!(token > SeqNo::ZERO);
+
+        let flush_logger = Arc::clone(&logger);
+        let router = Arc::new(
+            ReadRouter::new(
+                vec![Arc::clone(&replica) as _],
+                ReadConfig::default().with_max_wait(Duration::from_secs(30)),
+            )
+            .with_tail_flush(move || flush_logger.flush()),
+        );
+        let read = router
+            .session()
+            .read(&ConsistencyClass::Causal(token), row(1))
+            .expect("the flush hook ships the buffered token");
+        assert!(read.as_of >= token);
+        assert_eq!(read.value.unwrap().as_u64(), Some(7));
+        assert!(read.blocked > Duration::ZERO, "the fast path had to block");
+
+        logger.close();
+        driver.join().unwrap();
+        replica.finish();
+    }
+
+    #[test]
+    fn without_a_frontier_staleness_is_measured_against_the_fleet_maximum() {
+        // A fully caught-up but *idle* fleet never looks stale: the lone
+        // replica sits at the fleet's freshest cut, so even a 1ms bound is
+        // served after its last exposure has aged well past the bound.
+        let router = Arc::new(ReadRouter::new(
+            vec![replica_at(10)],
+            ReadConfig::default().with_max_wait(Duration::from_millis(30)),
+        ));
+        std::thread::sleep(Duration::from_millis(20));
+        let read = router
+            .session()
+            .read(
+                &ConsistencyClass::BoundedStaleness(Duration::from_millis(1)),
+                row(0),
+            )
+            .expect("an idle caught-up replica is fresh");
+        assert_eq!(read.replica, 0);
+
+        // A replica that trails the fleet's freshest cut and has exposed
+        // nothing is unbounded-stale, not assumed fresh: bounded reads must
+        // never prefer the replica least likely to have the data.
+        let router = Arc::new(ReadRouter::new(
+            vec![replica_at(10), replica_at(0)],
+            ReadConfig::default().with_max_wait(Duration::from_millis(30)),
+        ));
+        let status = router.fleet_status();
+        assert_eq!(status[0].staleness_ms, Some(0.0));
+        assert_eq!(status[1].staleness_ms, None, "unbounded staleness");
+        for _ in 0..4 {
+            let read = router
+                .session()
+                .read(
+                    &ConsistencyClass::BoundedStaleness(Duration::from_secs(3600)),
+                    row(0),
+                )
+                .unwrap();
+            assert_eq!(read.replica, 0, "the never-exposed replica must not serve");
+        }
+    }
+
+    #[test]
+    fn load_balancing_prefers_idle_then_freshest_replicas() {
+        let router = Arc::new(ReadRouter::new(
+            vec![replica_at(10), replica_at(20)],
+            ReadConfig::default(),
+        ));
+        // With equal load the freshest replica wins.
+        let txn = router
+            .read_only_txn(&ConsistencyClass::Causal(SeqNo::ZERO))
+            .unwrap();
+        assert_eq!(txn.replica(), 1);
+        // While that transaction holds replica 1's slot, the next pin goes
+        // to idle replica 0.
+        let txn2 = router
+            .read_only_txn(&ConsistencyClass::Causal(SeqNo::ZERO))
+            .unwrap();
+        assert_eq!(txn2.replica(), 0);
+        let status = router.fleet_status();
+        assert_eq!(status[0].in_flight, 1);
+        assert_eq!(status[1].in_flight, 1);
+        drop(txn);
+        drop(txn2);
+        let status = router.fleet_status();
+        assert_eq!(status[0].in_flight, 0);
+        assert_eq!(status[1].in_flight, 0);
+        assert_eq!(status[0].served + status[1].served, 2);
+    }
+
+    #[test]
+    fn blocked_reads_reroute_to_whichever_replica_catches_up() {
+        // Replica 0 is stuck at txn 5; replica 1 catches up to 40 while the
+        // read waits — the read must land on replica 1.
+        let store = Arc::new(MvStore::default());
+        for k in 0..8 {
+            store.install(
+                row(k),
+                Timestamp::ZERO,
+                c5_common::WriteKind::Insert,
+                Some(Value::from_u64(0)),
+            );
+        }
+        let late = C5Replica::new(
+            C5Mode::Faithful,
+            store,
+            ReplicaConfig::default()
+                .with_workers(2)
+                .with_snapshot_interval(Duration::from_micros(200)),
+        );
+        let router = Arc::new(ReadRouter::new(
+            vec![replica_at(5), Arc::clone(&late) as _],
+            ReadConfig::default().with_max_wait(Duration::from_secs(5)),
+        ));
+        let feeder = {
+            let late = Arc::clone(&late);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                drive_segments(late.as_ref(), log(1..=40));
+            })
+        };
+        let mut session = router.session();
+        let read = session
+            .read(&ConsistencyClass::Causal(SeqNo(40)), row(1))
+            .unwrap();
+        assert_eq!(read.replica, 1, "the catching-up replica serves the read");
+        assert!(read.blocked > Duration::ZERO);
+        feeder.join().unwrap();
+        let stats = router.class_stats(ClassKind::Causal);
+        assert_eq!(stats.blocked, 1);
+        assert!(stats.block_nanos > 0);
+    }
+}

@@ -13,7 +13,7 @@
 //! implementation dependency-light.
 
 use std::collections::hash_map::RandomState;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::hash::BuildHasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -109,7 +109,32 @@ impl VersionChain {
     }
 }
 
-type Shard = RwLock<HashMap<RowRef, VersionChain>>;
+/// One shard's state: the row chains plus a per-table key index.
+///
+/// The index makes table scans proportional to the *table's* rows in the
+/// shard instead of every row of every table, and — because each per-shard
+/// set is ordered — lets scans return deterministically key-sorted output.
+/// Rows are never removed (deletes install tombstones and GC always keeps a
+/// chain's newest version), so the index is insert-only and can never go
+/// stale.
+#[derive(Debug, Default)]
+struct ShardState {
+    rows: HashMap<RowRef, VersionChain>,
+    tables: HashMap<TableId, BTreeSet<Key>>,
+}
+
+impl ShardState {
+    /// The row's chain, created (and indexed) on first touch.
+    fn chain_mut(&mut self, row: RowRef) -> &mut VersionChain {
+        let ShardState { rows, tables } = self;
+        rows.entry(row).or_insert_with(|| {
+            tables.entry(row.table).or_default().insert(row.key);
+            VersionChain::default()
+        })
+    }
+}
+
+type Shard = RwLock<ShardState>;
 
 /// One row's newest version at a cut, as exported by
 /// [`MvStore::export_versions_at`] (the raw material of a checkpoint).
@@ -168,7 +193,7 @@ impl MvStore {
     pub fn new(config: MvStoreConfig) -> Self {
         assert!(config.shards > 0, "MvStore requires at least one shard");
         let shards = (0..config.shards)
-            .map(|_| RwLock::new(HashMap::new()))
+            .map(|_| RwLock::new(ShardState::default()))
             .collect();
         Self {
             shards,
@@ -199,7 +224,7 @@ impl MvStore {
     /// deleted there.
     pub fn read_at(&self, row: RowRef, ts: Timestamp) -> Option<Value> {
         let shard = self.shard_for(row).read();
-        let chain = shard.get(&row)?;
+        let chain = shard.rows.get(&row)?;
         let version = chain.version_at(ts)?;
         if version.tombstone {
             None
@@ -224,6 +249,7 @@ impl MvStore {
     pub fn latest_write_ts(&self, row: RowRef) -> Timestamp {
         let shard = self.shard_for(row).read();
         shard
+            .rows
             .get(&row)
             .map(|c| c.latest_ts())
             .unwrap_or(Timestamp::ZERO)
@@ -233,7 +259,7 @@ impl MvStore {
     /// row's read timestamp if necessary.
     pub fn observe_read(&self, row: RowRef, ts: Timestamp) {
         let mut shard = self.shard_for(row).write();
-        let chain = shard.entry(row).or_default();
+        let chain = shard.chain_mut(row);
         if chain.read_ts < ts {
             chain.read_ts = ts;
         }
@@ -243,6 +269,7 @@ impl MvStore {
     pub fn read_ts_of(&self, row: RowRef) -> Timestamp {
         let shard = self.shard_for(row).read();
         shard
+            .rows
             .get(&row)
             .map(|c| c.read_ts)
             .unwrap_or(Timestamp::ZERO)
@@ -253,7 +280,7 @@ impl MvStore {
     /// read the row.
     pub fn validate_write(&self, row: RowRef, ts: Timestamp) -> bool {
         let shard = self.shard_for(row).read();
-        match shard.get(&row) {
+        match shard.rows.get(&row) {
             None => true,
             Some(chain) => chain.latest_ts() < ts && chain.read_ts <= ts,
         }
@@ -265,7 +292,7 @@ impl MvStore {
     /// written, the backup must apply it).
     pub fn install(&self, row: RowRef, ts: Timestamp, kind: WriteKind, value: Option<Value>) {
         let mut shard = self.shard_for(row).write();
-        let chain = shard.entry(row).or_default();
+        let chain = shard.chain_mut(row);
         chain.insert(Version {
             write_ts: ts,
             tombstone: kind == WriteKind::Delete,
@@ -289,7 +316,7 @@ impl MvStore {
         value: Option<Value>,
     ) -> bool {
         let mut shard = self.shard_for(row).write();
-        let chain = shard.entry(row).or_default();
+        let chain = shard.chain_mut(row);
         if chain.latest_ts() != prev_ts {
             return false;
         }
@@ -322,30 +349,26 @@ impl MvStore {
         let mut shard_order: Vec<usize> = writes.iter().map(|w| self.shard_index(w.row)).collect();
         shard_order.sort_unstable();
         shard_order.dedup();
-        let mut guards: Vec<(
-            usize,
-            parking_lot::RwLockWriteGuard<'_, HashMap<RowRef, VersionChain>>,
-        )> = Vec::with_capacity(shard_order.len());
+        let mut guards: Vec<(usize, parking_lot::RwLockWriteGuard<'_, ShardState>)> =
+            Vec::with_capacity(shard_order.len());
         for idx in shard_order {
             guards.push((idx, self.shards[idx].write()));
         }
-        let guard_for = |guards: &mut Vec<(
-            usize,
-            parking_lot::RwLockWriteGuard<'_, HashMap<RowRef, VersionChain>>,
-        )>,
-                         idx: usize|
-         -> usize {
-            guards
-                .iter()
-                .position(|(i, _)| *i == idx)
-                .expect("shard guard acquired above")
-        };
+        let guard_for =
+            |guards: &mut Vec<(usize, parking_lot::RwLockWriteGuard<'_, ShardState>)>,
+             idx: usize|
+             -> usize {
+                guards
+                    .iter()
+                    .position(|(i, _)| *i == idx)
+                    .expect("shard guard acquired above")
+            };
 
         // Validate every write first.
         for w in writes {
             let idx = self.shard_index(w.row);
             let pos = guard_for(&mut guards, idx);
-            if let Some(chain) = guards[pos].1.get(&w.row) {
+            if let Some(chain) = guards[pos].1.rows.get(&w.row) {
                 if !(chain.latest_ts() < ts && chain.read_ts <= ts) {
                     return false;
                 }
@@ -355,7 +378,7 @@ impl MvStore {
         for w in writes {
             let idx = self.shard_index(w.row);
             let pos = guard_for(&mut guards, idx);
-            let chain = guards[pos].1.entry(w.row).or_default();
+            let chain = guards[pos].1.chain_mut(w.row);
             chain.insert(Version {
                 write_ts: ts,
                 tombstone: w.kind == WriteKind::Delete,
@@ -372,7 +395,7 @@ impl MvStore {
     pub fn insert_new(&self, row: RowRef, ts: Timestamp, value: Value) -> Result<()> {
         {
             let mut shard = self.shard_for(row).write();
-            let chain = shard.entry(row).or_default();
+            let chain = shard.chain_mut(row);
             if let Some(latest) = chain.versions.last() {
                 if !latest.tombstone {
                     return Err(Error::DuplicateRow(row));
@@ -394,20 +417,24 @@ impl MvStore {
         let mut reclaimed = 0;
         for shard in &self.shards {
             let mut shard = shard.write();
-            for chain in shard.values_mut() {
+            for chain in shard.rows.values_mut() {
                 reclaimed += chain.gc(horizon);
             }
         }
         reclaimed
     }
 
-    /// Number of live rows in `table` visible at timestamp `ts`.
+    /// Number of live rows in `table` visible at timestamp `ts`. Uses the
+    /// per-table index, so only the table's own rows are examined.
     pub fn table_row_count_at(&self, table: TableId, ts: Timestamp) -> usize {
         let mut count = 0;
         for shard in &self.shards {
             let shard = shard.read();
-            for (row, chain) in shard.iter() {
-                if row.table == table {
+            let Some(keys) = shard.tables.get(&table) else {
+                continue;
+            };
+            for &key in keys {
+                if let Some(chain) = shard.rows.get(&RowRef { table, key }) {
                     if let Some(v) = chain.version_at(ts) {
                         if !v.tombstone {
                             count += 1;
@@ -419,35 +446,66 @@ impl MvStore {
         count
     }
 
-    /// Unordered scan of all live rows of `table` visible at `ts`.
+    /// Key-sorted scan of all live rows of `table` visible at `ts`.
+    ///
+    /// The per-table index restricts the scan to the table's own rows (a
+    /// whole-store sweep before it existed), and the output order is
+    /// deterministic, so scan results can be compared directly against a
+    /// reference replay.
     pub fn scan_table_at(&self, table: TableId, ts: Timestamp) -> Vec<(RowRef, Value)> {
+        self.scan_table_at_for(table, |_| ts)
+    }
+
+    /// Key-sorted scan of `table` where every row is read at its *own* cut
+    /// (`cut_for_row`). This is the sharded-snapshot scan primitive: a
+    /// spanning read view pins a per-shard cut vector and reads each row at
+    /// its shard's component.
+    pub fn scan_table_at_for(
+        &self,
+        table: TableId,
+        cut_for_row: impl Fn(RowRef) -> Timestamp,
+    ) -> Vec<(RowRef, Value)> {
         let mut out = Vec::new();
         for shard in &self.shards {
             let shard = shard.read();
-            for (row, chain) in shard.iter() {
-                if row.table == table {
-                    if let Some(v) = chain.version_at(ts) {
+            let Some(keys) = shard.tables.get(&table) else {
+                continue;
+            };
+            for &key in keys {
+                let row = RowRef { table, key };
+                if let Some(chain) = shard.rows.get(&row) {
+                    if let Some(v) = chain.version_at(cut_for_row(row)) {
                         if !v.tombstone {
                             if let Some(val) = &v.value {
-                                out.push((*row, val.clone()));
+                                out.push((row, val.clone()));
                             }
                         }
                     }
                 }
             }
         }
+        out.sort_unstable_by_key(|(row, _)| *row);
         out
     }
 
-    /// Scans all live rows visible at `ts`, across every table. Used by the
-    /// monotonic-prefix-consistency checker to compare the backup's exposed
-    /// state against the reference replay.
+    /// Scans all live rows visible at `ts`, across every table, sorted by
+    /// `(table, key)`. Used by the monotonic-prefix-consistency checker to
+    /// compare the backup's exposed state against the reference replay.
     pub fn scan_all_at(&self, ts: Timestamp) -> Vec<(RowRef, Value)> {
+        self.scan_all_at_for(|_| ts)
+    }
+
+    /// Scans all live rows, each read at its own cut (`cut_for_row`), sorted
+    /// by `(table, key)` (see [`scan_table_at_for`](Self::scan_table_at_for)).
+    pub fn scan_all_at_for(
+        &self,
+        cut_for_row: impl Fn(RowRef) -> Timestamp,
+    ) -> Vec<(RowRef, Value)> {
         let mut out = Vec::new();
         for shard in &self.shards {
             let shard = shard.read();
-            for (row, chain) in shard.iter() {
-                if let Some(v) = chain.version_at(ts) {
+            for (row, chain) in shard.rows.iter() {
+                if let Some(v) = chain.version_at(cut_for_row(*row)) {
                     if !v.tombstone {
                         if let Some(val) = &v.value {
                             out.push((*row, val.clone()));
@@ -456,6 +514,7 @@ impl MvStore {
                 }
             }
         }
+        out.sort_unstable_by_key(|(row, _)| *row);
         out
     }
 
@@ -478,7 +537,7 @@ impl MvStore {
         let mut out = Vec::new();
         for shard in &self.shards {
             let shard = shard.read();
-            for (row, chain) in shard.iter() {
+            for (row, chain) in shard.rows.iter() {
                 if let Some(v) = chain.version_at(cut_for_row(*row)) {
                     out.push(VersionExport {
                         row: *row,
@@ -498,8 +557,8 @@ impl MvStore {
         let mut versions = 0;
         for shard in &self.shards {
             let shard = shard.read();
-            rows += shard.len();
-            versions += shard.values().map(|c| c.versions.len()).sum::<usize>();
+            rows += shard.rows.len();
+            versions += shard.rows.values().map(|c| c.versions.len()).sum::<usize>();
         }
         MvStoreStats { rows, versions }
     }
@@ -730,6 +789,78 @@ mod tests {
         assert_eq!(scan.len(), 2);
         let all = s.scan_all_at(Timestamp(10));
         assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn scans_return_rows_sorted_by_key() {
+        let s = store();
+        // Insert in shuffled key order across two tables; scans must come
+        // back sorted regardless of hash-shard placement.
+        for &k in &[9u64, 2, 7, 1, 5, 3] {
+            s.install(
+                MvStore::row(1, k),
+                Timestamp(1),
+                WriteKind::Insert,
+                Some(Value::from_u64(k)),
+            );
+        }
+        s.install(
+            MvStore::row(0, 4),
+            Timestamp(1),
+            WriteKind::Insert,
+            Some(Value::from_u64(4)),
+        );
+
+        let keys: Vec<u64> = s
+            .scan_table_at(TableId(1), Timestamp(10))
+            .iter()
+            .map(|(r, _)| r.key.as_u64())
+            .collect();
+        assert_eq!(keys, vec![1, 2, 3, 5, 7, 9]);
+
+        let all: Vec<RowRef> = s
+            .scan_all_at(Timestamp(10))
+            .iter()
+            .map(|(r, _)| *r)
+            .collect();
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(all, sorted, "scan_all_at must be (table, key)-sorted");
+        assert_eq!(all[0].table, TableId(0), "table 0 sorts first");
+    }
+
+    #[test]
+    fn per_row_cut_scans_read_each_row_at_its_own_cut() {
+        let s = store();
+        for k in 0..4u64 {
+            s.install(
+                MvStore::row(1, k),
+                Timestamp(1),
+                WriteKind::Insert,
+                Some(Value::from_u64(0)),
+            );
+            s.install(
+                MvStore::row(1, k),
+                Timestamp(10),
+                WriteKind::Update,
+                Some(Value::from_u64(1)),
+            );
+        }
+        // Even keys read at ts 10 (see the update), odd keys at ts 1.
+        let cut = |row: RowRef| {
+            if row.key.as_u64() % 2 == 0 {
+                Timestamp(10)
+            } else {
+                Timestamp(1)
+            }
+        };
+        let scan = s.scan_table_at_for(TableId(1), cut);
+        assert_eq!(scan.len(), 4);
+        for (row, value) in &scan {
+            let expect = (row.key.as_u64() + 1) % 2;
+            assert_eq!(value.as_u64(), Some(expect), "row {row}");
+        }
+        assert_eq!(s.scan_all_at_for(cut), scan);
     }
 
     #[test]

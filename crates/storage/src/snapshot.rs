@@ -65,12 +65,12 @@ impl DbSnapshot {
         self.store.table_row_count_at(table, self.as_of)
     }
 
-    /// Unordered scan of a table as of the snapshot.
+    /// Key-sorted scan of a table as of the snapshot.
     pub fn scan_table(&self, table: TableId) -> Vec<(RowRef, Value)> {
         self.store.scan_table_at(table, self.as_of)
     }
 
-    /// Unordered scan of the whole database as of the snapshot (used by the
+    /// Key-sorted scan of the whole database as of the snapshot (used by the
     /// consistency checker).
     pub fn scan_all(&self) -> Vec<(RowRef, Value)> {
         self.store.scan_all_at(self.as_of)

@@ -18,6 +18,9 @@
 //! * [`core`] — **C5 itself**: the row-granularity scheduler, workers, and
 //!   snapshotter, in faithful and MyRocks-constrained modes, plus the replica
 //!   trait, lag metrics, and the monotonic-prefix-consistency checker.
+//! * [`read`] — the read-serving layer: consistency-class sessions
+//!   (read-your-writes, monotonic reads), multi-key read-only transactions
+//!   pinned at one cut, and the freshness-aware router over a replica fleet.
 //! * [`baselines`] — KuaFu (transaction granularity), single-threaded,
 //!   table- and page-granularity replicas.
 //! * [`workloads`] — TPC-C (NewOrder/Payment, standard and optimized),
@@ -69,6 +72,7 @@ pub use c5_core as core;
 pub use c5_lagmodel as lagmodel;
 pub use c5_log as log;
 pub use c5_primary as primary;
+pub use c5_read as read;
 pub use c5_storage as storage;
 pub use c5_workloads as workloads;
 
@@ -78,9 +82,9 @@ pub mod prelude {
         CoarseGrainReplica, Granularity, KuaFuConfig, KuaFuReplica, SingleThreadedReplica,
     };
     pub use c5_common::{
-        poll_until, Error, IsolationLevel, Key, OpCost, Pacer, PrimaryConfig, ReplicaConfig,
-        Result, RowRef, RowWrite, SeqNo, ShardRouter, SnapshotMode, TableId, Timestamp, TxnId,
-        Value, WriteKind,
+        poll_until, Error, IsolationLevel, Key, OpCost, Pacer, PrimaryConfig, ReadConfig,
+        ReplicaConfig, Result, RowRef, RowWrite, SeqNo, SessionId, ShardRouter, SnapshotMode,
+        TableId, Timestamp, TxnId, Value, WriteKind,
     };
     pub use c5_core::replica::{
         drive_from_receiver, drive_segments, C5Mode, C5Replica, ClonedConcurrencyControl,
@@ -96,6 +100,10 @@ pub mod prelude {
     };
     pub use c5_primary::{
         ClosedLoopDriver, MvtsoEngine, RunLength, StoredProcedure, TplEngine, TxnCtx, TxnFactory,
+    };
+    pub use c5_read::{
+        ClassKind, ClassStats, ConsistencyClass, ReadOnlyTxn, ReadRouter, ReadSession,
+        ReplicaStatus, SessionRead,
     };
     pub use c5_storage::{
         Checkpoint, CheckpointInstaller, CheckpointWriter, DbSnapshot, MvStore, MvStoreConfig,

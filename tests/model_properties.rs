@@ -303,3 +303,145 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Each case spins up a 3-replica fleet with live pipelines, so run
+    // fewer, larger cases than the model-level properties above.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Session tokens are monotone: across arbitrary interleavings of
+    /// writes (segments drip-fed to randomly chosen replicas, so the fleet's
+    /// exposed cuts diverge) and reads (causal with random already-fed
+    /// tokens, or bounded-staleness), a session's successive reads never
+    /// observe a cut below its token and never move backwards — whatever
+    /// replica switches the router makes.
+    #[test]
+    fn session_reads_are_monotone_across_replica_switches(
+        txn_keys in prop::collection::vec((0u64..12, 0u64..12), 20..50),
+        schedule in prop::collection::vec((0u8..4, 0u8..3, 0u8..255), 30..80),
+    ) {
+        use c5_repro::read::ConsistencyClass;
+
+        // The log: each transaction updates one or two of 12 hot rows.
+        let entries: Vec<TxnEntry> = txn_keys
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                let mut writes = vec![RowWrite::update(
+                    RowRef::new(0, a),
+                    Value::from_u64(i as u64 + 1),
+                )];
+                if b != a {
+                    writes.push(RowWrite::update(
+                        RowRef::new(0, b),
+                        Value::from_u64(i as u64 + 1_000),
+                    ));
+                }
+                TxnEntry::new(TxnId(i as u64 + 1), Timestamp(i as u64 + 1), writes)
+            })
+            .collect();
+        let segments = segments_from_entries(&entries, 4);
+        // Segments keep transactions whole, so each segment's last record is
+        // a transaction boundary — a valid causal token.
+        let boundary_of_prefix: Vec<SeqNo> = segments
+            .iter()
+            .map(|s| s.last_seq().unwrap())
+            .collect();
+
+        let replicas: Vec<Arc<C5Replica>> = (0..3)
+            .map(|_| {
+                let store = Arc::new(MvStore::default());
+                for k in 0..12u64 {
+                    store.install(
+                        RowRef::new(0, k),
+                        Timestamp::ZERO,
+                        WriteKind::Insert,
+                        Some(Value::from_u64(0)),
+                    );
+                }
+                C5Replica::new(
+                    C5Mode::Faithful,
+                    store,
+                    ReplicaConfig::default()
+                        .with_workers(2)
+                        .with_snapshot_interval(Duration::from_micros(200)),
+                )
+            })
+            .collect();
+        let fleet: Vec<Arc<dyn ClonedConcurrencyControl>> = replicas
+            .iter()
+            .map(|r| Arc::clone(r) as Arc<dyn ClonedConcurrencyControl>)
+            .collect();
+        let router = Arc::new(ReadRouter::new(
+            fleet,
+            ReadConfig::default().with_max_wait(Duration::from_secs(30)),
+        ));
+        let mut session = router.session();
+        let mut cursors = [0usize; 3];
+        let mut last_as_of = SeqNo::ZERO;
+
+        for &(action, replica_pick, token_pick) in &schedule {
+            match action {
+                // Interleaved writes: feed the chosen replica its next
+                // segment (each replica consumes the log in order, at its
+                // own pace — the fleet's cuts diverge).
+                0 | 1 => {
+                    let r = replica_pick as usize;
+                    if cursors[r] < segments.len() {
+                        replicas[r].apply_segment(segments[cursors[r]].clone());
+                        cursors[r] += 1;
+                    }
+                }
+                // A causal read with a token some replica has been fed (its
+                // exposure may still be in flight — the router must wait or
+                // re-route until a cut covers it).
+                2 => {
+                    let max_fed = *cursors.iter().max().unwrap();
+                    if max_fed == 0 {
+                        continue;
+                    }
+                    let token =
+                        boundary_of_prefix[token_pick as usize % max_fed];
+                    session.observe_commit(token);
+                    let read = session
+                        .read(&session.causal(), RowRef::new(0, token_pick as u64 % 12))
+                        .unwrap();
+                    prop_assert!(
+                        read.as_of >= token,
+                        "read at {} below token {}", read.as_of, token
+                    );
+                    prop_assert!(read.as_of >= last_as_of);
+                    last_as_of = read.as_of;
+                }
+                // A bounded-staleness read: no freshness floor of its own,
+                // but still bound by the session's monotonic floor.
+                _ => {
+                    let read = session
+                        .read(
+                            &ConsistencyClass::BoundedStaleness(Duration::from_secs(3600)),
+                            RowRef::new(0, token_pick as u64 % 12),
+                        )
+                        .unwrap();
+                    prop_assert!(read.as_of >= last_as_of);
+                    last_as_of = read.as_of;
+                }
+            }
+        }
+
+        // Drain: every replica gets the rest of the log and finishes.
+        for (r, replica) in replicas.iter().enumerate() {
+            while cursors[r] < segments.len() {
+                replica.apply_segment(segments[cursors[r]].clone());
+                cursors[r] += 1;
+            }
+            replica.finish();
+        }
+        // A final causal read at the last boundary sees the whole log and
+        // still respects the floor accumulated across every switch.
+        let final_boundary = *boundary_of_prefix.last().unwrap();
+        session.observe_commit(final_boundary);
+        let read = session.read(&session.causal(), RowRef::new(0, 0)).unwrap();
+        prop_assert!(read.as_of >= final_boundary);
+        prop_assert!(read.as_of >= last_as_of);
+    }
+}

@@ -239,6 +239,76 @@ fn fan_out_harness_reports_per_replica_lag() {
     }
 }
 
+/// Read-only transactions pinned through the read router, verified against
+/// the ground truth: while a C5 replica applies the contended log,
+/// multi-key transactions are opened mid-flight and each one's batched
+/// point reads and full scan must (a) agree with each other — both come
+/// from the one pinned view — and (b) equal the serial replay at the
+/// transaction's pinned cut.
+#[test]
+fn pinned_read_only_txns_match_the_reference_replay_at_their_cut() {
+    let (population, segments) = contended_log(200);
+    let replica = build("c5", &population);
+    let router = Arc::new(ReadRouter::new(
+        vec![Arc::clone(&replica)],
+        ReadConfig::default(),
+    ));
+    let final_seq = segments.last().unwrap().last_seq().unwrap();
+
+    // The rows every transaction batch-reads: the four contended hot rows
+    // plus two insert-table rows that flicker in and out via deletes.
+    let batch_rows: Vec<RowRef> = (0..4u64)
+        .map(|k| RowRef::new(0, k))
+        .chain([RowRef::new(1, 101), RowRef::new(1, 150)])
+        .collect();
+
+    let reader = {
+        let router = Arc::clone(&router);
+        let batch_rows = batch_rows.clone();
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + SAMPLER_DEADLINE;
+            let mut pacer = Pacer::new(Duration::from_micros(300));
+            let mut results = Vec::new();
+            loop {
+                let txn = router
+                    .read_only_txn(&ConsistencyClass::BoundedStaleness(Duration::from_secs(
+                        3600,
+                    )))
+                    .expect("bounded reads never block on a live replica");
+                let cut = txn.as_of();
+                let batch = txn.get_many(&batch_rows);
+                let state = txn.scan_all();
+                results.push((cut, batch, state));
+                if cut >= final_seq || Instant::now() >= deadline {
+                    return results;
+                }
+                pacer.wait();
+            }
+        })
+    };
+
+    drive_segments(replica.as_ref(), segments.clone());
+    let results = reader.join().unwrap();
+
+    let mut checker = MpcChecker::new(&population, &segments);
+    let mut reached_final = false;
+    for (cut, batch, state) in results {
+        // (a) The batched point reads agree with the scan: one pinned view.
+        for (row, value) in batch_rows.iter().zip(&batch) {
+            let in_scan = state.iter().find(|(r, _)| r == row).map(|(_, v)| v);
+            assert_eq!(
+                value.as_ref(),
+                in_scan,
+                "batched read and scan disagree on {row} at cut {cut}"
+            );
+        }
+        // (b) The scan equals the serial replay of the pinned prefix.
+        checker.verify_state(cut, state).unwrap();
+        reached_final |= cut >= final_seq;
+    }
+    assert!(reached_final, "the reader never saw the full log");
+}
+
 /// A log for the sharded scenarios: transaction `t` updates two hot rows in
 /// *opposite halves* of the key space (cross-shard under any multi-shard
 /// key-range router) plus one unique insert, over `key_space` preloaded rows.
