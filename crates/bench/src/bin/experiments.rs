@@ -22,7 +22,10 @@
 //!   insert-only     Insert-only workload, 2PL primary, all protocols
 //!   insert-only-cicada  Insert-only workload, MVTSO primary
 //!   sched-offline   Offline scheduler throughput (Section 6.2)
-//!   all             Everything above, in order
+//!   bench           Emit the committed BENCH_*.json trajectory files
+//!                   (--smoke for CI's reduced-iteration schema check;
+//!                   BENCH_OUT_DIR overrides the output directory)
+//!   all             Everything above except bench, in order
 //! ```
 
 use c5_bench::experiments;
@@ -31,12 +34,32 @@ use c5_bench::Scale;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let scale = if full { Scale::full() } else { Scale::quick() };
     let command = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".to_string());
+
+    if command == "bench" {
+        let (config, mode) = if smoke {
+            (c5_common::BenchConfig::smoke(), "smoke")
+        } else {
+            (c5_common::BenchConfig::fixed(), "fixed")
+        };
+        let out_dir = c5_bench::report::out_dir();
+        match c5_bench::report::run(&config, mode, &out_dir) {
+            Ok(files) => {
+                println!("bench: all {} files validated", files.len());
+                return;
+            }
+            Err(err) => {
+                eprintln!("bench failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     println!(
         "# C5 reproduction experiments — command: {command}, scale: {} (host cores: {})",

@@ -452,6 +452,11 @@ pub struct ShardedOutcome {
     pub replica_metrics: ReplicaMetrics,
     /// Global replication-lag summary.
     pub lag: Option<LagStats>,
+    /// Consistent cuts the cross-shard coordinator published over the run.
+    /// A coordinator that stops advancing under load (the scaling knee the
+    /// high-shard bench sweep looks for) shows up here as a collapse in cut
+    /// frequency, not just as lag.
+    pub cuts_taken: u64,
     /// Per-shard lag, indexed by shard.
     pub per_shard: Vec<ShardOutcome>,
 }
@@ -539,6 +544,7 @@ pub fn run_sharded_streaming(
         replica_wall,
         replica_metrics: replica.metrics(),
         lag: replica.lag().stats(),
+        cuts_taken: replica.coordinator().cuts_taken(),
         per_shard: (0..shards)
             .map(|shard| {
                 let lag = replica.shard_lag(shard);

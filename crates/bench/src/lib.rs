@@ -19,12 +19,30 @@
 //!
 //! [`scale::Scale`] switches every experiment between a quick smoke
 //! configuration (seconds, used by tests and `--quick`) and a fuller one.
+//!
+//! ## The committed performance trajectory
+//!
+//! Beyond the figure-shaped experiments, `experiments bench` ([`report`])
+//! runs every scenario at *fixed, documented parameters*
+//! ([`c5_common::BenchConfig::fixed`]) and emits one machine-readable
+//! `BENCH_<name>.json` per scenario — apply-path ns/record, streaming
+//! throughput and lag percentiles, the shard-sweep cut-coordinator curve,
+//! failover takeover times, and per-class read latency/staleness. The
+//! emitted files are validated ([`report::validate_bench`]) and **committed
+//! at the repository root**, which turns every performance claim in the repo
+//! into a falsifiable number: a perf-flavored change is expected to move a
+//! field in a committed `BENCH_*.json`, and the diff *is* the evidence. The
+//! JSON is hand-rolled ([`json`]) because the workspace deliberately has no
+//! serialization dependency. DESIGN.md's "Performance methodology" section
+//! documents what each field measures and which paper figure it maps to.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
 pub mod harness;
+pub mod json;
+pub mod report;
 pub mod scale;
 
 pub use harness::{

@@ -1,0 +1,910 @@
+//! The committed benchmark suite behind the `bench` sub-command.
+//!
+//! Every scenario here runs at the fixed parameters of
+//! [`BenchConfig::fixed`] and emits one machine-readable `BENCH_<name>.json`
+//! file at the repository root. The files are *committed*: they are the
+//! repo's perf trajectory, and the contract (see DESIGN.md, "Performance
+//! methodology") is that every perf-flavored PR moves a number in one of
+//! them — in both directions, visibly, diffably.
+//!
+//! Five files are emitted:
+//!
+//! * `BENCH_pipeline.json` — apply-path ns/record for the faithful,
+//!   MyRocks-constrained, and 8-shard replicas replaying one pre-materialized
+//!   log (zero simulated op cost, so pipeline overhead is the entire number),
+//!   plus one live streaming run for primary throughput and replication lag.
+//!   Carries the `baseline` block recording the pre-optimization ns/record
+//!   this PR's batching work is measured against.
+//! * `BENCH_fanout.json` — 1 primary → N replicas, per-replica lag
+//!   percentiles (the paper's Figure 8 quantity).
+//! * `BENCH_sharded.json` — the shard sweep from 1 up to
+//!   [`BenchConfig::max_sweep_shards`]. Above 8 shards the sweep stops
+//!   dividing a fixed worker budget and grants every shard a worker — the
+//!   high-worker leg whose cut frequency (`cuts_taken`) locates the
+//!   cut-coordinator scaling knee.
+//! * `BENCH_failover.json` — kill/promote/resume: takeover ms, promotion
+//!   drain ms, backlog, and the lag-bounds-takeover check (Figure 9's
+//!   claim).
+//! * `BENCH_reads.json` — per-consistency-class read latency and staleness
+//!   percentiles over a fan-out fleet.
+//!
+//! Each scenario validates its own emitted document against
+//! [`validate_bench`] before the file is written, so a run that produces a
+//! schema-breaking document fails loudly (CI runs this in `--smoke` mode on
+//! every push and uploads the JSON as an artifact).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use c5_common::{BenchConfig, OpCost, PrimaryConfig, ReplicaConfig};
+use c5_core::lag::LagStats;
+use c5_core::replica::{drive_segments, ClonedConcurrencyControl};
+use c5_core::ShardedC5Replica;
+use c5_primary::{ClosedLoopDriver, MvtsoEngine, RunLength, TxnFactory};
+use c5_storage::MvStore;
+use c5_workloads::synthetic::{
+    adversarial_population, shard_span_population, AdversarialWorkload, ShardSpanWorkload,
+    SYNTHETIC_TABLE,
+};
+
+use crate::harness::{
+    preload, run_failover_streaming, run_fanout_streaming, run_reads_streaming,
+    run_sharded_streaming, run_streaming, ReplicaSpec, StreamingSetup,
+};
+use crate::json::JsonValue;
+
+/// Schema version stamped into every emitted file. Bump when a field is
+/// renamed or removed (adding fields is backward compatible).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The key space the apply-path replay and shard sweep run over. Divides
+/// evenly into up to 64 range shards.
+pub const BENCH_KEY_SPACE: u64 = 4096;
+
+/// Shard count of the sharded apply-path replay target.
+pub const APPLY_SHARDS: usize = 8;
+
+/// Staleness bound handed to the bounded-staleness read class.
+pub const STALENESS_BOUND: Duration = Duration::from_millis(100);
+
+/// Apply-path ns/record measured at [`BenchConfig::fixed`] on the revision
+/// immediately *before* the batched dispatch, batched watermark publication,
+/// and routing-buffer-reuse changes that landed together with this suite.
+/// Emitted verbatim in `BENCH_pipeline.json`'s `baseline` block so the first
+/// trajectory step (before → after) stays visible in the committed file
+/// rather than only in the git history of a number.
+pub const PRE_CHANGE_NS_PER_RECORD: &[(&str, f64)] = &[
+    ("c5", 1787.0),
+    ("c5-myrocks", 1527.0),
+    ("c5-sharded-8", 1647.0),
+];
+
+/// One scenario: emits a complete `BENCH_<name>.json` document body.
+type Scenario = fn(&BenchConfig, &str) -> JsonValue;
+
+/// Runs the whole suite and writes `BENCH_*.json` into `out_dir`. Returns
+/// the validated file names, or the first validation/IO failure.
+pub fn run(
+    config: &BenchConfig,
+    mode: &str,
+    out_dir: &std::path::Path,
+) -> Result<Vec<String>, String> {
+    config.validate().map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let scenarios: [(&str, Scenario); 5] = [
+        ("pipeline", pipeline_scenario),
+        ("fanout", fanout_scenario),
+        ("sharded", sharded_scenario),
+        ("failover", failover_scenario),
+        ("reads", reads_scenario),
+    ];
+    let mut written = Vec::new();
+    for (name, scenario) in scenarios {
+        println!("bench: running {name} ({mode})...");
+        let doc = scenario(config, mode);
+        validate_bench(name, &doc)
+            .map_err(|e| format!("BENCH_{name}.json failed validation: {e}"))?;
+        let file = format!("BENCH_{name}.json");
+        let path = out_dir.join(&file);
+        std::fs::write(&path, doc.pretty())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("bench: wrote {}", path.display());
+        written.push(file);
+    }
+    Ok(written)
+}
+
+/// Resolves the directory `BENCH_*.json` files are written to: the
+/// `BENCH_OUT_DIR` environment variable if set (tests and CI point it at a
+/// scratch directory), otherwise the repository root.
+pub fn out_dir() -> std::path::PathBuf {
+    match std::env::var_os("BENCH_OUT_DIR") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------------
+
+fn setup_for(config: &BenchConfig) -> StreamingSetup {
+    let mut setup = StreamingSetup::new(
+        config.duration,
+        config.primary_threads,
+        config.replica_workers,
+    );
+    setup.segment_records = config.segment_records;
+    setup.seed = config.seed;
+    setup
+}
+
+/// Materializes one deterministic log for the apply-path replay: the MVTSO
+/// primary executes the shard-span workload (two uniform updates per
+/// transaction over [`BENCH_KEY_SPACE`] preloaded rows, so the log carries
+/// real per-row dependency chains *and* routes across every shard count)
+/// with zero simulated op cost.
+fn materialize_log(
+    config: &BenchConfig,
+) -> (
+    Vec<(c5_common::RowRef, c5_common::Value)>,
+    Vec<c5_log::Segment>,
+) {
+    let population = shard_span_population(BENCH_KEY_SPACE);
+    let store = Arc::new(MvStore::default());
+    preload(&store, &population);
+    let engine = Arc::new(MvtsoEngine::new(
+        store,
+        PrimaryConfig::default()
+            .with_threads(config.primary_threads)
+            .with_op_cost(OpCost::free()),
+    ));
+    let factory: Arc<dyn TxnFactory> = Arc::new(ShardSpanWorkload::new(BENCH_KEY_SPACE));
+    let per_client = (config.apply_txns / config.primary_threads as u64).max(1);
+    ClosedLoopDriver::with_seed(config.seed).run_mvtso(
+        &engine,
+        &factory,
+        config.primary_threads,
+        RunLength::PerClientCount(per_client),
+    );
+    (population, engine.take_segments(config.segment_records))
+}
+
+fn apply_target(
+    name: &str,
+    population: &[(c5_common::RowRef, c5_common::Value)],
+    config: &BenchConfig,
+) -> Arc<dyn ClonedConcurrencyControl> {
+    let store = Arc::new(MvStore::default());
+    preload(&store, population);
+    let replica_config = ReplicaConfig::default()
+        .with_workers(config.replica_workers)
+        .with_op_cost(OpCost::free())
+        .with_snapshot_interval(Duration::from_millis(1));
+    match name {
+        "c5" => ReplicaSpec::C5Faithful.build(store, replica_config),
+        "c5-myrocks" => ReplicaSpec::C5MyRocks.build(store, replica_config),
+        "c5-sharded-8" => ShardedC5Replica::new(
+            store,
+            replica_config
+                .with_workers((config.replica_workers / APPLY_SHARDS).max(1))
+                .with_shards(APPLY_SHARDS)
+                .with_shard_key_space(BENCH_KEY_SPACE),
+        ),
+        other => panic!("unknown apply target {other}"),
+    }
+}
+
+fn pipeline_scenario(config: &BenchConfig, mode: &str) -> JsonValue {
+    // Apply-path replay: same log, three replicas, best-of-N walls.
+    let (population, segments) = materialize_log(config);
+    let total_records: usize = segments.iter().map(c5_log::Segment::len).sum();
+    let replays = if mode == "fixed" { 3 } else { 1 };
+    let mut apply_rows = Vec::new();
+    for target in ["c5", "c5-myrocks", "c5-sharded-8"] {
+        let mut best_wall = Duration::MAX;
+        let mut applied_writes = 0u64;
+        let mut applied_txns = 0u64;
+        for _ in 0..replays {
+            let replica = apply_target(target, &population, config);
+            let wall = drive_segments(replica.as_ref(), segments.clone());
+            let metrics = replica.metrics();
+            assert_eq!(
+                metrics.applied_writes, total_records as u64,
+                "{target}: replay must apply the whole log"
+            );
+            applied_writes = metrics.applied_writes;
+            applied_txns = metrics.applied_txns;
+            best_wall = best_wall.min(wall);
+        }
+        let ns_per_record = best_wall.as_nanos() as f64 / applied_writes.max(1) as f64;
+        println!("  apply {target}: {ns_per_record:.0} ns/record (best of {replays})");
+        apply_rows.push(JsonValue::Obj(vec![
+            ("protocol".into(), JsonValue::str(target)),
+            ("records".into(), JsonValue::num(applied_writes as u32)),
+            ("txns".into(), JsonValue::num(applied_txns as u32)),
+            ("replays".into(), JsonValue::num(replays as u32)),
+            (
+                "best_wall_ms".into(),
+                JsonValue::Num(best_wall.as_secs_f64() * 1e3),
+            ),
+            ("ns_per_record".into(), JsonValue::Num(ns_per_record)),
+        ]));
+    }
+
+    // One live streaming leg for throughput + lag under the paper-like cost
+    // model (the keep-up quantity; the replay above deliberately removes it).
+    let mut setup = setup_for(config);
+    setup.population = adversarial_population();
+    let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(4));
+    let outcome = run_streaming(
+        &setup,
+        factory,
+        ReplicaSpec::C5Faithful,
+        0,
+        SYNTHETIC_TABLE,
+        1,
+    );
+    let streaming = JsonValue::Obj(vec![
+        ("protocol".into(), JsonValue::str(outcome.protocol)),
+        ("workload".into(), JsonValue::str("adversarial")),
+        (
+            "primary_tps".into(),
+            JsonValue::Num(outcome.primary_throughput()),
+        ),
+        (
+            "committed".into(),
+            JsonValue::num(outcome.primary.committed as u32),
+        ),
+        (
+            "replica_tps".into(),
+            JsonValue::Num(outcome.replica_throughput()),
+        ),
+        ("keeps_up".into(), JsonValue::Bool(outcome.keeps_up())),
+        ("lag_ms".into(), lag_json(outcome.lag.as_ref())),
+    ]);
+
+    let baseline = JsonValue::Obj(vec![
+        (
+            "note".into(),
+            JsonValue::str(
+                "apply-path ns/record at fixed parameters immediately before \
+                 the batched-dispatch/batched-watermark/buffer-reuse changes \
+                 that landed with this suite",
+            ),
+        ),
+        (
+            "pre_change_ns_per_record".into(),
+            JsonValue::Obj(
+                PRE_CHANGE_NS_PER_RECORD
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), JsonValue::Num(*v)))
+                    .collect(),
+            ),
+        ),
+    ]);
+
+    let mut fields = envelope("pipeline", mode, config);
+    fields.push(("apply_path".into(), JsonValue::Arr(apply_rows)));
+    fields.push(("streaming".into(), streaming));
+    fields.push(("baseline".into(), baseline));
+    JsonValue::Obj(fields)
+}
+
+fn fanout_scenario(config: &BenchConfig, mode: &str) -> JsonValue {
+    let mut setup = setup_for(config);
+    setup.population = adversarial_population();
+    let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(4));
+    let outcome = run_fanout_streaming(
+        &setup,
+        factory,
+        ReplicaSpec::C5Faithful,
+        config.fanout_replicas,
+    );
+    assert!(outcome.all_converged(), "fan-out replicas must converge");
+    let replicas = outcome
+        .replicas
+        .iter()
+        .map(|r| {
+            JsonValue::Obj(vec![
+                ("replica".into(), JsonValue::num(r.replica as u32)),
+                ("wall_ms".into(), JsonValue::Num(r.wall.as_secs_f64() * 1e3)),
+                (
+                    "applied_txns".into(),
+                    JsonValue::num(r.metrics.applied_txns as u32),
+                ),
+                ("lag_ms".into(), lag_json(r.lag.as_ref())),
+            ])
+        })
+        .collect();
+    let mut fields = envelope("fanout", mode, config);
+    fields.push(("protocol".into(), JsonValue::str(outcome.protocol)));
+    fields.push((
+        "primary_tps".into(),
+        JsonValue::Num(outcome.primary.throughput()),
+    ));
+    fields.push((
+        "committed".into(),
+        JsonValue::num(outcome.primary.committed as u32),
+    ));
+    fields.push((
+        "worst_p50_ms".into(),
+        JsonValue::Num(outcome.worst_p50_ms()),
+    ));
+    fields.push(("all_converged".into(), JsonValue::Bool(true)));
+    fields.push(("replicas".into(), JsonValue::Arr(replicas)));
+    JsonValue::Obj(fields)
+}
+
+fn sharded_scenario(config: &BenchConfig, mode: &str) -> JsonValue {
+    let mut sweep = Vec::new();
+    for shards in config.sweep_shards() {
+        // Constant worker budget while it divides; above that every shard
+        // still gets one worker, so the 16–64-shard leg runs with more total
+        // workers — the high-worker sweep the coordinator knee hides in.
+        let workers_per_shard = (config.replica_workers / shards).max(1);
+        let mut setup = setup_for(config);
+        setup.replica_workers = workers_per_shard;
+        setup.population = shard_span_population(BENCH_KEY_SPACE);
+        let factory: Arc<dyn TxnFactory> = Arc::new(ShardSpanWorkload::new(BENCH_KEY_SPACE));
+        let outcome = run_sharded_streaming(&setup, factory, shards, BENCH_KEY_SPACE);
+        assert!(
+            outcome.converged(),
+            "{shards} shards: replica must apply the full log"
+        );
+        println!(
+            "  {shards} shards x {workers_per_shard} workers: lag p50 {:.2} ms, {} cuts",
+            outcome.lag.as_ref().map(|l| l.p50_ms).unwrap_or(0.0),
+            outcome.cuts_taken,
+        );
+        sweep.push(JsonValue::Obj(vec![
+            ("shards".into(), JsonValue::num(shards as u32)),
+            (
+                "workers_total".into(),
+                JsonValue::num((workers_per_shard * shards) as u32),
+            ),
+            (
+                "primary_tps".into(),
+                JsonValue::Num(outcome.primary.throughput()),
+            ),
+            (
+                "applied_txns".into(),
+                JsonValue::num(outcome.replica_metrics.applied_txns as u32),
+            ),
+            (
+                "cross_shard_share".into(),
+                JsonValue::Num(outcome.cross_shard_share()),
+            ),
+            (
+                "cuts_taken".into(),
+                JsonValue::num(outcome.cuts_taken as u32),
+            ),
+            (
+                "replica_wall_ms".into(),
+                JsonValue::Num(outcome.replica_wall.as_secs_f64() * 1e3),
+            ),
+            ("lag_ms".into(), lag_json(outcome.lag.as_ref())),
+            ("converged".into(), JsonValue::Bool(true)),
+        ]));
+    }
+    let mut fields = envelope("sharded", mode, config);
+    fields.push(("workload".into(), JsonValue::str("shard-span")));
+    fields.push(("key_space".into(), JsonValue::num(BENCH_KEY_SPACE as u32)));
+    fields.push(("sweep".into(), JsonValue::Arr(sweep)));
+    JsonValue::Obj(fields)
+}
+
+fn failover_scenario(config: &BenchConfig, mode: &str) -> JsonValue {
+    let mut setup = setup_for(config);
+    setup.population = adversarial_population();
+    let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(4));
+    let outcome = run_failover_streaming(
+        &setup,
+        factory,
+        ReplicaSpec::C5Faithful,
+        config.duration / 2,
+        true,
+    );
+    let standby_caught_up = outcome
+        .standby
+        .as_ref()
+        .map(|s| s.caught_up)
+        .unwrap_or(false);
+    assert!(
+        standby_caught_up,
+        "standby must catch up to the promoted primary"
+    );
+    let mut fields = envelope("failover", mode, config);
+    fields.push(("protocol".into(), JsonValue::str(outcome.protocol)));
+    fields.push((
+        "primary_tps".into(),
+        JsonValue::Num(outcome.primary.throughput()),
+    ));
+    fields.push((
+        "committed".into(),
+        JsonValue::num(outcome.primary.committed as u32),
+    ));
+    fields.push((
+        "shipped_seq".into(),
+        JsonValue::Num(outcome.shipped_seq.as_u64() as f64),
+    ));
+    fields.push((
+        "applied_at_kill".into(),
+        JsonValue::Num(outcome.applied_at_kill.as_u64() as f64),
+    ));
+    fields.push((
+        "backlog_records".into(),
+        JsonValue::Num(outcome.backlog_records() as f64),
+    ));
+    fields.push((
+        "lag_at_kill_ms".into(),
+        lag_json(outcome.lag_at_kill.as_ref()),
+    ));
+    fields.push((
+        "promotion_drain_ms".into(),
+        JsonValue::Num(outcome.promotion_drain.as_secs_f64() * 1e3),
+    ));
+    fields.push((
+        "takeover_ms".into(),
+        JsonValue::Num(outcome.takeover.as_secs_f64() * 1e3),
+    ));
+    fields.push((
+        "drain_bounded_by_lag".into(),
+        JsonValue::Bool(outcome.drain_bounded_by_lag()),
+    ));
+    fields.push((
+        "resumed_tps".into(),
+        JsonValue::Num(outcome.resumed.throughput()),
+    ));
+    fields.push((
+        "standby_caught_up".into(),
+        JsonValue::Bool(standby_caught_up),
+    ));
+    JsonValue::Obj(fields)
+}
+
+fn reads_scenario(config: &BenchConfig, mode: &str) -> JsonValue {
+    let mut setup = setup_for(config);
+    setup.population = adversarial_population();
+    let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(4));
+    let outcome = run_reads_streaming(
+        &setup,
+        factory,
+        ReplicaSpec::C5Faithful,
+        config.fanout_replicas,
+        config.read_sessions,
+        STALENESS_BOUND,
+    );
+    assert!(outcome.all_converged(), "read fleet must converge");
+    let classes = outcome
+        .per_class
+        .iter()
+        .map(|class| {
+            JsonValue::Obj(vec![
+                ("class".into(), JsonValue::str(class.kind.name())),
+                ("reads".into(), JsonValue::Num(class.reads as f64)),
+                (
+                    "reads_per_sec".into(),
+                    JsonValue::Num(class.throughput(outcome.wall)),
+                ),
+                ("timeouts".into(), JsonValue::Num(class.timeouts as f64)),
+                ("latency_ms".into(), lag_json(class.latency.as_ref())),
+                ("staleness_ms".into(), lag_json(class.staleness.as_ref())),
+            ])
+        })
+        .collect();
+    let session = JsonValue::Obj(vec![
+        (
+            "writes".into(),
+            JsonValue::Num(outcome.session_stats.writes as f64),
+        ),
+        (
+            "ryw_reads".into(),
+            JsonValue::Num(outcome.session_stats.ryw_reads as f64),
+        ),
+        (
+            "replica_switches".into(),
+            JsonValue::Num(outcome.session_stats.replica_switches as f64),
+        ),
+        (
+            "timeouts".into(),
+            JsonValue::Num(outcome.session_stats.timeouts as f64),
+        ),
+    ]);
+    let mut fields = envelope("reads", mode, config);
+    fields.push(("protocol".into(), JsonValue::str("c5")));
+    fields.push((
+        "staleness_bound_ms".into(),
+        JsonValue::Num(STALENESS_BOUND.as_secs_f64() * 1e3),
+    ));
+    fields.push((
+        "primary_tps".into(),
+        JsonValue::Num(outcome.primary.throughput()),
+    ));
+    fields.push((
+        "wall_ms".into(),
+        JsonValue::Num(outcome.wall.as_secs_f64() * 1e3),
+    ));
+    fields.push(("sessions".into(), JsonValue::num(outcome.sessions as u32)));
+    fields.push((
+        "total_reads".into(),
+        JsonValue::Num(outcome.total_reads() as f64),
+    ));
+    fields.push(("all_converged".into(), JsonValue::Bool(true)));
+    fields.push(("classes".into(), JsonValue::Arr(classes)));
+    fields.push(("session".into(), session));
+    JsonValue::Obj(fields)
+}
+
+// ---------------------------------------------------------------------------
+// Envelope + lag helpers
+// ---------------------------------------------------------------------------
+
+fn envelope(name: &str, mode: &str, config: &BenchConfig) -> Vec<(String, JsonValue)> {
+    vec![
+        (
+            "schema_version".into(),
+            JsonValue::num(SCHEMA_VERSION as u32),
+        ),
+        ("name".into(), JsonValue::str(name)),
+        ("mode".into(), JsonValue::str(mode)),
+        (
+            "config".into(),
+            JsonValue::Obj(vec![
+                (
+                    "duration_ms".into(),
+                    JsonValue::Num(config.duration.as_secs_f64() * 1e3),
+                ),
+                (
+                    "primary_threads".into(),
+                    JsonValue::num(config.primary_threads as u32),
+                ),
+                (
+                    "replica_workers".into(),
+                    JsonValue::num(config.replica_workers as u32),
+                ),
+                (
+                    "segment_records".into(),
+                    JsonValue::num(config.segment_records as u32),
+                ),
+                (
+                    "apply_txns".into(),
+                    JsonValue::Num(config.apply_txns as f64),
+                ),
+                (
+                    "fanout_replicas".into(),
+                    JsonValue::num(config.fanout_replicas as u32),
+                ),
+                (
+                    "read_sessions".into(),
+                    JsonValue::num(config.read_sessions as u32),
+                ),
+                (
+                    "max_sweep_shards".into(),
+                    JsonValue::num(config.max_sweep_shards as u32),
+                ),
+                ("seed".into(), JsonValue::Num(config.seed as f64)),
+            ]),
+        ),
+    ]
+}
+
+/// Serializes a lag/latency summary: the nearest-rank percentiles of
+/// [`LagStats`] in milliseconds, or `null` when no samples were recorded.
+fn lag_json(stats: Option<&LagStats>) -> JsonValue {
+    match stats {
+        None => JsonValue::Null,
+        Some(l) => JsonValue::Obj(vec![
+            ("count".into(), JsonValue::Num(l.count as f64)),
+            ("min".into(), JsonValue::Num(l.min_ms)),
+            ("p50".into(), JsonValue::Num(l.p50_ms)),
+            ("p99".into(), JsonValue::Num(l.p99_ms)),
+            ("max".into(), JsonValue::Num(l.max_ms)),
+            ("mean".into(), JsonValue::Num(l.mean_ms)),
+        ]),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation
+// ---------------------------------------------------------------------------
+
+/// Validates an emitted (or re-read) `BENCH_<name>.json` document: every
+/// documented field present, numbers finite and non-negative, percentiles
+/// ordered. Returns the first violation.
+pub fn validate_bench(name: &str, doc: &JsonValue) -> Result<(), String> {
+    let version = require_num(doc, "schema_version")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!("schema_version {version} != {SCHEMA_VERSION}"));
+    }
+    if doc.get("name").and_then(JsonValue::as_str) != Some(name) {
+        return Err(format!("name field does not match {name}"));
+    }
+    match doc.get("mode").and_then(JsonValue::as_str) {
+        Some("fixed") | Some("smoke") => {}
+        other => return Err(format!("mode must be fixed|smoke, got {other:?}")),
+    }
+    let config = doc.get("config").ok_or("missing config")?;
+    for field in [
+        "duration_ms",
+        "primary_threads",
+        "replica_workers",
+        "segment_records",
+        "apply_txns",
+        "fanout_replicas",
+        "read_sessions",
+        "max_sweep_shards",
+        "seed",
+    ] {
+        let v = require_num(config, field)?;
+        if field != "seed" && v <= 0.0 {
+            return Err(format!("config.{field} must be positive, got {v}"));
+        }
+    }
+    match name {
+        "pipeline" => validate_pipeline(doc),
+        "fanout" => validate_fanout(doc),
+        "sharded" => validate_sharded(doc),
+        "failover" => validate_failover(doc),
+        "reads" => validate_reads(doc),
+        other => Err(format!("unknown scenario {other}")),
+    }
+}
+
+fn require_num(obj: &JsonValue, key: &str) -> Result<f64, String> {
+    let v = obj
+        .get(key)
+        .ok_or_else(|| format!("missing field {key}"))?
+        .as_num()
+        .ok_or_else(|| format!("field {key} is not a number"))?;
+    if !v.is_finite() {
+        return Err(format!("field {key} is not finite"));
+    }
+    Ok(v)
+}
+
+fn require_nonneg(obj: &JsonValue, key: &str) -> Result<f64, String> {
+    let v = require_num(obj, key)?;
+    if v < 0.0 {
+        return Err(format!("field {key} must be non-negative, got {v}"));
+    }
+    Ok(v)
+}
+
+fn require_bool(obj: &JsonValue, key: &str) -> Result<bool, String> {
+    match obj.get(key) {
+        Some(JsonValue::Bool(b)) => Ok(*b),
+        Some(_) => Err(format!("field {key} is not a bool")),
+        None => Err(format!("missing field {key}")),
+    }
+}
+
+/// Validates a lag summary object: present fields, `count >= 1`, and the
+/// nearest-rank ordering `0 <= min <= p50 <= p99 <= max`.
+fn check_lag(value: &JsonValue, ctx: &str, required: bool) -> Result<(), String> {
+    if matches!(value, JsonValue::Null) {
+        if required {
+            return Err(format!("{ctx}: lag summary is null but required"));
+        }
+        return Ok(());
+    }
+    let count = require_num(value, "count").map_err(|e| format!("{ctx}: {e}"))?;
+    if count < 1.0 {
+        return Err(format!("{ctx}: lag count must be >= 1"));
+    }
+    let min = require_nonneg(value, "min").map_err(|e| format!("{ctx}: {e}"))?;
+    let p50 = require_nonneg(value, "p50").map_err(|e| format!("{ctx}: {e}"))?;
+    let p99 = require_nonneg(value, "p99").map_err(|e| format!("{ctx}: {e}"))?;
+    let max = require_nonneg(value, "max").map_err(|e| format!("{ctx}: {e}"))?;
+    require_nonneg(value, "mean").map_err(|e| format!("{ctx}: {e}"))?;
+    if !(min <= p50 && p50 <= p99 && p99 <= max) {
+        return Err(format!(
+            "{ctx}: percentiles out of order (min {min}, p50 {p50}, p99 {p99}, max {max})"
+        ));
+    }
+    Ok(())
+}
+
+fn lag_field(obj: &JsonValue, key: &str, ctx: &str, required: bool) -> Result<(), String> {
+    let value = obj
+        .get(key)
+        .ok_or_else(|| format!("{ctx}: missing field {key}"))?;
+    check_lag(value, &format!("{ctx}.{key}"), required)
+}
+
+fn validate_pipeline(doc: &JsonValue) -> Result<(), String> {
+    let rows = doc
+        .get("apply_path")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing apply_path array")?;
+    if rows.len() != 3 {
+        return Err(format!(
+            "apply_path must have 3 targets, got {}",
+            rows.len()
+        ));
+    }
+    let mut seen = Vec::new();
+    for row in rows {
+        let protocol = row
+            .get("protocol")
+            .and_then(JsonValue::as_str)
+            .ok_or("apply_path row missing protocol")?;
+        seen.push(protocol.to_string());
+        for field in ["records", "txns", "replays", "best_wall_ms"] {
+            let v =
+                require_nonneg(row, field).map_err(|e| format!("apply_path[{protocol}]: {e}"))?;
+            if v <= 0.0 {
+                return Err(format!("apply_path[{protocol}].{field} must be positive"));
+            }
+        }
+        let ns = require_num(row, "ns_per_record")
+            .map_err(|e| format!("apply_path[{protocol}]: {e}"))?;
+        if !(1.0..1e9).contains(&ns) {
+            return Err(format!(
+                "apply_path[{protocol}].ns_per_record {ns} outside the sane range [1, 1e9)"
+            ));
+        }
+    }
+    for expect in ["c5", "c5-myrocks", "c5-sharded-8"] {
+        if !seen.iter().any(|s| s == expect) {
+            return Err(format!("apply_path missing target {expect}"));
+        }
+    }
+    let streaming = doc.get("streaming").ok_or("missing streaming object")?;
+    for field in ["primary_tps", "replica_tps", "committed"] {
+        let v = require_nonneg(streaming, field).map_err(|e| format!("streaming: {e}"))?;
+        if v <= 0.0 {
+            return Err(format!("streaming.{field} must be positive"));
+        }
+    }
+    require_bool(streaming, "keeps_up").map_err(|e| format!("streaming: {e}"))?;
+    lag_field(streaming, "lag_ms", "streaming", true)?;
+    let baseline = doc.get("baseline").ok_or("missing baseline block")?;
+    let pre = baseline
+        .get("pre_change_ns_per_record")
+        .ok_or("baseline missing pre_change_ns_per_record")?;
+    for target in ["c5", "c5-myrocks", "c5-sharded-8"] {
+        let v = require_nonneg(pre, target).map_err(|e| format!("baseline: {e}"))?;
+        if v <= 0.0 {
+            return Err(format!(
+                "baseline.pre_change_ns_per_record.{target} must be positive"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn validate_fanout(doc: &JsonValue) -> Result<(), String> {
+    require_nonneg(doc, "primary_tps")?;
+    require_nonneg(doc, "committed")?;
+    require_nonneg(doc, "worst_p50_ms")?;
+    if !require_bool(doc, "all_converged")? {
+        return Err("fanout did not converge".into());
+    }
+    let replicas = doc
+        .get("replicas")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing replicas array")?;
+    if replicas.is_empty() {
+        return Err("replicas array is empty".into());
+    }
+    for (i, replica) in replicas.iter().enumerate() {
+        let ctx = format!("replicas[{i}]");
+        require_nonneg(replica, "replica").map_err(|e| format!("{ctx}: {e}"))?;
+        require_nonneg(replica, "wall_ms").map_err(|e| format!("{ctx}: {e}"))?;
+        require_nonneg(replica, "applied_txns").map_err(|e| format!("{ctx}: {e}"))?;
+        lag_field(replica, "lag_ms", &ctx, true)?;
+    }
+    Ok(())
+}
+
+fn validate_sharded(doc: &JsonValue) -> Result<(), String> {
+    require_nonneg(doc, "key_space")?;
+    let sweep = doc
+        .get("sweep")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing sweep array")?;
+    if sweep.is_empty() {
+        return Err("sweep array is empty".into());
+    }
+    let mut last_shards = 0.0;
+    for (i, point) in sweep.iter().enumerate() {
+        let ctx = format!("sweep[{i}]");
+        let shards = require_num(point, "shards").map_err(|e| format!("{ctx}: {e}"))?;
+        if shards <= last_shards {
+            return Err(format!("{ctx}: shard counts must increase"));
+        }
+        last_shards = shards;
+        for field in [
+            "workers_total",
+            "primary_tps",
+            "applied_txns",
+            "replica_wall_ms",
+        ] {
+            let v = require_nonneg(point, field).map_err(|e| format!("{ctx}: {e}"))?;
+            if v <= 0.0 {
+                return Err(format!("{ctx}.{field} must be positive"));
+            }
+        }
+        let share =
+            require_nonneg(point, "cross_shard_share").map_err(|e| format!("{ctx}: {e}"))?;
+        if share > 1.0 {
+            return Err(format!("{ctx}.cross_shard_share {share} > 1"));
+        }
+        require_nonneg(point, "cuts_taken").map_err(|e| format!("{ctx}: {e}"))?;
+        if !require_bool(point, "converged").map_err(|e| format!("{ctx}: {e}"))? {
+            return Err(format!("{ctx}: did not converge"));
+        }
+        lag_field(point, "lag_ms", &ctx, true)?;
+    }
+    Ok(())
+}
+
+fn validate_failover(doc: &JsonValue) -> Result<(), String> {
+    for field in ["primary_tps", "committed", "shipped_seq"] {
+        let v = require_nonneg(doc, field)?;
+        if v <= 0.0 {
+            return Err(format!("{field} must be positive"));
+        }
+    }
+    require_nonneg(doc, "applied_at_kill")?;
+    require_nonneg(doc, "backlog_records")?;
+    require_nonneg(doc, "promotion_drain_ms")?;
+    let takeover = require_nonneg(doc, "takeover_ms")?;
+    if takeover <= 0.0 {
+        return Err("takeover_ms must be positive".into());
+    }
+    require_nonneg(doc, "resumed_tps")?;
+    lag_field(doc, "lag_at_kill_ms", "failover", false)?;
+    require_bool(doc, "drain_bounded_by_lag")?;
+    if !require_bool(doc, "standby_caught_up")? {
+        return Err("standby did not catch up".into());
+    }
+    Ok(())
+}
+
+fn validate_reads(doc: &JsonValue) -> Result<(), String> {
+    require_nonneg(doc, "staleness_bound_ms")?;
+    require_nonneg(doc, "primary_tps")?;
+    require_nonneg(doc, "wall_ms")?;
+    require_nonneg(doc, "sessions")?;
+    let total = require_nonneg(doc, "total_reads")?;
+    if total <= 0.0 {
+        return Err("total_reads must be positive".into());
+    }
+    if !require_bool(doc, "all_converged")? {
+        return Err("reads fleet did not converge".into());
+    }
+    let classes = doc
+        .get("classes")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing classes array")?;
+    if classes.len() != 3 {
+        return Err(format!(
+            "expected 3 consistency classes, got {}",
+            classes.len()
+        ));
+    }
+    for class in classes {
+        let kind = class
+            .get("class")
+            .and_then(JsonValue::as_str)
+            .ok_or("class row missing class name")?;
+        let reads = require_nonneg(class, "reads").map_err(|e| format!("{kind}: {e}"))?;
+        if reads <= 0.0 {
+            return Err(format!("{kind}: served no reads"));
+        }
+        require_nonneg(class, "reads_per_sec").map_err(|e| format!("{kind}: {e}"))?;
+        require_nonneg(class, "timeouts").map_err(|e| format!("{kind}: {e}"))?;
+        lag_field(class, "latency_ms", kind, false)?;
+        lag_field(class, "staleness_ms", kind, false)?;
+    }
+    let session = doc.get("session").ok_or("missing session object")?;
+    for field in ["writes", "ryw_reads", "replica_switches", "timeouts"] {
+        require_nonneg(session, field).map_err(|e| format!("session: {e}"))?;
+    }
+    if require_num(session, "writes")? <= 0.0 || require_num(session, "ryw_reads")? <= 0.0 {
+        return Err("sessions performed no tokened writes/RYW reads".into());
+    }
+    Ok(())
+}

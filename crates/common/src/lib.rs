@@ -35,7 +35,9 @@ pub mod pacing;
 pub mod shard;
 pub mod value;
 
-pub use config::{IsolationLevel, PrimaryConfig, ReadConfig, ReplicaConfig, SnapshotMode};
+pub use config::{
+    BenchConfig, IsolationLevel, PrimaryConfig, ReadConfig, ReplicaConfig, SnapshotMode,
+};
 pub use cost::OpCost;
 pub use error::{Error, Result};
 pub use ids::{Key, RowRef, SeqNo, SessionId, TableId, Timestamp, TxnId, WorkerId};

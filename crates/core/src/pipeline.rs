@@ -12,6 +12,28 @@
 //! so each protocol only supplies a [`PipelinePolicy`]: what a work item is,
 //! how segments become items, and what "apply one item" means.
 //!
+//! ## Batched hand-off
+//!
+//! The scheduler→worker and worker→watermark edges are the backup's hottest
+//! path: every log record crosses both. Two disciplines keep their per-record
+//! cost amortized, and policies are expected to follow them:
+//!
+//! * **Dispatch in batches.** A work item should carry a *run* of records —
+//!   a whole sub-segment, or a run of consecutive whole transactions
+//!   (`ReplicaConfig::dispatch_batch_records`) — so the queue hand-off cost
+//!   is paid once per batch, not once per record. Batches must respect the
+//!   policy's ordering unit: a batch never splits a transaction, and the
+//!   scheduler publishes any dispatch watermark *before* enqueueing the
+//!   batch, so a cut chosen from that watermark can never land mid-item.
+//! * **Publish watermarks per item, not per record.** Workers buffer the
+//!   applied-marks of one work item and flush them in a single batched
+//!   watermark update when the item completes. This is safe because workers
+//!   never *wait* on a watermark — only the expose thread does, and it only
+//!   waits for records of items that were dispatched before its target was
+//!   chosen, all of which flush when those items finish. The publication
+//!   *order* inside a flush still matters; see
+//!   [`crate::progress::WatermarkTracker::mark_applied_batch`].
+//!
 //! Two pieces of shared policy infrastructure also live here:
 //!
 //! * [`RowWaitList`] — the event-driven realization of the per-row FIFO

@@ -61,22 +61,38 @@ impl WatermarkTracker {
     /// Marks `seq` as applied. `is_txn_boundary` is true when `seq` is the
     /// last write of its transaction.
     pub fn mark_applied(&self, seq: SeqNo, is_txn_boundary: bool) {
-        let seq = seq.as_u64();
-        let mut inner = self.inner.lock();
-        if is_txn_boundary {
-            inner.pending_boundaries.insert(seq);
+        self.mark_applied_batch(&[(seq, is_txn_boundary)]);
+    }
+
+    /// Marks a batch of applied positions under one lock acquisition and one
+    /// publication of each watermark. Equivalent to calling
+    /// [`WatermarkTracker::mark_applied`] for every element in order — the
+    /// watermarks just become visible once, after the whole batch — so
+    /// workers that buffer the marks of an already-installed item trade
+    /// publication latency (bounded by one queue item) for an N-fold cut in
+    /// lock and cache-line traffic on the apply hot path.
+    pub fn mark_applied_batch(&self, marks: &[(SeqNo, bool)]) {
+        if marks.is_empty() {
+            return;
         }
+        let mut inner = self.inner.lock();
         let mut applied = self.applied.load(Ordering::Relaxed);
         let mut advanced = false;
-        if seq == applied + 1 {
-            applied = seq;
-            // Absorb any directly-following out-of-order arrivals.
-            while inner.out_of_order.remove(&(applied + 1)) {
-                applied += 1;
+        for &(seq, is_txn_boundary) in marks {
+            let seq = seq.as_u64();
+            if is_txn_boundary {
+                inner.pending_boundaries.insert(seq);
             }
-            advanced = true;
-        } else if seq > applied {
-            inner.out_of_order.insert(seq);
+            if seq == applied + 1 {
+                applied = seq;
+                // Absorb any directly-following out-of-order arrivals.
+                while inner.out_of_order.remove(&(applied + 1)) {
+                    applied += 1;
+                }
+                advanced = true;
+            } else if seq > applied {
+                inner.out_of_order.insert(seq);
+            }
         }
         // Advance the boundary watermark to the largest boundary <= applied.
         let mut boundary = self.boundary.load(Ordering::Relaxed);
@@ -213,6 +229,32 @@ mod tests {
         reader.join().unwrap();
         assert_eq!(tracker.applied_watermark(), SeqNo(total));
         assert_eq!(tracker.boundary_watermark(), SeqNo(total));
+    }
+
+    #[test]
+    fn batched_marks_match_per_record_marks() {
+        // Any interleaving of batch boundaries over the same mark sequence
+        // converges to the same watermarks as per-record marking.
+        let marks: Vec<(SeqNo, bool)> = [3u64, 1, 2, 6, 5, 4, 7, 9, 8]
+            .iter()
+            .map(|&s| (SeqNo(s), s % 3 == 0))
+            .collect();
+        let per_record = WatermarkTracker::new();
+        for &(seq, boundary) in &marks {
+            per_record.mark_applied(seq, boundary);
+        }
+        for chunk in [1, 2, 4, marks.len()] {
+            let batched = WatermarkTracker::new();
+            for batch in marks.chunks(chunk) {
+                batched.mark_applied_batch(batch);
+            }
+            assert_eq!(batched.applied_watermark(), per_record.applied_watermark());
+            assert_eq!(
+                batched.boundary_watermark(),
+                per_record.boundary_watermark()
+            );
+            assert_eq!(batched.out_of_order_backlog(), 0);
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //!   transaction as it becomes visible, and drives the version-GC horizon
 //!   trailing the cut.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -219,8 +220,13 @@ enum C5Item {
     /// A whole preprocessed segment (faithful mode). Owned: records move
     /// from here into the store or the wait list, never cloned.
     Segment(Segment),
-    /// One transaction's records (one-worker-per-transaction mode).
-    Txn(Vec<LogRecord>),
+    /// A run of consecutive *whole* transactions, in commit order
+    /// (one-worker-per-transaction mode). The scheduler accumulates
+    /// transactions up to `ReplicaConfig::dispatch_batch_records` records
+    /// per item; a batch never splits a transaction and never spans a
+    /// segment, so every transaction still executes entirely on the one
+    /// worker that dequeues its batch.
+    Txns(Vec<LogRecord>),
 }
 
 /// C5's ordering policy on the shared pipeline runtime.
@@ -241,6 +247,8 @@ struct C5Policy {
     ledger: BoundaryLedger,
     /// Last position of the last fully dispatched transaction.
     dispatched_boundary: AtomicU64,
+    /// Target records per dispatched work item in one-worker-per-txn mode.
+    dispatch_batch: usize,
     op_cost: OpCost,
     applied_writes: AtomicU64,
     applied_txns: AtomicU64,
@@ -251,7 +259,19 @@ impl C5Policy {
     /// Installs one log record's write, enforcing the per-row order: the
     /// write applies only when the row's most recent version is the one named
     /// by `prev_seq`. Returns whether it applied.
-    fn try_install(&self, record: &LogRecord) -> bool {
+    ///
+    /// An applied record's watermark mark is *buffered* into `marks` instead
+    /// of published immediately; the worker flushes the buffer in one
+    /// [`WatermarkTracker::mark_applied_batch`] call when its current work
+    /// item ends. Deferring publication by at most one item is safe in both
+    /// modes: store-level install ordering (what other workers' installs and
+    /// parked records wait on) is untouched, and the snapshotter only ever
+    /// waits for marks of records whose items were dispatched *before* the
+    /// cut was chosen — items that flush unconditionally on completion,
+    /// because a dispatched item lies entirely at or below the dispatch
+    /// boundary the cut reads, so none of its installs can block on the cut
+    /// gate.
+    fn try_install(&self, record: &LogRecord, marks: &RefCell<Vec<(SeqNo, bool)>>) -> bool {
         let applied = self.cursor.install_gated(record.seq, || {
             self.store.install_if_prev(
                 record.write.row,
@@ -263,13 +283,19 @@ impl C5Policy {
         });
         if applied {
             self.op_cost.charge_backup();
-            self.tracker.mark_applied(record.seq, record.is_txn_last());
+            marks.borrow_mut().push((record.seq, record.is_txn_last()));
             self.applied_writes.fetch_add(1, Ordering::Relaxed);
             if record.is_txn_last() {
                 self.applied_txns.fetch_add(1, Ordering::Relaxed);
             }
         }
         applied
+    }
+
+    /// Publishes a worker's buffered watermark marks.
+    fn flush_marks(&self, marks: &RefCell<Vec<(SeqNo, bool)>>) {
+        self.tracker.mark_applied_batch(&marks.borrow());
+        marks.borrow_mut().clear();
     }
 }
 
@@ -297,33 +323,54 @@ impl PipelinePolicy for C5Policy {
                 sink.send(C5Item::Segment(segment));
             }
             C5Mode::OneWorkerPerTxn => {
-                // Split the segment into whole transactions and push them to
-                // the shared queue in commit order.
-                let mut current: Vec<LogRecord> = Vec::new();
+                // Split the segment into whole transactions and push runs of
+                // them to the shared queue in commit order, batching
+                // consecutive transactions into one item until it holds
+                // `dispatch_batch` records (a single larger transaction still
+                // travels alone; a batch never spans a segment). Batching
+                // only changes how many transactions one dequeue hands a
+                // worker — each transaction still executes entirely on that
+                // worker — while cutting channel traffic by the batch factor.
+                let mut batch: Vec<LogRecord> = Vec::new();
+                let mut batch_boundary = SeqNo::ZERO;
                 for record in segment.records {
                     let is_last = record.is_txn_last();
                     let seq = record.seq;
-                    current.push(record);
+                    batch.push(record);
                     if is_last {
-                        let txn = std::mem::take(&mut current);
-                        // Publish the boundary BEFORE the send: the moment a
-                        // transaction is in the queue a worker may install its
-                        // writes, and the snapshotter's choose_n must never
-                        // pick a cut below an already-installed write.
-                        self.dispatched_boundary
-                            .store(seq.as_u64(), Ordering::Release);
-                        sink.send(C5Item::Txn(txn));
-                        if sink.workers_gone() {
-                            return;
+                        batch_boundary = seq;
+                        if batch.len() >= self.dispatch_batch {
+                            // Publish the boundary BEFORE the send: the
+                            // moment a batch is in the queue a worker may
+                            // install its writes, and the snapshotter's
+                            // choose_n must never pick a cut below an
+                            // already-installed write.
+                            self.dispatched_boundary
+                                .store(batch_boundary.as_u64(), Ordering::Release);
+                            sink.send(C5Item::Txns(std::mem::take(&mut batch)));
+                            if sink.workers_gone() {
+                                return;
+                            }
                         }
                     }
                 }
-                debug_assert!(current.is_empty(), "segments never split transactions");
+                if let Some(last) = batch.last() {
+                    debug_assert!(last.is_txn_last(), "segments never split transactions");
+                    self.dispatched_boundary
+                        .store(batch_boundary.as_u64(), Ordering::Release);
+                    sink.send(C5Item::Txns(batch));
+                }
             }
         }
     }
 
     fn apply(&self, _worker: usize, item: C5Item, signals: &PipelineSignals) {
+        // Watermark marks accumulate here per work item and publish in one
+        // batched call when the item completes (see `try_install` for why
+        // the deferred publication is safe). The buffer also collects the
+        // marks of *parked* records this worker installs on behalf of others
+        // while cascading a wait-list shard — they flush with the item.
+        let marks = RefCell::new(Vec::new());
         match item {
             C5Item::Segment(segment) => {
                 // Faithful mode: install each record as soon as its per-row
@@ -331,30 +378,34 @@ impl PipelinePolicy for C5Policy {
                 // the wait list and the worker that installs the predecessor
                 // finishes the job. No retries, no clones.
                 for record in segment.records {
-                    if self.waits.install_or_park(record, &|r| self.try_install(r)) {
+                    if self
+                        .waits
+                        .install_or_park(record, &|r| self.try_install(r, &marks))
+                    {
                         self.deferred_writes.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }
-            C5Item::Txn(records) => {
-                // One worker executes the whole transaction, write by write,
-                // sleeping on each write's per-row predecessor until another
-                // worker installs it (Section 5.1).
+            C5Item::Txns(records) => {
+                // One worker executes each whole transaction in the batch,
+                // write by write, sleeping on each write's per-row
+                // predecessor until another worker installs it (Section 5.1).
                 for record in &records {
-                    match self
-                        .waits
-                        .install_blocking(record, &|r| self.try_install(r), &|| {
-                            signals.shutdown_requested()
-                        }) {
+                    match self.waits.install_blocking(
+                        record,
+                        &|r| self.try_install(r, &marks),
+                        &|| signals.shutdown_requested(),
+                    ) {
                         BlockingInstall::Installed => {}
                         BlockingInstall::InstalledAfterWait => {
                             self.deferred_writes.fetch_add(1, Ordering::Relaxed);
                         }
-                        BlockingInstall::Aborted => return,
+                        BlockingInstall::Aborted => break,
                     }
                 }
             }
         }
+        self.flush_marks(&marks);
     }
 
     fn expose(&self, signals: &PipelineSignals) {
@@ -517,6 +568,7 @@ impl C5Replica {
             gc: GcDriver::new(store, config.gc_trail),
             ledger: BoundaryLedger::starting_at(cut),
             dispatched_boundary: AtomicU64::new(cut.as_u64()),
+            dispatch_batch: config.dispatch_batch_records,
             op_cost: config.op_cost,
             applied_writes: AtomicU64::new(0),
             applied_txns: AtomicU64::new(0),
@@ -589,6 +641,7 @@ crate::delegate_replica_to_pipeline!(C5Replica, runtime);
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mpc::MpcChecker;
     use c5_common::{RowWrite, TxnId};
     use c5_log::{segments_from_entries, TxnEntry};
 
@@ -659,6 +712,46 @@ mod tests {
     #[test]
     fn faithful_mode_applies_and_exposes_everything() {
         run_mode(C5Mode::Faithful);
+    }
+
+    /// Batched dispatch is a scheduling change, not a semantic one: the same
+    /// mixed log driven through per-transaction dispatch (`dispatch_batch 1`)
+    /// and the default batched dispatch must expose byte-identical state,
+    /// and both must match the serial ground truth.
+    #[test]
+    fn batched_dispatch_matches_per_record_dispatch() {
+        let segments = adversarial_log(120, 3, 16);
+        let population = vec![(row(0), Value::from_u64(0))];
+        for mode in [C5Mode::Faithful, C5Mode::OneWorkerPerTxn] {
+            let mut states = Vec::new();
+            for batch in [1usize, 64] {
+                let store = Arc::new(MvStore::default());
+                store.install(
+                    row(0),
+                    Timestamp::ZERO,
+                    c5_common::WriteKind::Insert,
+                    Some(Value::from_u64(0)),
+                );
+                let config = ReplicaConfig::default()
+                    .with_workers(4)
+                    .with_snapshot_interval(Duration::from_millis(1))
+                    .with_dispatch_batch(batch);
+                let replica = C5Replica::new(mode, store, config);
+                drive_segments(replica.as_ref(), segments.clone());
+
+                let view = replica.read_view();
+                let mut checker = MpcChecker::new(&population, &segments);
+                checker
+                    .verify_state(view.as_of(), view.scan_all())
+                    .unwrap_or_else(|e| panic!("{mode:?} batch {batch}: {e:?}"));
+                states.push((view.as_of(), view.scan_all()));
+            }
+            assert_eq!(
+                states[0], states[1],
+                "{mode:?}: batched dispatch must expose the same state as \
+                 per-transaction dispatch"
+            );
+        }
     }
 
     #[test]

@@ -38,7 +38,22 @@
 //! The single-shard case degenerates exactly to the paper's protocol: one
 //! pipeline, `w_1` is the applied watermark, `B` the boundary watermark, and
 //! the vector has one component equal to the exposed cut.
+//!
+//! ## Hot-path disciplines
+//!
+//! The per-shard apply path follows the batched hand-off rules of
+//! [`crate::pipeline`]: a work item is a whole sub-segment, and workers
+//! buffer the item's applied-marks and flush them through
+//! [`ShardProgress`]'s batched mark in one lock acquisition — one
+//! publication of the shard watermark per sub-segment instead of one per
+//! record. Deferred publication is trivially safe here because nothing in a
+//! shard's pipeline waits on the shard watermark; only the cut coordinator
+//! reads it, and a coordinator that observes the watermark one sub-segment
+//! late merely takes its next cut one tick later. Segment *routing* (the
+//! other per-record cost on this path) reuses scratch buffers threaded
+//! through the persistent [`TxnShardTracker`]; see [`c5_log::ship`].
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -123,10 +138,22 @@ impl ShardProgress {
             .store(inner.applied_through(), Ordering::Release);
     }
 
-    /// Marks one owned record as installed.
-    fn mark_applied(&self, seq: SeqNo) {
+    /// Marks a batch of owned records as installed under one lock
+    /// acquisition and one publication of the cached watermark. Equivalent
+    /// to marking each record individually — the watermark just becomes
+    /// visible once, after the batch — so a worker that buffers the marks of
+    /// one work item trades publication latency (bounded by one item) for a
+    /// batch-sized cut in lock traffic. Workers never wait on the shard
+    /// watermark (only the coordinator's cut advance reads it), so deferred
+    /// publication cannot deadlock the pipeline.
+    fn mark_applied_batch(&self, seqs: &[SeqNo]) {
+        if seqs.is_empty() {
+            return;
+        }
         let mut inner = self.inner.lock();
-        inner.pending.remove(&seq.as_u64());
+        for seq in seqs {
+            inner.pending.remove(&seq.as_u64());
+        }
         self.applied
             .store(inner.applied_through(), Ordering::Release);
     }
@@ -425,7 +452,11 @@ struct ShardPolicy {
 }
 
 impl ShardPolicy {
-    fn try_install(&self, record: &LogRecord) -> bool {
+    /// Installs one record, buffering its progress mark into `marks`; the
+    /// worker publishes the whole buffer through
+    /// [`ShardProgress::mark_applied_batch`] when its current sub-segment
+    /// ends (see that method for why deferring publication is safe).
+    fn try_install(&self, record: &LogRecord, marks: &RefCell<Vec<SeqNo>>) -> bool {
         let applied = self.store.install_if_prev(
             record.write.row,
             Timestamp(record.prev_seq.as_u64()),
@@ -435,7 +466,7 @@ impl ShardPolicy {
         );
         if applied {
             self.op_cost.charge_backup();
-            self.progress.mark_applied(record.seq);
+            marks.borrow_mut().push(record.seq);
             self.applied_writes.fetch_add(1, Ordering::Relaxed);
             if record.is_txn_last() {
                 self.applied_txns.fetch_add(1, Ordering::Relaxed);
@@ -472,11 +503,19 @@ impl PipelinePolicy for ShardPolicy {
     }
 
     fn apply(&self, _worker: usize, segment: Segment, _signals: &PipelineSignals) {
+        // Progress marks accumulate per sub-segment (including marks of
+        // parked records this worker installs while cascading a wait-list
+        // shard) and publish in one batched call at the end.
+        let marks = RefCell::new(Vec::with_capacity(segment.len()));
         for record in segment.records {
-            if self.waits.install_or_park(record, &|r| self.try_install(r)) {
+            if self
+                .waits
+                .install_or_park(record, &|r| self.try_install(r, &marks))
+            {
                 self.deferred_writes.fetch_add(1, Ordering::Relaxed);
             }
         }
+        self.progress.mark_applied_batch(&marks.borrow());
     }
 
     fn expose(&self, _signals: &PipelineSignals) {

@@ -23,6 +23,20 @@
 //! carrying the coverage watermark (`covers_through`), which is what lets a
 //! quiet shard's progress advance through the gap — the cross-shard cut
 //! coordinator in `c5-core` depends on that.
+//!
+//! ## Routing buffer reuse
+//!
+//! Splitting runs once per segment per stream on the replication hot path,
+//! so [`route_segment_with`] is written to amortize its allocations: the
+//! per-record shard assignments and per-shard counts live in scratch buffers
+//! inside the persistent [`TxnShardTracker`] both streaming call sites
+//! already thread through every call (they grow to one segment's size once
+//! and are reused forever after), and each sub-segment's record buffer is
+//! allocated exactly once at its final size — a shard that owns nothing in a
+//! segment allocates nothing. The invariant that makes the tracker reusable
+//! across calls: `route_segment_with` must see every segment of a stream in
+//! order, because the tracker also carries the open-transaction masks that
+//! classify transactions straddling a segment boundary as cross-shard.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -293,6 +307,18 @@ pub struct RoutedSegments {
 #[derive(Debug, Default)]
 pub struct TxnShardTracker {
     open: HashMap<TxnId, u64>,
+    /// Routing scratch, reused across calls: the shard assignment of each
+    /// record in the segment currently being routed. Lives here because both
+    /// streaming call sites (the sharded shipper and the sharded replica's
+    /// ingest) already thread one persistent tracker through every call, so
+    /// the buffer grows to one segment's size once and is never reallocated
+    /// again.
+    shard_of: Vec<u8>,
+    /// Routing scratch, reused across calls: per-shard record counts of the
+    /// segment currently being routed, so each sub-segment buffer can be
+    /// allocated exactly once at its final size (and empty shards allocate
+    /// nothing).
+    counts: Vec<u32>,
 }
 
 impl TxnShardTracker {
@@ -327,24 +353,53 @@ pub fn route_segment_with(
 ) -> RoutedSegments {
     let covers = segment.covered_through();
     let id = segment.header.id;
-    let mut parts: Vec<Vec<crate::record::LogRecord>> = Vec::new();
-    parts.resize_with(router.shards(), Vec::new);
     let mut txns = 0u64;
     let mut cross_shard_txns = 0u64;
-    for record in segment.records {
+    // First pass, by reference: route every record (shards fit in a u8 —
+    // `ShardRouter` caps at 64), count per shard, and settle the cross-shard
+    // masks. The scratch buffers persist in the tracker, so after the first
+    // segment this pass allocates nothing.
+    let TxnShardTracker {
+        open,
+        shard_of,
+        counts,
+    } = tracker;
+    shard_of.clear();
+    shard_of.reserve(segment.records.len());
+    counts.clear();
+    counts.resize(router.shards(), 0);
+    for record in &segment.records {
         let shard = router.route(record.write.row);
+        shard_of.push(shard as u8);
+        counts[shard] += 1;
         if record.is_txn_last() {
             // The complete mask: fragments from earlier segments, if any,
             // plus this final write's shard.
-            let mask = tracker.open.remove(&record.txn).unwrap_or(0) | (1u64 << shard);
+            let mask = open.remove(&record.txn).unwrap_or(0) | (1u64 << shard);
             txns += 1;
             if !mask.is_power_of_two() {
                 cross_shard_txns += 1;
             }
         } else {
-            *tracker.open.entry(record.txn).or_insert(0) |= 1u64 << shard;
+            *open.entry(record.txn).or_insert(0) |= 1u64 << shard;
         }
-        parts[shard].push(record);
+    }
+    // Second pass, by value: move each record into its sub-segment buffer,
+    // every buffer allocated exactly once at its final size. Shards owning
+    // nothing in this segment allocate nothing (their sub-segment only
+    // carries the coverage watermark).
+    let mut parts: Vec<Vec<crate::record::LogRecord>> = counts
+        .iter()
+        .map(|&count| {
+            if count == 0 {
+                Vec::new()
+            } else {
+                Vec::with_capacity(count as usize)
+            }
+        })
+        .collect();
+    for (record, &shard) in segment.records.into_iter().zip(shard_of.iter()) {
+        parts[shard as usize].push(record);
     }
     RoutedSegments {
         parts: parts
