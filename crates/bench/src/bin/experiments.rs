@@ -19,6 +19,7 @@
 //!   reads           Consistency-class sessions over the fan-out fleet
 //!   sharded         Keyspace sharding sweep (1/2/4/8 shards), per-shard lag
 //!   failover        Kill the primary, promote the backup, resume + standby
+//!   durability      kill -9 a child process mid-workload, recover from disk
 //!   insert-only     Insert-only workload, 2PL primary, all protocols
 //!   insert-only-cicada  Insert-only workload, MVTSO primary
 //!   sched-offline   Offline scheduler throughput (Section 6.2)
@@ -42,13 +43,24 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "all".to_string());
 
+    // Hidden sub-command: the durability experiment respawns this binary as
+    // its crash-test child; the positional argument is the state directory.
+    if command == "durability-child" {
+        let dir = args
+            .iter()
+            .skip_while(|a| a.as_str() != "durability-child")
+            .nth(1)
+            .expect("durability-child needs a state directory argument");
+        experiments::durability::run_child(std::path::Path::new(dir));
+    }
+
     if command == "bench" {
         let (config, mode) = if smoke {
             (c5_common::BenchConfig::smoke(), "smoke")
         } else {
             (c5_common::BenchConfig::fixed(), "fixed")
         };
-        let out_dir = c5_bench::report::out_dir();
+        let out_dir = c5_bench::report::out_dir_for(mode);
         match c5_bench::report::run(&config, mode, &out_dir) {
             Ok(files) => {
                 println!("bench: all {} files validated", files.len());
@@ -85,6 +97,7 @@ fn main() {
         "reads" => experiments::reads::run(&scale),
         "sharded" => experiments::sharded::run(&scale),
         "failover" => experiments::failover::run(&scale),
+        "durability" => experiments::durability::run(&scale),
         "insert-only" => experiments::insert_only::run_myrocks(&scale),
         "insert-only-cicada" => experiments::insert_only::run_cicada(&scale),
         "sched-offline" => experiments::sched_offline::run(&scale),
@@ -111,6 +124,7 @@ fn main() {
             "reads",
             "sharded",
             "failover",
+            "durability",
             "insert-only",
             "insert-only-cicada",
             "sched-offline",

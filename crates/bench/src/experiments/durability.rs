@@ -1,0 +1,285 @@
+//! Durability: kill -9 a real process mid-workload, recover from disk.
+//!
+//! The failover experiment promotes a backup that never died; this one
+//! exercises the path the paper assumes away — the process holding the
+//! replica state is gone and a new one must rebuild it from what reached
+//! disk. The experiment spawns a **child process** (this same binary with
+//! the hidden `durability-child` sub-command) that runs a 2PL primary on the
+//! adversarial workload with its shipped log teed into a durable
+//! [`LogArchive`] (fsync per segment) and a population checkpoint published
+//! under the same state directory. Once enough segment files exist the
+//! parent SIGKILLs the child — no flush, no shutdown hook — and then:
+//!
+//! 1. recovers a replica from the persisted checkpoint plus the archived
+//!    tail ([`c5_core::recover_replica`]), tolerating a torn tail segment;
+//! 2. MPC-verifies the recovered state against a serial replay of the
+//!    retained log (the child never truncates, so the archive itself is the
+//!    ground truth);
+//! 3. corrupts one byte of the newest segment file and recovers **again**,
+//!    asserting the damaged tail is truncated back to a transaction
+//!    boundary — never a panic, and never a state that diverges from a
+//!    prefix of the log.
+//!
+//! Built-in assertions (also exercised by the CI smoke step): the child
+//! committed real transactions before dying, recovery replays them, the
+//! recovered view passes the MPC check, and the post-corruption recovery
+//! exposes a shorter-or-equal prefix that still passes the MPC check.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use c5_common::{DurabilityPolicy, PrimaryConfig, ReplicaConfig, RowRef, SeqNo, Value};
+use c5_core::replica::{C5Mode, ClonedConcurrencyControl};
+use c5_core::{checkpoint_dir, log_dir, recover_replica, MpcChecker, RecoveredReplica};
+use c5_log::{LogArchive, LogShipper, StreamingLogger};
+use c5_primary::{ClosedLoopDriver, RunLength, TplEngine, TxnFactory};
+use c5_storage::{CheckpointInstaller, CheckpointWriter, MvStore};
+use c5_workloads::synthetic::{adversarial_population, AdversarialWorkload};
+
+use crate::harness::{preload, print_table};
+use crate::scale::Scale;
+
+/// Records per shipped segment in the child. Deliberately small so the child
+/// closes (and fsyncs) segment files quickly and the parent has several on
+/// disk within a fraction of a second.
+const SEGMENT_RECORDS: usize = 64;
+
+/// Runs the crash-recovery experiment and prints one row per recovery pass.
+pub fn run(scale: &Scale) {
+    let state_dir = std::env::temp_dir().join(format!("c5-durability-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&state_dir);
+    fs::create_dir_all(&state_dir).expect("create the scratch state directory");
+
+    // How many closed segment files to wait for before pulling the plug.
+    // Scaled by duration so --full kills deeper into the workload.
+    let want_segments = if scale.duration >= Duration::from_secs(5) {
+        16
+    } else {
+        4
+    };
+
+    // 1. Spawn the child and SIGKILL it mid-workload.
+    let exe = std::env::current_exe().expect("locate the experiments binary");
+    let mut child = Command::new(exe)
+        .arg("durability-child")
+        .arg(&state_dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn the durability child");
+    wait_for_segments(&log_dir(&state_dir), want_segments, &mut child);
+    child.kill().expect("SIGKILL the child");
+    child.wait().expect("reap the child");
+
+    // 2. Recover from what reached disk.
+    let started = Instant::now();
+    let recovered = recover_first_pass(&state_dir);
+    let recovery_wall = started.elapsed();
+    assert!(
+        recovered.replayed_records > 0,
+        "the child must have shipped committed work before it was killed"
+    );
+
+    // 3. MPC-verify: the recovered view must equal the serial replay of the
+    // retained log at the cut it exposes. The child checkpoints the initial
+    // population at cut zero and never truncates, so checkpoint + archive
+    // reconstruct the full ground truth.
+    let initial = load_population(&state_dir);
+    let retained = recovered
+        .archive
+        .replay_from(SeqNo::ZERO)
+        .expect("the child never truncates its archive");
+    let mut checker = MpcChecker::new(&initial, &retained);
+    checker
+        .verify_view(recovered.replica.read_view().as_ref())
+        .expect("the recovered state must equal the serial replay of the retained log");
+
+    // 4. Corrupt one byte of the newest segment file and recover again: the
+    // damaged tail must be truncated at a transaction boundary, not panic.
+    let tail = newest_segment(&log_dir(&state_dir));
+    flip_one_byte(&tail);
+    let restarted = Instant::now();
+    let rerecovered = recover_first_pass(&state_dir);
+    let rerecovery_wall = restarted.elapsed();
+    assert!(
+        rerecovered.recovered_through <= recovered.recovered_through,
+        "a corrupted tail can only shorten the recovered prefix"
+    );
+    // The shortened state is still a valid prefix of the ORIGINAL log.
+    let mut prefix_checker = MpcChecker::new(&initial, &retained);
+    prefix_checker
+        .verify_view(rerecovered.replica.read_view().as_ref())
+        .expect("the post-corruption state must still be a prefix of the log");
+
+    println!(
+        "durability: child killed with {} segment files on disk; recovery replayed {} records \
+         through {} in {:.1} ms (torn tail: {}); after corrupting one tail byte, re-recovery \
+         exposed {} in {:.1} ms — both passed the MPC check",
+        want_segments,
+        recovered.replayed_records,
+        recovered.recovered_through,
+        recovery_wall.as_secs_f64() * 1e3,
+        recovered.torn_tail,
+        rerecovered.recovered_through,
+        rerecovery_wall.as_secs_f64() * 1e3,
+    );
+
+    print_table(
+        "Durability (measured on this host): child process SIGKILLed mid-workload, \
+         replica recovered from persisted checkpoint + archived log tail",
+        &[
+            "pass",
+            "checkpoint cut",
+            "replayed records",
+            "recovered through",
+            "torn tail",
+            "recovery ms",
+            "mpc",
+        ],
+        &[
+            vec![
+                "after kill -9".into(),
+                recovered.checkpoint_cut.to_string(),
+                recovered.replayed_records.to_string(),
+                recovered.recovered_through.to_string(),
+                recovered.torn_tail.to_string(),
+                format!("{:.1}", recovery_wall.as_secs_f64() * 1e3),
+                "ok".into(),
+            ],
+            vec![
+                "after 1-byte corruption".into(),
+                rerecovered.checkpoint_cut.to_string(),
+                rerecovered.replayed_records.to_string(),
+                rerecovered.recovered_through.to_string(),
+                rerecovered.torn_tail.to_string(),
+                format!("{:.1}", rerecovery_wall.as_secs_f64() * 1e3),
+                "ok".into(),
+            ],
+        ],
+    );
+
+    fs::remove_dir_all(&state_dir).expect("remove the scratch state directory");
+}
+
+/// The child half: a 2PL primary committing the adversarial workload forever,
+/// its shipped segments teed into a durable archive under `state_dir`, until
+/// the parent kills it. Never returns normally.
+pub fn run_child(state_dir: &Path) -> ! {
+    let population = adversarial_population();
+    let store = Arc::new(MvStore::default());
+    preload(&store, &population);
+
+    // Publish the population as a cut-zero checkpoint, then tee every shipped
+    // segment into the durable archive (fsync per segment). The parent polls
+    // for the segment files this produces.
+    let checkpoint = CheckpointWriter::capture(&store, SeqNo::ZERO);
+    CheckpointWriter::save(checkpoint_dir(state_dir), &checkpoint)
+        .expect("publish the population checkpoint");
+    let archive = Arc::new(
+        LogArchive::durable(log_dir(state_dir), DurabilityPolicy::EverySegment)
+            .expect("create the durable archive"),
+    );
+    let (shipper, receiver) = LogShipper::unbounded();
+    let shipper = shipper.with_archive(Arc::clone(&archive));
+    // No replica in this process — drain the channel so it never grows.
+    std::thread::spawn(move || while receiver.recv().is_some() {});
+
+    let logger = StreamingLogger::new(SEGMENT_RECORDS, shipper);
+    let engine = Arc::new(TplEngine::new(
+        store,
+        PrimaryConfig::default().with_threads(2),
+        logger,
+    ));
+    let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(4));
+    loop {
+        ClosedLoopDriver::with_seed(42).run_tpl(
+            &engine,
+            &factory,
+            2,
+            RunLength::Timed(Duration::from_millis(50)),
+        );
+    }
+}
+
+fn recover_first_pass(state_dir: &Path) -> RecoveredReplica {
+    recover_replica(
+        state_dir,
+        C5Mode::Faithful,
+        ReplicaConfig::default().with_workers(2),
+        DurabilityPolicy::EverySegment,
+    )
+    .expect("recovery from the persisted state")
+}
+
+/// Reconstructs the initial population from the child's cut-zero checkpoint.
+fn load_population(state_dir: &Path) -> Vec<(RowRef, Value)> {
+    let checkpoint = CheckpointInstaller::load(checkpoint_dir(state_dir))
+        .expect("read the checkpoint directory")
+        .expect("the child published a checkpoint before the workload started");
+    assert_eq!(
+        checkpoint.cut(),
+        SeqNo::ZERO,
+        "the child checkpoints the pre-log population"
+    );
+    checkpoint
+        .rows()
+        .iter()
+        .filter(|row| !row.tombstone)
+        .map(|row| (row.row, row.value.clone().expect("live rows carry a value")))
+        .collect()
+}
+
+/// Polls until `dir` holds at least `want` segment files, nudging the wait
+/// with a liveness check on the child.
+fn wait_for_segments(dir: &Path, want: usize, child: &mut std::process::Child) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if segment_files(dir).len() >= want {
+            return;
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("the durability child exited early with {status}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "the child produced fewer than {want} segment files within the deadline"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn segment_files(dir: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().is_some_and(|ext| ext == "c5w")
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("seg-"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn newest_segment(dir: &Path) -> PathBuf {
+    segment_files(dir)
+        .pop()
+        .expect("the archive retained at least one segment file")
+}
+
+/// Flips one byte near the end of `path` — inside the last frame's payload,
+/// so the frame's CRC no longer matches.
+fn flip_one_byte(path: &Path) {
+    let mut bytes = fs::read(path).expect("read the tail segment");
+    let at = bytes.len().saturating_sub(9);
+    bytes[at] ^= 0xFF;
+    fs::write(path, &bytes).expect("write the corrupted tail back");
+}

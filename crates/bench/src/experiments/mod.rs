@@ -15,6 +15,7 @@
 //!   columns compress towards 1.0 because no protocol can actually execute
 //!   in parallel, which is called out in EXPERIMENTS.md.
 
+pub mod durability;
 pub mod failover;
 pub mod fanout;
 pub mod fig10;

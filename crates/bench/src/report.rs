@@ -91,6 +91,7 @@ pub fn run(
 ) -> Result<Vec<String>, String> {
     config.validate().map_err(|e| e.to_string())?;
     std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    smoke_guard(mode, out_dir)?;
     let scenarios: [(&str, Scenario); 5] = [
         ("pipeline", pipeline_scenario),
         ("fanout", fanout_scenario),
@@ -116,12 +117,45 @@ pub fn run(
 
 /// Resolves the directory `BENCH_*.json` files are written to: the
 /// `BENCH_OUT_DIR` environment variable if set (tests and CI point it at a
-/// scratch directory), otherwise the repository root.
-pub fn out_dir() -> std::path::PathBuf {
+/// scratch directory), otherwise the repository root for `fixed` runs — and
+/// a scratch directory under the system temp dir for `smoke` runs, whose
+/// reduced-iteration numbers must never overwrite the committed
+/// full-parameter baselines at the repo root.
+pub fn out_dir_for(mode: &str) -> std::path::PathBuf {
     match std::env::var_os("BENCH_OUT_DIR") {
         Some(dir) => std::path::PathBuf::from(dir),
-        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        None if mode == "smoke" => {
+            std::env::temp_dir().join(format!("c5-bench-smoke-{}", std::process::id()))
+        }
+        None => repo_root(),
     }
+}
+
+fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Refuses to let a smoke run write into the repository root, whatever path
+/// spelling it arrived through: the committed `BENCH_*.json` files there are
+/// full-parameter baselines, and a smoke overwrite silently rewrites the
+/// repo's perf trajectory with throwaway numbers. `out_dir` must already
+/// exist (the check canonicalizes both sides).
+fn smoke_guard(mode: &str, out_dir: &std::path::Path) -> Result<(), String> {
+    if mode != "smoke" {
+        return Ok(());
+    }
+    let (Ok(out), Ok(root)) = (out_dir.canonicalize(), repo_root().canonicalize()) else {
+        return Ok(());
+    };
+    if out == root {
+        return Err(format!(
+            "smoke mode refuses to write into the repository root ({}): it would \
+             overwrite the committed full-parameter BENCH_*.json baselines; set \
+             BENCH_OUT_DIR to a scratch directory or run without --smoke",
+            root.display()
+        ));
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -907,4 +941,42 @@ fn validate_reads(doc: &JsonValue) -> Result<(), String> {
         return Err("sessions performed no tokened writes/RYW reads".into());
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression test for the smoke-overwrites-baselines bug: `bench
+    /// --smoke` without `BENCH_OUT_DIR` used to resolve to the repository
+    /// root and clobber the committed full-parameter `BENCH_*.json` files
+    /// with reduced-iteration numbers.
+    #[test]
+    fn smoke_mode_never_defaults_to_the_repo_root() {
+        if std::env::var_os("BENCH_OUT_DIR").is_some() {
+            return; // an explicit override wins in every mode, nothing to check
+        }
+        let smoke = out_dir_for("smoke");
+        let root = repo_root();
+        assert_ne!(
+            smoke.canonicalize().ok(),
+            root.canonicalize().ok().filter(|r| r.exists()),
+            "smoke output must not land at the repo root"
+        );
+        assert!(smoke.starts_with(std::env::temp_dir()));
+        // Fixed mode still targets the committed baselines.
+        assert_eq!(out_dir_for("fixed"), root);
+    }
+
+    #[test]
+    fn smoke_guard_refuses_the_repo_root_however_spelled() {
+        // The canonical path and a dotted respelling of it are both caught.
+        let root = repo_root();
+        assert!(smoke_guard("smoke", &root).is_err());
+        assert!(smoke_guard("smoke", &root.join("crates/..")).is_err());
+        // Fixed mode writes the committed baselines there by design.
+        assert!(smoke_guard("fixed", &root).is_ok());
+        // A scratch directory is fine in smoke mode.
+        assert!(smoke_guard("smoke", &std::env::temp_dir()).is_ok());
+    }
 }

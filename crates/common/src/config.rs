@@ -74,6 +74,49 @@ impl PrimaryConfig {
     }
 }
 
+/// When a durable log or checkpoint writer calls `fsync`.
+///
+/// The paper's protocols are described over an always-durable log; the
+/// reproduction makes the cost knob explicit. The policy only matters to
+/// components that actually write to disk (a disk-backed `LogArchive`, a
+/// checkpoint file writer); the default in-memory pipeline ignores it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DurabilityPolicy {
+    /// `fsync` after every segment (and every checkpoint file). A `kill -9`
+    /// loses at most the segment being written when the process died.
+    #[default]
+    EverySegment,
+    /// `fsync` after every `n` segments. A crash may lose up to `n`
+    /// OS-buffered segments; recovery still truncates to a valid
+    /// transaction-aligned prefix because segments are written in log order.
+    EveryNSegments(u32),
+    /// Never `fsync`: the OS flushes at its leisure. Survives process
+    /// crashes (the page cache persists) but not host crashes.
+    Never,
+}
+
+impl DurabilityPolicy {
+    /// Validates the policy.
+    pub fn validate(&self) -> Result<()> {
+        if matches!(self, DurabilityPolicy::EveryNSegments(0)) {
+            return Err(Error::InvalidConfig(
+                "fsync-every-n-segments needs n >= 1 (use Never to disable syncing)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether the `count`-th segment written since the last sync (1-based)
+    /// should trigger an `fsync`.
+    pub fn should_sync(&self, count: u32) -> bool {
+        match self {
+            DurabilityPolicy::EverySegment => true,
+            DurabilityPolicy::EveryNSegments(n) => count >= *n,
+            DurabilityPolicy::Never => false,
+        }
+    }
+}
+
 /// Configuration for a backup replica (any cloned concurrency control
 /// protocol).
 #[derive(Debug, Clone)]
@@ -117,6 +160,10 @@ pub struct ReplicaConfig {
     /// which worker applies which transaction. `1` restores the original
     /// one-item-per-transaction dispatch.
     pub dispatch_batch_records: usize,
+    /// When the durable layers `fsync` (see [`DurabilityPolicy`]). Ignored
+    /// by the default in-memory pipeline; honored by a disk-backed
+    /// `LogArchive` and the checkpoint file writer.
+    pub durability: DurabilityPolicy,
 }
 
 impl Default for ReplicaConfig {
@@ -131,6 +178,7 @@ impl Default for ReplicaConfig {
             shards: 1,
             shard_key_space: 1 << 20,
             dispatch_batch_records: 64,
+            durability: DurabilityPolicy::default(),
         }
     }
 }
@@ -171,6 +219,7 @@ impl ReplicaConfig {
                 self.shard_key_space, self.shards
             )));
         }
+        self.durability.validate()?;
         Ok(())
     }
 
@@ -229,6 +278,12 @@ impl ReplicaConfig {
     /// item in one-worker-per-transaction mode).
     pub fn with_dispatch_batch(mut self, records: usize) -> Self {
         self.dispatch_batch_records = records;
+        self
+    }
+
+    /// Builder-style setter for the durable-layer fsync policy.
+    pub fn with_durability(mut self, policy: DurabilityPolicy) -> Self {
+        self.durability = policy;
         self
     }
 }
@@ -496,6 +551,29 @@ mod tests {
         // The default single-shard config routes everything to shard 0.
         let single = ReplicaConfig::default().shard_router();
         assert_eq!(single.shards(), 1);
+    }
+
+    #[test]
+    fn durability_policy_validates_and_schedules_syncs() {
+        assert!(DurabilityPolicy::EverySegment.validate().is_ok());
+        assert!(DurabilityPolicy::Never.validate().is_ok());
+        assert!(DurabilityPolicy::EveryNSegments(3).validate().is_ok());
+        assert!(DurabilityPolicy::EveryNSegments(0).validate().is_err());
+        assert!(ReplicaConfig::default()
+            .with_durability(DurabilityPolicy::EveryNSegments(0))
+            .validate()
+            .is_err());
+
+        assert!(DurabilityPolicy::EverySegment.should_sync(1));
+        assert!(!DurabilityPolicy::Never.should_sync(1_000));
+        let every3 = DurabilityPolicy::EveryNSegments(3);
+        assert!(!every3.should_sync(1));
+        assert!(!every3.should_sync(2));
+        assert!(every3.should_sync(3));
+
+        let cfg = ReplicaConfig::default().with_durability(DurabilityPolicy::Never);
+        assert_eq!(cfg.durability, DurabilityPolicy::Never);
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

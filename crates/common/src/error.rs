@@ -33,6 +33,18 @@ pub enum Error {
     /// The monotonic-prefix-consistency checker found a violation. This is an
     /// error (rather than a panic) so property tests can assert on it.
     ConsistencyViolation(String),
+    /// A log-archive replay was requested from a position the archive has
+    /// already truncated past: records in `(from, truncated_through]` are
+    /// gone, so a replica bootstrapping from `from` cannot be caught up from
+    /// this archive. The caller must restart from a checkpoint at or above
+    /// `truncated_through` — silently starting cold would replay a log with
+    /// a hole in it.
+    ArchiveTruncated {
+        /// The cut the replay was requested from.
+        from: SeqNo,
+        /// The largest position truncation has dropped.
+        truncated_through: SeqNo,
+    },
     /// A read gave up waiting for any replica's exposed cut to cover the
     /// position its consistency class requires. The caller may retry, route
     /// to the primary, or surface the timeout.
@@ -86,6 +98,14 @@ impl fmt::Display for Error {
             Error::ConsistencyViolation(msg) => {
                 write!(f, "monotonic prefix consistency violated: {msg}")
             }
+            Error::ArchiveTruncated {
+                from,
+                truncated_through,
+            } => write!(
+                f,
+                "archive replay from {from} is below the truncation point {truncated_through}: \
+                 the records above the requested cut are gone"
+            ),
             Error::ReadTimeout { required, freshest } => write!(
                 f,
                 "read timed out waiting for cut {required} (freshest replica at {freshest})"
@@ -132,6 +152,11 @@ mod tests {
 
         assert!(!Error::LogChannelClosed.is_retryable());
         assert!(!Error::RowNotFound(RowRef::new(0, 0)).is_retryable());
+        assert!(!Error::ArchiveTruncated {
+            from: SeqNo(2),
+            truncated_through: SeqNo(8),
+        }
+        .is_retryable());
         assert!(!Error::ReadTimeout {
             required: SeqNo(10),
             freshest: SeqNo(4),
@@ -150,6 +175,12 @@ mod tests {
             Error::RowNotFound(RowRef::new(1, 2)).to_string(),
             "row t1/k2 not found"
         );
+        let truncated = Error::ArchiveTruncated {
+            from: SeqNo(2),
+            truncated_through: SeqNo(8),
+        };
+        assert!(truncated.to_string().contains("seq2"));
+        assert!(truncated.to_string().contains("seq8"));
     }
 
     #[test]

@@ -1,0 +1,299 @@
+//! Checksummed length-prefixed frames: the byte-level building block of every
+//! durable file in the workspace.
+//!
+//! The paper assumes durability and recovery exist on both the primary and
+//! the backup and never describes a format; this module supplies the smallest
+//! one that supports the recovery contract the durable layers need:
+//!
+//! * each frame is `[len: u32 LE][crc: u32 LE][payload; len bytes]`, where
+//!   the CRC-32 (IEEE, the zlib/PNG polynomial) covers the payload only;
+//! * a reader consumes frames until the buffer ends exactly, and reports a
+//!   **truncation** — not a panic — on a short header, a short payload, or a
+//!   checksum mismatch, returning every frame that validated before the
+//!   damage.
+//!
+//! "Truncate at the first bad frame" is what makes a torn tail (a process
+//! killed mid-write, a half-synced page) recoverable: the valid prefix is
+//! trusted, the rest is discarded, and the caller re-aligns the prefix to
+//! its own unit of atomicity (the log layers trim to a transaction
+//! boundary on top of this).
+
+/// The CRC-32 (IEEE 802.3) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the checksum every frame carries.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Appends one frame (`len`, `crc`, payload) to `out`.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Why a frame scan stopped before the end of the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameDamage {
+    /// The buffer ended inside a frame header or payload (a torn write).
+    ShortRead,
+    /// A payload's checksum did not match its header (bit rot or a torn
+    /// write that happened to leave the length plausible).
+    BadChecksum,
+}
+
+/// The result of scanning a buffer of frames: the payloads that validated,
+/// plus what (if anything) stopped the scan early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameScan {
+    /// Every payload up to (not including) the first damaged frame.
+    pub frames: Vec<Vec<u8>>,
+    /// `None` when the buffer ended exactly on a frame boundary; otherwise
+    /// the damage that truncated the scan.
+    pub damage: Option<FrameDamage>,
+}
+
+impl FrameScan {
+    /// Whether every byte of the buffer validated.
+    pub fn is_clean(&self) -> bool {
+        self.damage.is_none()
+    }
+}
+
+/// Scans `bytes` as a sequence of frames, stopping (never panicking) at the
+/// first short read or checksum mismatch.
+pub fn read_frames(bytes: &[u8]) -> FrameScan {
+    let mut frames = Vec::new();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        if bytes.len() - at < 8 {
+            return FrameScan {
+                frames,
+                damage: Some(FrameDamage::ShortRead),
+            };
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        let start = at + 8;
+        let Some(end) = start.checked_add(len).filter(|&end| end <= bytes.len()) else {
+            return FrameScan {
+                frames,
+                damage: Some(FrameDamage::ShortRead),
+            };
+        };
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            return FrameScan {
+                frames,
+                damage: Some(FrameDamage::BadChecksum),
+            };
+        }
+        frames.push(payload.to_vec());
+        at = end;
+    }
+    FrameScan {
+        frames,
+        damage: None,
+    }
+}
+
+/// A little-endian cursor over a validated payload, for decoding the fields
+/// a frame carries. Every accessor returns `None` on underrun instead of
+/// panicking — a decoded frame with a valid checksum can still be from a
+/// future (or corrupted-before-checksum) writer, and recovery must degrade
+/// to "truncate here", never crash.
+#[derive(Debug)]
+pub struct PayloadReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.at)?;
+        self.at += 1;
+        Some(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        let bytes = self.bytes.get(self.at..self.at + 4)?;
+        self.at += 4;
+        Some(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        let bytes = self.bytes.get(self.at..self.at + 8)?;
+        self.at += 8;
+        Some(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed byte string (`u32` length, then the bytes).
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        let bytes = self.bytes.get(self.at..self.at.checked_add(len)?)?;
+        self.at += len;
+        Some(bytes)
+    }
+}
+
+/// The matching little-endian encoder.
+#[derive(Debug, Default)]
+pub struct PayloadWriter {
+    bytes: Vec<u8>,
+}
+
+impl PayloadWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.bytes.push(v);
+        self
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.bytes.extend_from_slice(v);
+        self
+    }
+
+    /// The encoded payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello");
+        write_frame(&mut buf, b"");
+        write_frame(&mut buf, &[0xFFu8; 300]);
+        let scan = read_frames(&buf);
+        assert!(scan.is_clean());
+        assert_eq!(scan.frames.len(), 3);
+        assert_eq!(scan.frames[0], b"hello");
+        assert!(scan.frames[1].is_empty());
+        assert_eq!(scan.frames[2].len(), 300);
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_the_valid_prefix() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"keep me");
+        write_frame(&mut buf, b"torn");
+        // Lose the last two bytes, as a crash mid-write would.
+        buf.truncate(buf.len() - 2);
+        let scan = read_frames(&buf);
+        assert_eq!(scan.damage, Some(FrameDamage::ShortRead));
+        assert_eq!(scan.frames, vec![b"keep me".to_vec()]);
+    }
+
+    #[test]
+    fn flipped_byte_truncates_with_a_checksum_mismatch() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"good");
+        let second_at = buf.len();
+        write_frame(&mut buf, b"bad!");
+        buf[second_at + 8] ^= 0x01; // first payload byte of the second frame
+        let scan = read_frames(&buf);
+        assert_eq!(scan.damage, Some(FrameDamage::BadChecksum));
+        assert_eq!(scan.frames, vec![b"good".to_vec()]);
+    }
+
+    #[test]
+    fn absurd_length_is_a_short_read_not_a_panic() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(b"tiny");
+        let scan = read_frames(&buf);
+        assert_eq!(scan.damage, Some(FrameDamage::ShortRead));
+        assert!(scan.frames.is_empty());
+    }
+
+    #[test]
+    fn payload_codec_round_trips_and_bounds_checks() {
+        let mut w = PayloadWriter::new();
+        w.u8(7).u32(1234).u64(u64::MAX).bytes(b"payload");
+        let buf = w.finish();
+
+        let mut r = PayloadReader::new(&buf);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u32(), Some(1234));
+        assert_eq!(r.u64(), Some(u64::MAX));
+        assert_eq!(r.bytes(), Some(&b"payload"[..]));
+        assert!(r.is_exhausted());
+        assert_eq!(r.u8(), None, "reads past the end return None");
+
+        // A declared length past the end underruns cleanly.
+        let mut w = PayloadWriter::new();
+        w.u32(1000);
+        let buf = w.finish();
+        let mut r = PayloadReader::new(&buf);
+        assert_eq!(r.bytes(), None);
+    }
+}

@@ -23,6 +23,9 @@
 //! * [`OpCost`] models the per-operation execution costs `e` (primary) and
 //!   `d` (backup) from Section 3.1 so that benchmark shapes are reproducible
 //!   on hosts with very different core counts than the paper's testbed.
+//! * [`frame`] is the checksummed length-prefixed frame codec the durable
+//!   layers (disk-backed log archive, checkpoint files) build their on-disk
+//!   formats from, and [`DurabilityPolicy`] is their shared fsync knob.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,13 +33,15 @@
 pub mod config;
 pub mod cost;
 pub mod error;
+pub mod frame;
 pub mod ids;
 pub mod pacing;
 pub mod shard;
 pub mod value;
 
 pub use config::{
-    BenchConfig, IsolationLevel, PrimaryConfig, ReadConfig, ReplicaConfig, SnapshotMode,
+    BenchConfig, DurabilityPolicy, IsolationLevel, PrimaryConfig, ReadConfig, ReplicaConfig,
+    SnapshotMode,
 };
 pub use cost::OpCost;
 pub use error::{Error, Result};

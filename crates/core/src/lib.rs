@@ -40,6 +40,7 @@ pub mod lag;
 pub mod mpc;
 pub mod pipeline;
 pub mod progress;
+pub mod recovery;
 pub mod replica;
 pub mod scheduler;
 pub mod shard;
@@ -52,6 +53,7 @@ pub use pipeline::{
     QueuePlan, RowWaitList, WorkSink,
 };
 pub use progress::WatermarkTracker;
+pub use recovery::{checkpoint_dir, log_dir, recover_replica, RecoveredReplica, RecoveryError};
 pub use replica::{
     drive_from_receiver, drive_segments, C5Mode, C5Replica, ClonedConcurrencyControl, Promotion,
     ReadView, ReplicaMetrics,

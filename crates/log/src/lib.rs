@@ -37,7 +37,12 @@
 //! ([`archive::LogArchive`]): a shipper with an attached archive records
 //! every segment that goes on the wire, a checkpoint truncates the archive
 //! at its cut, and a cold replica bootstraps by installing the checkpoint
-//! and replaying the retained tail from the cut.
+//! and replaying the retained tail from the cut. The archive can be
+//! disk-backed ([`archive::LogArchive::durable`]): segments are persisted in
+//! the checksummed on-disk format of [`wal`] and fsynced per
+//! [`c5_common::DurabilityPolicy`], and [`archive::LogArchive::open`]
+//! recovers the retained log across a real process restart, truncating a
+//! torn or corrupt tail back to a transaction boundary instead of panicking.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -47,8 +52,9 @@ pub mod logger;
 pub mod record;
 pub mod segment;
 pub mod ship;
+pub mod wal;
 
-pub use archive::LogArchive;
+pub use archive::{DurableRecovery, LogArchive};
 pub use logger::{coalesce, flatten, segments_from_entries, StreamingLogger, ThreadLog};
 pub use record::{explode_txn, now_nanos, LogRecord, TxnEntry};
 pub use segment::{Segment, SegmentHeader};

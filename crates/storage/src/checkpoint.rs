@@ -16,9 +16,10 @@
 //! cut vector from a `ShardedReadView` — [`CheckpointWriter::capture_vector`]
 //! exports each row at its own shard's component, which is consistent because
 //! no shard-owned version exists between the global cut and the component).
-//! [`CheckpointInstaller`] installs one into a store. The reproduction keeps
-//! checkpoints in memory; a disk format would serialize
-//! [`VersionExport`] rows plus the cut, nothing more.
+//! [`CheckpointInstaller`] installs one into a store. Checkpoints can also be
+//! persisted: [`crate::durable`] serializes exactly the [`VersionExport`]
+//! rows plus the cut into a checksummed file, published through a
+//! torn-write-safe manifest, and loads it back across a process restart.
 
 use std::sync::Arc;
 
@@ -36,6 +37,14 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
+    /// Reassembles a checkpoint from its parts — the decode half of the
+    /// on-disk format in [`crate::durable`]. Crate-private so every public
+    /// checkpoint still originates from a pinned capture (or a faithful
+    /// decode of one).
+    pub(crate) fn from_parts(cut: SeqNo, rows: Vec<VersionExport>) -> Self {
+        Self { cut, rows }
+    }
+
     /// The log position this checkpoint reflects (all writes at or below it,
     /// none above).
     pub fn cut(&self) -> SeqNo {

@@ -27,11 +27,17 @@
 //! pinned cut (timestamps and tombstones preserved, so per-row ordered apply
 //! can resume on top), and a [`checkpoint::CheckpointInstaller`] installs
 //! one into a fresh store for a cold replica to catch up from the log tail.
+//! [`durable`] persists checkpoints across real process restarts: the
+//! writer's `save` serializes the rows into a checksummed data file and
+//! publishes it through a write-temp-then-rename manifest, and the
+//! installer's `load` reads it back, failing cleanly (never panicking) on a
+//! torn or corrupted file.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod checkpoint;
+pub mod durable;
 pub mod logical;
 pub mod mvstore;
 pub mod reference;

@@ -82,21 +82,21 @@ pub mod prelude {
         CoarseGrainReplica, Granularity, KuaFuConfig, KuaFuReplica, SingleThreadedReplica,
     };
     pub use c5_common::{
-        poll_until, Error, IsolationLevel, Key, OpCost, Pacer, PrimaryConfig, ReadConfig,
-        ReplicaConfig, Result, RowRef, RowWrite, SeqNo, SessionId, ShardRouter, SnapshotMode,
-        TableId, Timestamp, TxnId, Value, WriteKind,
+        poll_until, DurabilityPolicy, Error, IsolationLevel, Key, OpCost, Pacer, PrimaryConfig,
+        ReadConfig, ReplicaConfig, Result, RowRef, RowWrite, SeqNo, SessionId, ShardRouter,
+        SnapshotMode, TableId, Timestamp, TxnId, Value, WriteKind,
     };
     pub use c5_core::replica::{
         drive_from_receiver, drive_segments, C5Mode, C5Replica, ClonedConcurrencyControl,
         Promotion, ReadView, ReplicaMetrics,
     };
     pub use c5_core::{
-        CutCoordinator, LagSample, LagStats, LagTracker, MpcChecker, ShardedC5Replica,
-        WatermarkTracker,
+        checkpoint_dir, log_dir, recover_replica, CutCoordinator, LagSample, LagStats, LagTracker,
+        MpcChecker, RecoveredReplica, RecoveryError, ShardedC5Replica, WatermarkTracker,
     };
     pub use c5_log::{
-        coalesce, segments_from_entries, LogArchive, LogReceiver, LogShipper, Segment,
-        StreamingLogger, TxnEntry,
+        coalesce, segments_from_entries, DurableRecovery, LogArchive, LogReceiver, LogShipper,
+        Segment, StreamingLogger, TxnEntry,
     };
     pub use c5_primary::{
         ClosedLoopDriver, MvtsoEngine, RunLength, StoredProcedure, TplEngine, TxnCtx, TxnFactory,
