@@ -17,6 +17,7 @@
 //!   fig12           The production load-spike trace
 //!   fanout          1 primary -> 3 replicas log fan-out, per-replica lag
 //!   reads           Consistency-class sessions over the fan-out fleet
+//!   elastic         Online join + online retire on a live fleet under load
 //!   sharded         Keyspace sharding sweep (1/2/4/8 shards), per-shard lag
 //!   failover        Kill the primary, promote the backup, resume + standby
 //!   durability      kill -9 a child process mid-workload, recover from disk
@@ -95,6 +96,7 @@ fn main() {
         "fig12" => experiments::fig12::run(&scale),
         "fanout" => experiments::fanout::run(&scale),
         "reads" => experiments::reads::run(&scale),
+        "elastic" => experiments::elastic::run(&scale),
         "sharded" => experiments::sharded::run(&scale),
         "failover" => experiments::failover::run(&scale),
         "durability" => experiments::durability::run(&scale),
@@ -122,6 +124,7 @@ fn main() {
             "fig12",
             "fanout",
             "reads",
+            "elastic",
             "sharded",
             "failover",
             "durability",

@@ -16,6 +16,7 @@
 //!   in parallel, which is called out in EXPERIMENTS.md.
 
 pub mod durability;
+pub mod elastic;
 pub mod failover;
 pub mod fanout;
 pub mod fig10;

@@ -9,6 +9,9 @@ use c5_baselines::{
 use c5_common::{
     OpCost, PrimaryConfig, ReplicaConfig, RowRef, SeqNo, SnapshotMode, Timestamp, Value, WriteKind,
 };
+use c5_core::fleet::{
+    FleetController, FleetRoutingSink, JoinReport, ReplicaLifecycle, RetireReport,
+};
 use c5_core::lag::LagStats;
 use c5_core::replica::{
     drive_from_receiver, drive_segments, C5Mode, C5Replica, ClonedConcurrencyControl,
@@ -889,7 +892,7 @@ pub fn run_reads_streaming(
     sessions: usize,
     staleness_bound: Duration,
 ) -> ReadsOutcome {
-    use c5_read::{ConsistencyClass, ReadRouter};
+    use c5_read::ReadRouter;
     use std::sync::atomic::{AtomicBool, Ordering};
 
     assert!(replicas > 0 && sessions > 0);
@@ -957,76 +960,8 @@ pub fn run_reads_streaming(
                 let session_stats = &session_stats;
                 let seed = setup.seed.wrapping_add(s as u64);
                 scope.spawn(move || {
-                    use c5_primary::TxnCtx;
-                    use rand::rngs::StdRng;
-                    use rand::{Rng, SeedableRng};
-                    let mut session = router.session();
-                    let mut local = SessionAggregates::default();
-                    let mut last_as_of = SeqNo::ZERO;
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    let mut assert_monotonic = |read: &c5_read::SessionRead| {
-                        assert!(
-                            read.as_of >= last_as_of,
-                            "session read went backwards: {} after {last_as_of}",
-                            read.as_of
-                        );
-                        last_as_of = read.as_of;
-                    };
-                    let mut iteration = 0u64;
-                    while !stop_readers.load(Ordering::Relaxed) {
-                        // 1. Commit a tokened write to the session's own key.
-                        let own_row = RowRef::new(SESSION_TABLE, s as u64 * 1_000 + iteration % 50);
-                        let own_value = Value::from_u64(iteration + 1);
-                        let write_value = own_value.clone();
-                        let token = match engine.execute_with_token(&move |ctx: &mut dyn TxnCtx| {
-                            ctx.update(own_row, write_value.clone())
-                        }) {
-                            Ok((_, token)) => token,
-                            Err(_) => continue, // retries exhausted under contention
-                        };
-                        session.observe_commit(token);
-                        local.writes += 1;
-
-                        // 2. Read-your-writes: causally read the write back.
-                        match session.read(&session.causal(), own_row) {
-                            Ok(read) => {
-                                assert!(
-                                    read.as_of >= token,
-                                    "RYW violated: served at {} below token {token}",
-                                    read.as_of
-                                );
-                                // Only this session writes this key, and its
-                                // next write doesn't exist yet, so the value
-                                // must be exactly the one just written.
-                                assert_eq!(
-                                    read.value.as_ref(),
-                                    Some(&own_value),
-                                    "RYW violated: stale value at cut {}",
-                                    read.as_of
-                                );
-                                assert_monotonic(&read);
-                                local.ryw_reads += 1;
-                            }
-                            Err(c5_common::Error::ReadTimeout { .. }) => local.timeouts += 1,
-                            Err(err) => panic!("session read failed: {err}"),
-                        }
-
-                        // 3. A strong or bounded-staleness read of a random key.
-                        let random_row =
-                            RowRef::new(c5_workloads::SYNTHETIC_TABLE, rng.gen_range(0..100_000));
-                        let class = if iteration % 4 == 0 {
-                            ConsistencyClass::Strong
-                        } else {
-                            ConsistencyClass::BoundedStaleness(staleness_bound)
-                        };
-                        match session.read(&class, random_row) {
-                            Ok(read) => assert_monotonic(&read),
-                            Err(c5_common::Error::ReadTimeout { .. }) => local.timeouts += 1,
-                            Err(err) => panic!("session read failed: {err}"),
-                        }
-                        iteration += 1;
-                    }
-                    local.replica_switches = session.replica_switches();
+                    let local =
+                        run_session_loop(&engine, &router, s, seed, stop_readers, staleness_bound);
                     let mut total = session_stats.lock();
                     total.writes += local.writes;
                     total.ryw_reads += local.ryw_reads;
@@ -1086,6 +1021,364 @@ pub fn run_reads_streaming(
         replica_lag: backups.iter().map(|b| b.lag().stats()).collect(),
         session_stats: session_stats.into_inner(),
         final_seq,
+    }
+}
+
+/// One reader session's loop, shared by the read-serving and elastic
+/// harnesses: commit a tokened write on the primary, causally read it back
+/// (**asserting** read-your-writes by cut and by value), mix in `Strong` and
+/// `BoundedStaleness(staleness_bound)` reads of random keys, and assert
+/// after every read that the session never reads backwards — across whatever
+/// replica switches (or, for the elastic harness, membership churn) the
+/// router rides through.
+///
+/// # Panics
+/// Panics if read-your-writes or monotonicity is violated.
+fn run_session_loop(
+    engine: &Arc<TplEngine>,
+    router: &Arc<c5_read::ReadRouter>,
+    s: usize,
+    seed: u64,
+    stop: &std::sync::atomic::AtomicBool,
+    staleness_bound: Duration,
+) -> SessionAggregates {
+    use c5_primary::TxnCtx;
+    use c5_read::ConsistencyClass;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::atomic::Ordering;
+
+    let mut session = router.session();
+    let mut local = SessionAggregates::default();
+    let mut last_as_of = SeqNo::ZERO;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut assert_monotonic = |read: &c5_read::SessionRead| {
+        assert!(
+            read.as_of >= last_as_of,
+            "session read went backwards: {} after {last_as_of}",
+            read.as_of
+        );
+        last_as_of = read.as_of;
+    };
+    let mut iteration = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        // 1. Commit a tokened write to the session's own key.
+        let own_row = RowRef::new(SESSION_TABLE, s as u64 * 1_000 + iteration % 50);
+        let own_value = Value::from_u64(iteration + 1);
+        let write_value = own_value.clone();
+        let token = match engine.execute_with_token(&move |ctx: &mut dyn TxnCtx| {
+            ctx.update(own_row, write_value.clone())
+        }) {
+            Ok((_, token)) => token,
+            Err(_) => continue, // retries exhausted under contention
+        };
+        session.observe_commit(token);
+        local.writes += 1;
+
+        // 2. Read-your-writes: causally read the write back.
+        match session.read(&session.causal(), own_row) {
+            Ok(read) => {
+                assert!(
+                    read.as_of >= token,
+                    "RYW violated: served at {} below token {token}",
+                    read.as_of
+                );
+                // Only this session writes this key, and its next write
+                // doesn't exist yet, so the value must be exactly the one
+                // just written.
+                assert_eq!(
+                    read.value.as_ref(),
+                    Some(&own_value),
+                    "RYW violated: stale value at cut {}",
+                    read.as_of
+                );
+                assert_monotonic(&read);
+                local.ryw_reads += 1;
+            }
+            Err(c5_common::Error::ReadTimeout { .. }) => local.timeouts += 1,
+            Err(err) => panic!("session read failed: {err}"),
+        }
+
+        // 3. A strong or bounded-staleness read of a random key.
+        let random_row = RowRef::new(c5_workloads::SYNTHETIC_TABLE, rng.gen_range(0..100_000));
+        let class = if iteration % 4 == 0 {
+            ConsistencyClass::Strong
+        } else {
+            ConsistencyClass::BoundedStaleness(staleness_bound)
+        };
+        match session.read(&class, random_row) {
+            Ok(read) => assert_monotonic(&read),
+            Err(c5_common::Error::ReadTimeout { .. }) => local.timeouts += 1,
+            Err(err) => panic!("session read failed: {err}"),
+        }
+        iteration += 1;
+    }
+    local.replica_switches = session.replica_switches();
+    local
+}
+
+/// Outcome of the elastic-fleet experiment: one online join and one online
+/// retire performed on a live fan-out under continuous tokened load.
+#[derive(Debug, Clone)]
+pub struct ElasticOutcome {
+    /// Primary-side statistics (background load plus session writes).
+    pub primary: PrimaryRunStats,
+    /// Wall-clock time of the whole churn window.
+    pub wall: Duration,
+    /// Number of reader sessions.
+    pub sessions: usize,
+    /// What the mid-run online join did.
+    pub join: JoinReport,
+    /// What the mid-run online retire did.
+    pub retire: RetireReport,
+    /// Per-consistency-class read statistics.
+    pub per_class: Vec<c5_read::ClassStats>,
+    /// Final routing snapshot of the surviving fleet.
+    pub fleet: Vec<c5_read::ReplicaStatus>,
+    /// Session-side aggregates (every read also carried the harness's
+    /// built-in RYW/monotonicity assertions).
+    pub session_stats: SessionAggregates,
+    /// Per-surviving-member lag summaries, keyed by fleet id. The joiner's
+    /// samples only cover its post-join life, so its row *is* the
+    /// lag-during-churn measurement.
+    pub survivor_lag: Vec<(usize, Option<LagStats>)>,
+    /// Whether every surviving member's exposed state equals the primary's
+    /// final state row for row (MPC convergence despite the churn).
+    pub survivors_converged: bool,
+    /// The primary's final log position.
+    pub final_seq: SeqNo,
+    /// Router generation at the end — one bump per admit, retire, and
+    /// detach, so churn is visible in the routing metadata.
+    pub generations: u64,
+}
+
+/// Runs the elastic-fleet experiment:
+///
+/// * a 2PL primary ships to a [`LogShipper`] that starts with **zero**
+///   subscribers and an archive — every member of the fleet, seeds
+///   included, enters through [`FleetController`]'s join protocol;
+/// * `seed_replicas` members are seeded before load starts; `sessions`
+///   reader threads then run the same tokened session loop as the `reads`
+///   experiment while a closed-loop workload drives the primary;
+/// * a third of the way through, a brand-new replica **joins online**
+///   (checkpoint export → install → archived-gap replay → live stream, the
+///   stream subscribed before the replay so no seq can fall in between);
+///   two thirds through, the first seed **retires online** (drain, then
+///   detach);
+/// * the harness hard-asserts the joiner is exposed at or beyond its
+///   install cut the moment it is `Serving`, that no session ever violates
+///   RYW or monotonicity across the churn, that a closing strong read
+///   covers the whole log, and that every survivor's final state equals
+///   the primary's, row for row.
+///
+/// # Panics
+/// Panics if any of the above invariants fails — these are the
+/// experiment's built-in correctness assertions.
+pub fn run_elastic_streaming(
+    setup: &StreamingSetup,
+    factory: Arc<dyn TxnFactory>,
+    seed_replicas: usize,
+    sessions: usize,
+    staleness_bound: Duration,
+) -> ElasticOutcome {
+    use c5_read::ReadRouter;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    assert!(seed_replicas > 0 && sessions > 0);
+    // Primary whose shipper starts empty: membership is entirely dynamic.
+    let primary_store = Arc::new(MvStore::default());
+    preload(&primary_store, &setup.population);
+    let archive = Arc::new(LogArchive::new());
+    let (shipper, receivers) = LogShipper::fan_out(0, 1024);
+    assert!(receivers.is_empty());
+    let shipper = shipper.with_archive(Arc::clone(&archive));
+    let logger = StreamingLogger::new(setup.segment_records, shipper.clone());
+    let primary_config = PrimaryConfig::default()
+        .with_threads(setup.primary_threads)
+        .with_op_cost(setup.op_cost);
+    let engine = Arc::new(TplEngine::new(
+        Arc::clone(&primary_store),
+        primary_config,
+        logger,
+    ));
+
+    // The router starts with an empty fleet; the controller admits members.
+    let frontier_engine = Arc::clone(&engine);
+    let flush_engine = Arc::clone(&engine);
+    let router = Arc::new(
+        ReadRouter::new(
+            Vec::new(),
+            c5_common::ReadConfig::default().with_max_wait(Duration::from_secs(5)),
+        )
+        .with_frontier(move || frontier_engine.log_last_seq())
+        .with_tail_flush(move || flush_engine.flush_log()),
+    );
+
+    let replica_config = ReplicaConfig::default()
+        .with_workers(setup.replica_workers)
+        .with_op_cost(setup.op_cost)
+        .with_snapshot_interval(setup.snapshot_interval);
+    let controller = FleetController::new(
+        shipper,
+        Arc::clone(&archive),
+        Arc::clone(&router) as Arc<dyn FleetRoutingSink>,
+        C5Mode::Faithful,
+        replica_config,
+    );
+
+    // Seed the initial fleet through the same join protocol a live joiner
+    // uses; with an empty archive there is nothing to replay, so the seeds
+    // are Serving immediately.
+    let seeds: Vec<JoinReport> = (0..seed_replicas)
+        .map(|_| {
+            let store = Arc::new(MvStore::default());
+            preload(&store, &setup.population);
+            controller
+                .join_seeded(store)
+                .expect("seeding an idle fleet cannot fail")
+        })
+        .collect();
+
+    let start = Instant::now();
+    let stop_readers = AtomicBool::new(false);
+    let mut primary_stats = PrimaryRunStats::default();
+    let mut wall = Duration::ZERO;
+    let session_stats = parking_lot::Mutex::new(SessionAggregates::default());
+    let mut join_report = None;
+    let mut retire_report = None;
+
+    std::thread::scope(|scope| {
+        // Reader sessions.
+        let reader_handles: Vec<_> = (0..sessions)
+            .map(|s| {
+                let engine = Arc::clone(&engine);
+                let router = Arc::clone(&router);
+                let stop_readers = &stop_readers;
+                let session_stats = &session_stats;
+                let seed = setup.seed.wrapping_add(s as u64);
+                scope.spawn(move || {
+                    let local =
+                        run_session_loop(&engine, &router, s, seed, stop_readers, staleness_bound);
+                    let mut total = session_stats.lock();
+                    total.writes += local.writes;
+                    total.ryw_reads += local.ryw_reads;
+                    total.replica_switches += local.replica_switches;
+                    total.timeouts += local.timeouts;
+                })
+            })
+            .collect();
+
+        // Background write load runs on its own thread so this thread can
+        // orchestrate the membership churn mid-run.
+        let load = {
+            let engine = Arc::clone(&engine);
+            let factory = Arc::clone(&factory);
+            scope.spawn(move || {
+                ClosedLoopDriver::with_seed(setup.seed).run_tpl(
+                    &engine,
+                    &factory,
+                    setup.clients,
+                    RunLength::Timed(setup.duration),
+                )
+            })
+        };
+
+        // One third in: a brand-new replica joins the live fan-out.
+        std::thread::sleep(setup.duration / 3);
+        let join = controller.join().expect("online join under load");
+        assert!(
+            join.checkpoint_cut <= join.stream_start,
+            "the live stream (from {}) must cover everything past the \
+             checkpoint cut {}",
+            join.stream_start,
+            join.checkpoint_cut
+        );
+        let joiner = controller.replica(join.replica).expect("joiner is managed");
+        assert!(
+            joiner.exposed_seq() >= join.checkpoint_cut.max(join.stream_start),
+            "a joiner flips to Serving only at or beyond its install cut"
+        );
+        join_report = Some(join);
+
+        // Two thirds in: the first seed retires online — drained, then
+        // detached, while its peers keep serving.
+        std::thread::sleep(setup.duration / 3);
+        let retire = controller
+            .retire(seeds[0].replica)
+            .expect("online retire under load");
+        retire_report = Some(retire);
+
+        primary_stats = load.join().expect("background load");
+        // Stop the sessions. A session mid-iteration can still commit a
+        // token into a partial segment after the background load ends; its
+        // own blocked read ships it via the router's tail-flush hook.
+        stop_readers.store(true, Ordering::Relaxed);
+        for handle in reader_handles {
+            handle.join().expect("reader session");
+        }
+        wall = start.elapsed();
+        engine.close_log();
+        controller.finish();
+    });
+
+    // The surviving fleet has the whole log; a closing strong read must
+    // see it even though a member left mid-run.
+    let final_seq = engine.log_last_seq();
+    let closing = router
+        .session()
+        .read(
+            &c5_read::ConsistencyClass::Strong,
+            RowRef::new(SESSION_TABLE, 0),
+        )
+        .expect("the surviving fleet serves strong reads after the churn");
+    assert!(
+        closing.as_of >= final_seq,
+        "closing strong read at {} misses the log end {final_seq}",
+        closing.as_of
+    );
+
+    // Session writes ride the same engine; fold them into the committed
+    // count reported for the primary.
+    primary_stats.committed = engine.committed();
+
+    let join = join_report.expect("join ran");
+    let retire = retire_report.expect("retire ran");
+
+    // MPC convergence by full state: every surviving member's exposed state
+    // must equal the primary's final state row for row. (The joiner's
+    // applied-txn counter can't be compared — its checkpoint baked in
+    // history it never applied — so state equality is the check.)
+    let mut expect: Vec<(RowRef, Value)> = primary_store.scan_all_at(Timestamp::MAX);
+    expect.sort_by_key(|(row, _)| *row);
+    let survivor_ids: Vec<usize> = controller
+        .members()
+        .into_iter()
+        .filter(|&(_, state)| state == ReplicaLifecycle::Serving)
+        .map(|(id, _)| id)
+        .collect();
+    let mut survivors_converged = true;
+    let mut survivor_lag = Vec::new();
+    for &id in &survivor_ids {
+        let replica = controller.replica(id).expect("serving member is managed");
+        let mut got: Vec<(RowRef, Value)> = replica.read_view().scan_all();
+        got.sort_by_key(|(row, _)| *row);
+        survivors_converged &= got == expect;
+        survivor_lag.push((id, replica.lag().stats()));
+    }
+
+    ElasticOutcome {
+        primary: primary_stats,
+        wall,
+        sessions,
+        join,
+        retire,
+        per_class: router.all_class_stats(),
+        fleet: router.fleet_status(),
+        session_stats: session_stats.into_inner(),
+        survivor_lag,
+        survivors_converged,
+        final_seq,
+        generations: router.generation(),
     }
 }
 

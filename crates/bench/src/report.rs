@@ -7,7 +7,7 @@
 //! methodology") is that every perf-flavored PR moves a number in one of
 //! them — in both directions, visibly, diffably.
 //!
-//! Five files are emitted:
+//! Six files are emitted:
 //!
 //! * `BENCH_pipeline.json` — apply-path ns/record for the faithful,
 //!   MyRocks-constrained, and 8-shard replicas replaying one pre-materialized
@@ -27,6 +27,9 @@
 //!   claim).
 //! * `BENCH_reads.json` — per-consistency-class read latency and staleness
 //!   percentiles over a fan-out fleet.
+//! * `BENCH_elastic.json` — membership churn on a live fleet: online
+//!   join-to-Serving time, online retire drain time, and lag-during-churn
+//!   percentiles (the joiner's lag samples only cover its post-join life).
 //!
 //! Each scenario validates its own emitted document against
 //! [`validate_bench`] before the file is written, so a run that produces a
@@ -48,8 +51,8 @@ use c5_workloads::synthetic::{
 };
 
 use crate::harness::{
-    preload, run_failover_streaming, run_fanout_streaming, run_reads_streaming,
-    run_sharded_streaming, run_streaming, ReplicaSpec, StreamingSetup,
+    preload, run_elastic_streaming, run_failover_streaming, run_fanout_streaming,
+    run_reads_streaming, run_sharded_streaming, run_streaming, ReplicaSpec, StreamingSetup,
 };
 use crate::json::JsonValue;
 
@@ -92,12 +95,13 @@ pub fn run(
     config.validate().map_err(|e| e.to_string())?;
     std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
     smoke_guard(mode, out_dir)?;
-    let scenarios: [(&str, Scenario); 5] = [
+    let scenarios: [(&str, Scenario); 6] = [
         ("pipeline", pipeline_scenario),
         ("fanout", fanout_scenario),
         ("sharded", sharded_scenario),
         ("failover", failover_scenario),
         ("reads", reads_scenario),
+        ("elastic", elastic_scenario),
     ];
     let mut written = Vec::new();
     for (name, scenario) in scenarios {
@@ -570,6 +574,141 @@ fn reads_scenario(config: &BenchConfig, mode: &str) -> JsonValue {
     JsonValue::Obj(fields)
 }
 
+/// Seed fleet of the elastic scenario (the live fan-out a replica joins).
+pub const ELASTIC_SEED_REPLICAS: usize = 3;
+
+fn elastic_scenario(config: &BenchConfig, mode: &str) -> JsonValue {
+    let mut setup = setup_for(config);
+    setup.population = adversarial_population();
+    let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(4));
+    let outcome = run_elastic_streaming(
+        &setup,
+        factory,
+        ELASTIC_SEED_REPLICAS,
+        config.read_sessions,
+        STALENESS_BOUND,
+    );
+    assert!(
+        outcome.survivors_converged,
+        "surviving members must expose the primary's full final state"
+    );
+    let join = JsonValue::Obj(vec![
+        (
+            "replica".into(),
+            JsonValue::num(outcome.join.replica as u32),
+        ),
+        (
+            "checkpoint_cut".into(),
+            JsonValue::Num(outcome.join.checkpoint_cut.as_u64() as f64),
+        ),
+        (
+            "stream_start".into(),
+            JsonValue::Num(outcome.join.stream_start.as_u64() as f64),
+        ),
+        (
+            "replayed_records".into(),
+            JsonValue::Num(outcome.join.replayed_records as f64),
+        ),
+        (
+            "join_to_serving_ms".into(),
+            JsonValue::Num(outcome.join.join_to_serving.as_secs_f64() * 1e3),
+        ),
+    ]);
+    let retire = JsonValue::Obj(vec![
+        (
+            "replica".into(),
+            JsonValue::num(outcome.retire.replica as u32),
+        ),
+        (
+            "drain_ms".into(),
+            JsonValue::Num(outcome.retire.drain.as_secs_f64() * 1e3),
+        ),
+        (
+            "retired_exposed".into(),
+            JsonValue::Num(outcome.retire.retired_exposed.as_u64() as f64),
+        ),
+    ]);
+    let survivors = outcome
+        .survivor_lag
+        .iter()
+        .map(|(id, lag)| {
+            JsonValue::Obj(vec![
+                ("replica".into(), JsonValue::num(*id as u32)),
+                (
+                    "joined_mid_run".into(),
+                    JsonValue::Bool(*id == outcome.join.replica),
+                ),
+                ("lag_ms".into(), lag_json(lag.as_ref())),
+            ])
+        })
+        .collect();
+    let classes = outcome
+        .per_class
+        .iter()
+        .map(|class| {
+            JsonValue::Obj(vec![
+                ("class".into(), JsonValue::str(class.kind.name())),
+                ("reads".into(), JsonValue::Num(class.reads as f64)),
+                (
+                    "reads_per_sec".into(),
+                    JsonValue::Num(class.throughput(outcome.wall)),
+                ),
+                ("timeouts".into(), JsonValue::Num(class.timeouts as f64)),
+                ("latency_ms".into(), lag_json(class.latency.as_ref())),
+                ("staleness_ms".into(), lag_json(class.staleness.as_ref())),
+            ])
+        })
+        .collect();
+    let session = JsonValue::Obj(vec![
+        (
+            "writes".into(),
+            JsonValue::Num(outcome.session_stats.writes as f64),
+        ),
+        (
+            "ryw_reads".into(),
+            JsonValue::Num(outcome.session_stats.ryw_reads as f64),
+        ),
+        (
+            "replica_switches".into(),
+            JsonValue::Num(outcome.session_stats.replica_switches as f64),
+        ),
+        (
+            "timeouts".into(),
+            JsonValue::Num(outcome.session_stats.timeouts as f64),
+        ),
+    ]);
+    let mut fields = envelope("elastic", mode, config);
+    fields.push(("protocol".into(), JsonValue::str("c5")));
+    fields.push((
+        "seed_replicas".into(),
+        JsonValue::num(ELASTIC_SEED_REPLICAS as u32),
+    ));
+    fields.push((
+        "staleness_bound_ms".into(),
+        JsonValue::Num(STALENESS_BOUND.as_secs_f64() * 1e3),
+    ));
+    fields.push((
+        "primary_tps".into(),
+        JsonValue::Num(outcome.primary.throughput()),
+    ));
+    fields.push((
+        "wall_ms".into(),
+        JsonValue::Num(outcome.wall.as_secs_f64() * 1e3),
+    ));
+    fields.push(("sessions".into(), JsonValue::num(outcome.sessions as u32)));
+    fields.push((
+        "generations".into(),
+        JsonValue::Num(outcome.generations as f64),
+    ));
+    fields.push(("join".into(), join));
+    fields.push(("retire".into(), retire));
+    fields.push(("survivors_converged".into(), JsonValue::Bool(true)));
+    fields.push(("survivors".into(), JsonValue::Arr(survivors)));
+    fields.push(("classes".into(), JsonValue::Arr(classes)));
+    fields.push(("session".into(), session));
+    JsonValue::Obj(fields)
+}
+
 // ---------------------------------------------------------------------------
 // Envelope + lag helpers
 // ---------------------------------------------------------------------------
@@ -681,6 +820,7 @@ pub fn validate_bench(name: &str, doc: &JsonValue) -> Result<(), String> {
         "sharded" => validate_sharded(doc),
         "failover" => validate_failover(doc),
         "reads" => validate_reads(doc),
+        "elastic" => validate_elastic(doc),
         other => Err(format!("unknown scenario {other}")),
     }
 }
@@ -908,6 +1048,96 @@ fn validate_reads(doc: &JsonValue) -> Result<(), String> {
     }
     if !require_bool(doc, "all_converged")? {
         return Err("reads fleet did not converge".into());
+    }
+    let classes = doc
+        .get("classes")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing classes array")?;
+    if classes.len() != 3 {
+        return Err(format!(
+            "expected 3 consistency classes, got {}",
+            classes.len()
+        ));
+    }
+    for class in classes {
+        let kind = class
+            .get("class")
+            .and_then(JsonValue::as_str)
+            .ok_or("class row missing class name")?;
+        let reads = require_nonneg(class, "reads").map_err(|e| format!("{kind}: {e}"))?;
+        if reads <= 0.0 {
+            return Err(format!("{kind}: served no reads"));
+        }
+        require_nonneg(class, "reads_per_sec").map_err(|e| format!("{kind}: {e}"))?;
+        require_nonneg(class, "timeouts").map_err(|e| format!("{kind}: {e}"))?;
+        lag_field(class, "latency_ms", kind, false)?;
+        lag_field(class, "staleness_ms", kind, false)?;
+    }
+    let session = doc.get("session").ok_or("missing session object")?;
+    for field in ["writes", "ryw_reads", "replica_switches", "timeouts"] {
+        require_nonneg(session, field).map_err(|e| format!("session: {e}"))?;
+    }
+    if require_num(session, "writes")? <= 0.0 || require_num(session, "ryw_reads")? <= 0.0 {
+        return Err("sessions performed no tokened writes/RYW reads".into());
+    }
+    Ok(())
+}
+
+fn validate_elastic(doc: &JsonValue) -> Result<(), String> {
+    require_nonneg(doc, "seed_replicas")?;
+    require_nonneg(doc, "staleness_bound_ms")?;
+    require_nonneg(doc, "primary_tps")?;
+    require_nonneg(doc, "wall_ms")?;
+    require_nonneg(doc, "sessions")?;
+    let generations = require_nonneg(doc, "generations")?;
+    if generations <= 0.0 {
+        return Err("generations must be positive: churn must be visible".into());
+    }
+    if !require_bool(doc, "survivors_converged")? {
+        return Err("surviving fleet did not converge".into());
+    }
+    let join = doc.get("join").ok_or("missing join object")?;
+    require_nonneg(join, "replica").map_err(|e| format!("join: {e}"))?;
+    let cut = require_nonneg(join, "checkpoint_cut").map_err(|e| format!("join: {e}"))?;
+    let stream = require_nonneg(join, "stream_start").map_err(|e| format!("join: {e}"))?;
+    if cut > stream {
+        return Err(format!(
+            "join: checkpoint_cut {cut} above stream_start {stream} — the gap-closure \
+             invariant would have a hole"
+        ));
+    }
+    require_nonneg(join, "replayed_records").map_err(|e| format!("join: {e}"))?;
+    let serving = require_nonneg(join, "join_to_serving_ms").map_err(|e| format!("join: {e}"))?;
+    if serving <= 0.0 {
+        return Err("join.join_to_serving_ms must be positive".into());
+    }
+    let retire = doc.get("retire").ok_or("missing retire object")?;
+    require_nonneg(retire, "replica").map_err(|e| format!("retire: {e}"))?;
+    require_nonneg(retire, "drain_ms").map_err(|e| format!("retire: {e}"))?;
+    require_nonneg(retire, "retired_exposed").map_err(|e| format!("retire: {e}"))?;
+    let survivors = doc
+        .get("survivors")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing survivors array")?;
+    if survivors.is_empty() {
+        return Err("survivors array is empty".into());
+    }
+    let mut joiner_rows = 0;
+    for (i, survivor) in survivors.iter().enumerate() {
+        let ctx = format!("survivors[{i}]");
+        require_nonneg(survivor, "replica").map_err(|e| format!("{ctx}: {e}"))?;
+        if require_bool(survivor, "joined_mid_run").map_err(|e| format!("{ctx}: {e}"))? {
+            joiner_rows += 1;
+            // The joiner's samples are all post-join: lag during churn.
+            lag_field(survivor, "lag_ms", &ctx, true)?;
+        } else {
+            lag_field(survivor, "lag_ms", &ctx, false)?;
+        }
+    }
+    if joiner_rows != 1 {
+        return Err(format!(
+            "expected exactly 1 mid-run joiner among the survivors, got {joiner_rows}"
+        ));
     }
     let classes = doc
         .get("classes")

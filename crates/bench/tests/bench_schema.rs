@@ -47,11 +47,13 @@ fn emitted_bench_files_carry_every_documented_field() {
     let written = report::run(&tiny(), "smoke", &out_dir).expect("bench run");
     assert_eq!(
         written.len(),
-        5,
-        "one file per scenario: pipeline, fanout, sharded, failover, reads"
+        6,
+        "one file per scenario: pipeline, fanout, sharded, failover, reads, elastic"
     );
 
-    for name in ["pipeline", "fanout", "sharded", "failover", "reads"] {
+    for name in [
+        "pipeline", "fanout", "sharded", "failover", "reads", "elastic",
+    ] {
         let path = out_dir.join(format!("BENCH_{name}.json"));
         let raw = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
@@ -242,6 +244,44 @@ fn emitted_bench_files_carry_every_documented_field() {
                         assert!(class.get(field).is_some(), "class entry missing `{field}`");
                     }
                 }
+            }
+            "elastic" => {
+                assert_fields(
+                    name,
+                    &doc,
+                    &[
+                        "seed_replicas",
+                        "staleness_bound_ms",
+                        "primary_tps",
+                        "wall_ms",
+                        "sessions",
+                        "generations",
+                        "join.replica",
+                        "join.checkpoint_cut",
+                        "join.stream_start",
+                        "join.replayed_records",
+                        "join.join_to_serving_ms",
+                        "retire.replica",
+                        "retire.drain_ms",
+                        "retire.retired_exposed",
+                        "survivors_converged",
+                        "survivors",
+                        "classes",
+                        "session.writes",
+                        "session.ryw_reads",
+                        "session.replica_switches",
+                        "session.timeouts",
+                    ],
+                );
+                let survivors = doc.get("survivors").and_then(JsonValue::as_arr).unwrap();
+                assert!(!survivors.is_empty(), "at least one surviving member");
+                let joiners = survivors
+                    .iter()
+                    .filter(|s| matches!(s.get("joined_mid_run"), Some(JsonValue::Bool(true))))
+                    .count();
+                assert_eq!(joiners, 1, "exactly one mid-run joiner survives");
+                let classes = doc.get("classes").and_then(JsonValue::as_arr).unwrap();
+                assert_eq!(classes.len(), 3, "strong, causal, bounded");
             }
             _ => unreachable!(),
         }

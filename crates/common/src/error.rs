@@ -45,6 +45,12 @@ pub enum Error {
         /// The largest position truncation has dropped.
         truncated_through: SeqNo,
     },
+    /// A fleet-membership operation targeted a replica in the wrong
+    /// lifecycle state (or one that is not a fleet member at all), or a
+    /// join/retire could not complete its transition — e.g. a joiner that
+    /// never caught up to its subscription point, or a retiring replica
+    /// whose in-flight reads never drained.
+    Lifecycle(String),
     /// A read gave up waiting for any replica's exposed cut to cover the
     /// position its consistency class requires. The caller may retry, route
     /// to the primary, or surface the timeout.
@@ -106,6 +112,7 @@ impl fmt::Display for Error {
                 "archive replay from {from} is below the truncation point {truncated_through}: \
                  the records above the requested cut are gone"
             ),
+            Error::Lifecycle(msg) => write!(f, "fleet lifecycle error: {msg}"),
             Error::ReadTimeout { required, freshest } => write!(
                 f,
                 "read timed out waiting for cut {required} (freshest replica at {freshest})"
@@ -162,6 +169,7 @@ mod tests {
             freshest: SeqNo(4),
         }
         .is_retryable());
+        assert!(!Error::Lifecycle("replica 3 is not serving".into()).is_retryable());
     }
 
     #[test]

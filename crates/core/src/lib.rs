@@ -36,6 +36,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod design_queues;
+pub mod fleet;
 pub mod lag;
 pub mod mpc;
 pub mod pipeline;
@@ -46,6 +47,7 @@ pub mod scheduler;
 pub mod shard;
 pub mod snapshotter;
 
+pub use fleet::{FleetController, FleetRoutingSink, JoinReport, ReplicaLifecycle, RetireReport};
 pub use lag::{LagSample, LagStats, LagTracker};
 pub use mpc::MpcChecker;
 pub use pipeline::{

@@ -14,6 +14,20 @@
 //! fan-out must), and per-replica lag stays individually observable. This is
 //! the "one primary serving many read replicas" deployment of Section 2.1.
 //!
+//! Membership is **dynamic**: the shipper keeps a subscription registry, not
+//! a fixed sender vector. [`LogShipper::subscribe`] attaches a new receiver
+//! mid-stream and returns, atomically with respect to concurrent ships, the
+//! coverage watermark the live stream starts *after* —
+//! [`Subscription::starts_after`] — so a joining replica knows exactly which
+//! archived prefix to backfill: every record at or below `starts_after`
+//! must come from a checkpoint or the [`LogArchive`], every record above it
+//! will arrive on the returned channel, and no sequence number falls between
+//! the two (the gap-closure invariant the online-join protocol in `c5-core`
+//! is built on). [`LogShipper::unsubscribe`] detaches one receiver without
+//! disturbing delivery to its peers, and a shipper with **zero** subscribers
+//! is a valid state — segments still advance the watermark and the attached
+//! archive, exactly what an empty-then-join fleet needs.
+//!
 //! Beyond replicating the whole log, a shipper can **shard** it
 //! ([`LogShipper::shard_routed`]): a [`ShardRouter`] assigns every row a
 //! shard by key range, and each shipped segment is split into one sub-segment
@@ -46,15 +60,58 @@ use std::time::Duration;
 use crossbeam::channel::{self, Receiver, SendError, Sender, TryRecvError};
 use parking_lot::Mutex;
 
-use c5_common::{pacing::Pacer, ShardRouter, TxnId};
+use c5_common::{pacing::Pacer, Error, Result, SeqNo, ShardRouter, TxnId};
 
 use crate::archive::LogArchive;
 use crate::segment::Segment;
 
-/// The shared, immutable set of per-replica senders. Behind its own `Arc` so
-/// `ship` can snapshot it with a refcount bump per segment instead of
-/// cloning the vector.
-type FanOutSenders = Arc<Vec<Sender<Segment>>>;
+/// Stable identity of one subscription in a shipper's registry, handed out
+/// by [`LogShipper::subscribe`] and accepted by [`LogShipper::unsubscribe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriptionId(u64);
+
+/// One live subscription: a new member of the fan-out returned by
+/// [`LogShipper::subscribe`].
+pub struct Subscription {
+    /// Identity to pass to [`LogShipper::unsubscribe`].
+    pub id: SubscriptionId,
+    /// The receiving half of the new member's channel.
+    pub receiver: LogReceiver,
+    /// The coverage watermark of the last segment shipped before this
+    /// subscription took effect: the live stream delivers exactly the
+    /// records **above** this position, so a joiner must backfill
+    /// `(checkpoint cut, starts_after]` from an archive (or a checkpoint at
+    /// or above it) and nothing else. Always a segment boundary, because
+    /// ships advance it whole-segment-at-a-time under the same lock
+    /// `subscribe` reads it under.
+    pub starts_after: SeqNo,
+}
+
+/// One registered fan-out member.
+#[derive(Clone)]
+struct Subscriber {
+    id: SubscriptionId,
+    tx: Sender<Segment>,
+}
+
+/// The membership registry: the member list (copy-on-write behind an `Arc`,
+/// so `ship` snapshots it with a refcount bump per segment) plus the
+/// shipped-through coverage watermark that makes subscribe-vs-ship atomic.
+struct Registry {
+    members: Arc<Vec<Subscriber>>,
+    next_id: u64,
+    shipped_through: SeqNo,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            members: Arc::new(Vec::new()),
+            next_id: 0,
+            shipped_through: SeqNo::ZERO,
+        }
+    }
+}
 
 /// Sending half of the replication channel (owned by the primary's logger).
 ///
@@ -62,7 +119,7 @@ type FanOutSenders = Arc<Vec<Sender<Segment>>>;
 /// end-of-log once every clone has been closed or dropped.
 #[derive(Clone)]
 pub struct LogShipper {
-    txs: Arc<Mutex<Option<FanOutSenders>>>,
+    registry: Arc<Mutex<Option<Registry>>>,
     /// Simulated per-segment ship latency, paced by deadline arithmetic
     /// (shared across clones so concurrent shippers pace one wire).
     pace: Option<Arc<Mutex<Pacer>>>,
@@ -113,9 +170,9 @@ pub struct LogReceiver {
 }
 
 impl LogShipper {
-    fn from_senders(txs: Vec<Sender<Segment>>) -> LogShipper {
+    fn empty() -> LogShipper {
         LogShipper {
-            txs: Arc::new(Mutex::new(Some(Arc::new(txs)))),
+            registry: Arc::new(Mutex::new(Some(Registry::new()))),
             pace: None,
             routing: None,
             archive: None,
@@ -144,35 +201,119 @@ impl LogShipper {
     /// that replica catches up, without affecting segments already queued to
     /// the others.
     ///
-    /// # Panics
-    /// Panics if `replicas` is zero.
+    /// A thin loop over [`LogShipper::subscribe`]; `replicas` may be zero
+    /// (an empty fleet that members later join via `subscribe`).
     pub fn fan_out(replicas: usize, capacity: usize) -> (LogShipper, Vec<LogReceiver>) {
-        assert!(replicas > 0, "fan-out requires at least one replica");
-        let mut txs = Vec::with_capacity(replicas);
-        let mut receivers = Vec::with_capacity(replicas);
-        for _ in 0..replicas {
-            let (tx, rx) = channel::bounded(capacity);
-            txs.push(tx);
-            receivers.push(LogReceiver { rx });
-        }
-        (Self::from_senders(txs), receivers)
+        let shipper = Self::empty();
+        let receivers = (0..replicas)
+            .map(|_| {
+                shipper
+                    .subscribe(capacity)
+                    .expect("a fresh shipper accepts subscribers")
+                    .receiver
+            })
+            .collect();
+        (shipper, receivers)
     }
 
     /// Creates a fan-out shipper with unbounded per-replica channels (for
     /// experiments that measure how far each replica falls behind).
-    ///
-    /// # Panics
-    /// Panics if `replicas` is zero.
+    /// `replicas` may be zero, as in [`LogShipper::fan_out`].
     pub fn fan_out_unbounded(replicas: usize) -> (LogShipper, Vec<LogReceiver>) {
-        assert!(replicas > 0, "fan-out requires at least one replica");
-        let mut txs = Vec::with_capacity(replicas);
-        let mut receivers = Vec::with_capacity(replicas);
-        for _ in 0..replicas {
-            let (tx, rx) = channel::unbounded();
-            txs.push(tx);
-            receivers.push(LogReceiver { rx });
+        let shipper = Self::empty();
+        let receivers = (0..replicas)
+            .map(|_| {
+                shipper
+                    .subscribe_unbounded()
+                    .expect("a fresh shipper accepts subscribers")
+                    .receiver
+            })
+            .collect();
+        (shipper, receivers)
+    }
+
+    /// Attaches a new member to the fan-out over its own bounded channel of
+    /// `capacity` segments, mid-stream. Returns the new receiver together
+    /// with [`Subscription::starts_after`], the coverage watermark the live
+    /// stream starts above — read under the same lock `ship` advances it
+    /// under, so every record at or below it is already on the archive (when
+    /// one is attached) and every record above it will arrive on the channel:
+    /// no sequence number falls between the backfill and the live stream.
+    ///
+    /// Fails with [`Error::Shutdown`] once the shipper is closed, and with
+    /// [`Error::InvalidConfig`] on a sharded shipper, whose membership *is*
+    /// its shard map and stays fixed at construction.
+    pub fn subscribe(&self, capacity: usize) -> Result<Subscription> {
+        self.subscribe_with(|| channel::bounded(capacity))
+    }
+
+    /// [`LogShipper::subscribe`] over an unbounded channel.
+    pub fn subscribe_unbounded(&self) -> Result<Subscription> {
+        self.subscribe_with(channel::unbounded)
+    }
+
+    fn subscribe_with(
+        &self,
+        make_channel: impl FnOnce() -> (Sender<Segment>, Receiver<Segment>),
+    ) -> Result<Subscription> {
+        if self.routing.is_some() {
+            return Err(Error::InvalidConfig(
+                "a sharded shipper's membership is its shard map: each channel is one \
+                 shard, fixed at construction, not a replica that can join or leave"
+                    .into(),
+            ));
         }
-        (Self::from_senders(txs), receivers)
+        let mut guard = self.registry.lock();
+        let Some(registry) = guard.as_mut() else {
+            return Err(Error::Shutdown("log shipper"));
+        };
+        let (tx, rx) = make_channel();
+        let id = SubscriptionId(registry.next_id);
+        registry.next_id += 1;
+        // Copy-on-write: rebuild the member vector so in-flight `ship`
+        // snapshots (holding the old Arc) are undisturbed.
+        let mut members: Vec<Subscriber> = registry.members.iter().cloned().collect();
+        members.push(Subscriber { id, tx });
+        registry.members = Arc::new(members);
+        Ok(Subscription {
+            id,
+            receiver: LogReceiver { rx },
+            starts_after: registry.shipped_through,
+        })
+    }
+
+    /// Detaches one subscription. Peers are undisturbed: their channels keep
+    /// delivering, and segments already queued to the detached receiver stay
+    /// readable until it is dropped (its channel closes once the last
+    /// in-flight `ship` snapshot holding the sender drops). Returns `false`
+    /// if the id is unknown or the shipper is closed.
+    pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
+        let mut guard = self.registry.lock();
+        let Some(registry) = guard.as_mut() else {
+            return false;
+        };
+        if !registry.members.iter().any(|m| m.id == id) {
+            return false;
+        }
+        registry.members = Arc::new(
+            registry
+                .members
+                .iter()
+                .filter(|m| m.id != id)
+                .cloned()
+                .collect(),
+        );
+        true
+    }
+
+    /// The coverage watermark of the last segment shipped (or recovered into
+    /// the attached archive): what [`Subscription::starts_after`] would be
+    /// for a subscriber attaching right now.
+    pub fn shipped_through(&self) -> SeqNo {
+        self.registry
+            .lock()
+            .as_ref()
+            .map_or(SeqNo::ZERO, |r| r.shipped_through)
     }
 
     /// Creates a key-ranged sharded shipper: each shipped segment is split by
@@ -195,7 +336,7 @@ impl LogShipper {
     /// Number of replicas this shipper feeds (zero once closed). For a
     /// sharded shipper this is the shard count.
     pub fn replica_count(&self) -> usize {
-        self.txs.lock().as_ref().map_or(0, |txs| txs.len())
+        self.registry.lock().as_ref().map_or(0, |r| r.members.len())
     }
 
     /// Adds an artificial delay before each shipped segment. The delay is
@@ -216,7 +357,15 @@ impl LogShipper {
     /// also recorded in `archive` (whole, before any shard routing), so a
     /// checkpoint can truncate the log and a cold replica can replay its
     /// tail. Shared across clones like the wire itself.
+    ///
+    /// If the archive already holds a recovered prefix (a resumed shipper),
+    /// the shipped-through watermark is raised to cover it, so a subscriber's
+    /// `starts_after` reports the true wire position rather than this
+    /// handle's lifetime position.
     pub fn with_archive(mut self, archive: Arc<LogArchive>) -> Self {
+        if let Some(registry) = self.registry.lock().as_mut() {
+            registry.shipped_through = registry.shipped_through.max(archive.last_seq());
+        }
         self.archive = Some(archive);
         self
     }
@@ -241,30 +390,45 @@ impl LogShipper {
             // shippers, which is the point: they share one simulated wire.
             pace.lock().wait();
         }
-        // Clone the senders out of the mutex so a full (blocking) channel
-        // does not hold the lock and deadlock against `close()`.
-        let senders = self.txs.lock().clone();
-        let Some(senders) = senders else { return };
-        // Archive only what actually goes on the wire: segments shipped into
-        // a closed shipper are discarded above, exactly as a crashed
-        // primary's unshipped tail is lost.
-        if let Some(archive) = &self.archive {
-            archive.append(&segment);
-        }
+        // One critical section covers the archive append, the watermark
+        // advance, and the membership snapshot: a concurrent `subscribe`
+        // therefore observes either none of this segment (it will arrive on
+        // the new channel) or all of it (watermark advanced AND archived) —
+        // the gap-closure invariant joiners backfill against. The sends
+        // themselves happen outside the lock so a full (blocking) channel
+        // cannot deadlock against `close()` or `subscribe()`.
+        let members = {
+            let mut guard = self.registry.lock();
+            let Some(registry) = guard.as_mut() else {
+                // Segments shipped into a closed shipper are discarded, and
+                // deliberately not archived: a crashed primary's unshipped
+                // tail is lost, so the archive holds exactly the wire.
+                return;
+            };
+            if let Some(archive) = &self.archive {
+                archive.append(&segment);
+            }
+            registry.shipped_through = registry.shipped_through.max(segment.covered_through());
+            Arc::clone(&registry.members)
+        };
         if let Some(routing) = &self.routing {
             let routed = route_segment_with(segment, &routing.router, &mut routing.tracker.lock());
             routing.txns.fetch_add(routed.txns, Ordering::Relaxed);
             routing
                 .cross_shard_txns
                 .fetch_add(routed.cross_shard_txns, Ordering::Relaxed);
-            for (sender, part) in senders.iter().zip(routed.parts) {
-                let _ = sender.send(part);
+            for (member, part) in members.iter().zip(routed.parts) {
+                let _ = member.tx.send(part);
             }
             return;
         }
-        let last = senders.len() - 1;
-        for sender in &senders[..last] {
-            match sender.send(segment.clone()) {
+        // Zero subscribers is a valid state: the segment stays on the
+        // archive (and the watermark advanced) for members that join later.
+        let Some(last) = members.len().checked_sub(1) else {
+            return;
+        };
+        for member in &members[..last] {
+            match member.tx.send(segment.clone()) {
                 Ok(()) => {}
                 Err(SendError(_)) => {
                     // That receiver dropped; the others still get the log.
@@ -272,13 +436,13 @@ impl LogShipper {
             }
         }
         // The last replica takes the original — a 1→1 shipper never clones.
-        let _ = senders[last].send(segment);
+        let _ = members[last].tx.send(segment);
     }
 
     /// Closes this shipper handle. Once every clone sharing this handle is
     /// closed (or dropped), the receivers observe end-of-log.
     pub fn close(&self) {
-        self.txs.lock().take();
+        self.registry.lock().take();
     }
 }
 
@@ -564,10 +728,90 @@ mod tests {
         }
     }
 
+    /// A one-write segment starting exactly at `start` (archive-contiguous,
+    /// unlike [`segment`] which jumps to `id * 10`).
+    fn contiguous_segment(id: u64, start: SeqNo) -> (Segment, SeqNo) {
+        let entry = TxnEntry::new(
+            TxnId(id),
+            Timestamp(id),
+            vec![RowWrite::insert(RowRef::new(0, id), Value::from_u64(id))],
+        );
+        let (records, next) = explode_txn(&entry, start);
+        (Segment::new(id, records), next)
+    }
+
     #[test]
-    #[should_panic(expected = "at least one replica")]
-    fn zero_replica_fan_out_panics() {
-        let _ = LogShipper::fan_out(0, 4);
+    fn zero_subscriber_fan_out_is_valid_and_still_archives() {
+        let archive = Arc::new(crate::archive::LogArchive::new());
+        let (tx, receivers) = LogShipper::fan_out(0, 4);
+        assert!(receivers.is_empty());
+        assert_eq!(tx.replica_count(), 0);
+        let tx = tx.with_archive(Arc::clone(&archive));
+        // Nobody is listening, but the segment is still "on the wire": the
+        // watermark and archive advance so a later joiner can backfill it.
+        let (seg1, next) = contiguous_segment(1, SeqNo::ZERO);
+        tx.ship(seg1);
+        assert_eq!(tx.shipped_through(), SeqNo(1));
+        assert_eq!(archive.last_seq(), SeqNo(1));
+        // A member joining now starts exactly above the archived prefix.
+        let sub = tx.subscribe(4).unwrap();
+        assert_eq!(sub.starts_after, SeqNo(1));
+        let (seg2, _) = contiguous_segment(2, next);
+        tx.ship(seg2);
+        tx.close();
+        let got = sub.receiver.drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].header.id, 2);
+    }
+
+    #[test]
+    fn unsubscribe_detaches_without_disturbing_peers() {
+        let (tx, _) = LogShipper::fan_out(0, 8);
+        let stays = tx.subscribe(8).unwrap();
+        let leaves = tx.subscribe(8).unwrap();
+        assert_ne!(stays.id, leaves.id);
+        tx.ship(segment(1));
+        assert!(tx.unsubscribe(leaves.id));
+        assert!(!tx.unsubscribe(leaves.id), "already detached");
+        assert_eq!(tx.replica_count(), 1);
+        tx.ship(segment(2));
+        tx.close();
+        // The survivor saw everything; the detached member got only the
+        // segment shipped while it was subscribed, then end-of-log.
+        assert_eq!(stays.receiver.drain().len(), 2);
+        assert_eq!(leaves.receiver.drain().len(), 1);
+    }
+
+    #[test]
+    fn subscribe_after_close_is_a_typed_error() {
+        let (tx, _rx) = LogShipper::bounded(4);
+        tx.close();
+        assert!(matches!(tx.subscribe(4), Err(Error::Shutdown(_))));
+        assert!(!tx.unsubscribe(SubscriptionId(0)));
+    }
+
+    #[test]
+    fn sharded_shipper_rejects_subscription() {
+        let router = c5_common::ShardRouter::new(2, 8);
+        let (tx, _receivers) = LogShipper::shard_routed(router, 8);
+        assert!(matches!(tx.subscribe(4), Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn resumed_shipper_reports_the_recovered_watermark() {
+        // A shipper resuming over an archive with history must hand joiners
+        // a `starts_after` covering that history, not its own lifetime.
+        let archive = Arc::new(crate::archive::LogArchive::new());
+        let (tx, _rx) = LogShipper::bounded(8);
+        let tx = tx.with_archive(Arc::clone(&archive));
+        let (seg1, _) = contiguous_segment(1, SeqNo::ZERO);
+        tx.ship(seg1);
+        tx.close();
+
+        let (resumed, _rx2) = LogShipper::bounded(8);
+        let resumed = resumed.with_archive(archive);
+        assert_eq!(resumed.shipped_through(), SeqNo(1));
+        assert_eq!(resumed.subscribe(4).unwrap().starts_after, SeqNo(1));
     }
 
     /// A segment of three transactions: txn A writes keys {1, 5} (cross-shard

@@ -17,12 +17,27 @@
 //! time of the newest transaction it has exposed
 //! ([`ClonedConcurrencyControl::freshness_commit_nanos`]) — everything the
 //! primary committed up to that instant is already visible there.
+//!
+//! Fleet membership is **dynamic**: [`ReadRouter::admit`] attaches a new
+//! member mid-run and [`ReadRouter::retire`] begins an online retire — the
+//! member stops receiving new routes (and stops counting toward the
+//! fleet-freshest staleness reference) but finishes the read transactions
+//! already pinned to it; [`ReadRouter::detach`] removes it once drained.
+//! The member list and a monotonically increasing *generation* are
+//! published atomically (one lock), and every blocked read re-snapshots the
+//! fleet on each poll, so a session's monotonic/read-your-writes floors
+//! survive membership churn: replica ids are stable (never reused), floors
+//! are positions in the one shared log, and whichever member serves next
+//! must still cover them.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
+
 use c5_common::{poll_until, Error, ReadConfig, Result, SeqNo, SessionId};
+use c5_core::fleet::FleetRoutingSink;
 use c5_core::replica::{ClonedConcurrencyControl, ReadView};
 use c5_log::now_nanos;
 
@@ -47,19 +62,41 @@ impl<F: Fn() -> SeqNo + Send + Sync> PrimaryFrontier for F {
     }
 }
 
-/// One fleet member and its routing state.
+/// One fleet member and its routing state. Behind an `Arc`: a slot detached
+/// from the fleet stays alive for the pinned reads still holding it.
 struct ReplicaSlot {
+    /// Stable member id, assigned at admission and never reused — a
+    /// session's `last_replica` stays meaningful across churn.
+    id: usize,
     replica: Arc<dyn ClonedConcurrencyControl>,
     /// Reads (and open read-only transactions) currently pinned here.
     in_flight: Arc<AtomicU64>,
     /// Reads ever served here (load-balance accounting).
     served: AtomicU64,
+    /// A retiring member: no longer eligible for new routes and excluded
+    /// from the fleet-freshest staleness reference, but pinned reads finish.
+    draining: AtomicBool,
+}
+
+impl ReplicaSlot {
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+}
+
+/// The member list plus its generation, published atomically: every
+/// admit/retire/detach bumps the generation under the same lock that swaps
+/// the (copy-on-write) slot vector.
+struct Fleet {
+    slots: Arc<Vec<Arc<ReplicaSlot>>>,
+    generation: u64,
+    next_id: usize,
 }
 
 /// A point-in-time description of one fleet member, for reports.
 #[derive(Debug, Clone)]
 pub struct ReplicaStatus {
-    /// Fleet index.
+    /// Stable member id.
     pub replica: usize,
     /// Protocol name.
     pub protocol: &'static str,
@@ -69,6 +106,8 @@ pub struct ReplicaStatus {
     pub in_flight: u64,
     /// Reads ever served by this replica.
     pub served: u64,
+    /// Whether the member is mid-retire (no new routes).
+    pub draining: bool,
     /// Estimated staleness in milliseconds (`None` = unbounded: the replica
     /// trails the freshness reference and has exposed nothing to estimate
     /// from).
@@ -78,7 +117,7 @@ pub struct ReplicaStatus {
 /// Routes reads across a fleet of replicas by consistency class, freshness,
 /// and in-flight load.
 pub struct ReadRouter {
-    fleet: Vec<ReplicaSlot>,
+    fleet: Mutex<Fleet>,
     frontier: Option<Box<dyn PrimaryFrontier>>,
     /// Ships the primary log's buffered tail (e.g. `TplEngine::flush_log`).
     /// Called once when a read must block: everything at or below the
@@ -92,8 +131,10 @@ pub struct ReadRouter {
 
 impl std::fmt::Debug for ReadRouter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let fleet = self.fleet.lock();
         f.debug_struct("ReadRouter")
-            .field("fleet", &self.fleet.len())
+            .field("fleet", &fleet.slots.len())
+            .field("generation", &fleet.generation)
             .field("has_frontier", &self.frontier.is_some())
             .finish()
     }
@@ -122,32 +163,125 @@ impl Drop for Lease {
 }
 
 impl ReadRouter {
-    /// Creates a router over `fleet`.
+    /// Creates a router over `fleet`. The fleet may be empty: an
+    /// empty-then-[`admit`](Self::admit) router is how an elastic fleet
+    /// starts (reads block, bounded, until a member is admitted).
     ///
     /// # Panics
-    /// Panics if the fleet is empty or the configuration is invalid.
+    /// Panics if the configuration is invalid; [`ReadRouter::try_new`]
+    /// surfaces that as a typed error instead.
     pub fn new(fleet: Vec<Arc<dyn ClonedConcurrencyControl>>, config: ReadConfig) -> Self {
-        assert!(
-            !fleet.is_empty(),
-            "a read router needs at least one replica"
-        );
-        config.validate().expect("read configuration must be valid");
+        Self::try_new(fleet, config).expect("read configuration must be valid")
+    }
+
+    /// [`ReadRouter::new`], with an invalid configuration surfaced as
+    /// [`Error::InvalidConfig`] instead of a panic.
+    pub fn try_new(
+        fleet: Vec<Arc<dyn ClonedConcurrencyControl>>,
+        config: ReadConfig,
+    ) -> Result<Self> {
+        config.validate()?;
         let sample_every = config.latency_sample_every;
-        Self {
-            fleet: fleet
-                .into_iter()
-                .map(|replica| ReplicaSlot {
+        let slots: Vec<Arc<ReplicaSlot>> = fleet
+            .into_iter()
+            .enumerate()
+            .map(|(id, replica)| {
+                Arc::new(ReplicaSlot {
+                    id,
                     replica,
                     in_flight: Arc::new(AtomicU64::new(0)),
                     served: AtomicU64::new(0),
+                    draining: AtomicBool::new(false),
                 })
-                .collect(),
+            })
+            .collect();
+        let next_id = slots.len();
+        Ok(Self {
+            fleet: Mutex::new(Fleet {
+                slots: Arc::new(slots),
+                generation: 0,
+                next_id,
+            }),
             frontier: None,
             tail_flush: None,
             config,
             metrics: RouterMetrics::new(sample_every),
             next_session: AtomicU64::new(0),
-        }
+        })
+    }
+
+    /// Admits a new member to the fleet and returns its stable id. The
+    /// member is immediately eligible for routes whose requirements its
+    /// exposed cut covers; blocked reads pick it up on their next poll.
+    pub fn admit(&self, replica: Arc<dyn ClonedConcurrencyControl>) -> usize {
+        let mut fleet = self.fleet.lock();
+        let id = fleet.next_id;
+        fleet.next_id += 1;
+        let mut slots: Vec<Arc<ReplicaSlot>> = fleet.slots.iter().cloned().collect();
+        slots.push(Arc::new(ReplicaSlot {
+            id,
+            replica,
+            in_flight: Arc::new(AtomicU64::new(0)),
+            served: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+        }));
+        fleet.slots = Arc::new(slots);
+        fleet.generation += 1;
+        id
+    }
+
+    /// Begins an online retire: the member stops receiving new routes (and
+    /// stops counting toward the frontier-less staleness reference) but
+    /// reads already pinned to it run to completion — watch
+    /// [`in_flight_of`](Self::in_flight_of) reach zero, then
+    /// [`detach`](Self::detach). Fails with [`Error::Lifecycle`] if `id`
+    /// names no current member.
+    pub fn retire(&self, id: usize) -> Result<()> {
+        let mut fleet = self.fleet.lock();
+        let Some(slot) = fleet.slots.iter().find(|s| s.id == id) else {
+            return Err(Error::Lifecycle(format!(
+                "replica {id} is not a fleet member; cannot retire it"
+            )));
+        };
+        slot.draining.store(true, Ordering::Relaxed);
+        fleet.generation += 1;
+        Ok(())
+    }
+
+    /// Removes a member from the fleet and returns its replica handle.
+    /// Legal even with reads still pinned (their leases keep the slot
+    /// alive); a *graceful* retire drains first. Fails with
+    /// [`Error::Lifecycle`] if `id` names no current member.
+    pub fn detach(&self, id: usize) -> Result<Arc<dyn ClonedConcurrencyControl>> {
+        let mut fleet = self.fleet.lock();
+        let Some(slot) = fleet.slots.iter().find(|s| s.id == id).cloned() else {
+            return Err(Error::Lifecycle(format!(
+                "replica {id} is not a fleet member; cannot detach it"
+            )));
+        };
+        fleet.slots = Arc::new(fleet.slots.iter().filter(|s| s.id != id).cloned().collect());
+        fleet.generation += 1;
+        Ok(Arc::clone(&slot.replica))
+    }
+
+    /// Reads currently pinned to member `id` (`None` if detached): the
+    /// drain barometer of an online retire.
+    pub fn in_flight_of(&self, id: usize) -> Option<u64> {
+        self.snapshot()
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.in_flight.load(Ordering::Relaxed))
+    }
+
+    /// The fleet generation: bumped (under the same lock that publishes the
+    /// member list) by every admit, retire, and detach.
+    pub fn generation(&self) -> u64 {
+        self.fleet.lock().generation
+    }
+
+    /// The current member list (copy-on-write; a refcount bump per call).
+    fn snapshot(&self) -> Arc<Vec<Arc<ReplicaSlot>>> {
+        Arc::clone(&self.fleet.lock().slots)
     }
 
     /// Attaches a primary-frontier probe, enabling
@@ -174,7 +308,7 @@ impl ReadRouter {
 
     /// Number of replicas in the fleet.
     pub fn fleet_len(&self) -> usize {
-        self.fleet.len()
+        self.fleet.lock().slots.len()
     }
 
     /// Opens a new session. Sessions carry causal tokens and give
@@ -207,18 +341,19 @@ impl ReadRouter {
             .collect()
     }
 
-    /// A point-in-time snapshot of every fleet member.
+    /// A point-in-time snapshot of every fleet member, in admission order.
     pub fn fleet_status(&self) -> Vec<ReplicaStatus> {
-        let reference = self.staleness_reference();
-        self.fleet
+        let slots = self.snapshot();
+        let reference = self.staleness_reference(&slots);
+        slots
             .iter()
-            .enumerate()
-            .map(|(i, slot)| ReplicaStatus {
-                replica: i,
+            .map(|slot| ReplicaStatus {
+                replica: slot.id,
                 protocol: slot.replica.name(),
                 exposed: slot.replica.exposed_seq(),
                 in_flight: slot.in_flight.load(Ordering::Relaxed),
                 served: slot.served.load(Ordering::Relaxed),
+                draining: slot.is_draining(),
                 staleness_ms: match self.staleness_nanos(slot, reference) {
                     u64::MAX => None,
                     nanos => Some(nanos as f64 / 1e6),
@@ -228,11 +363,13 @@ impl ReadRouter {
     }
 
     /// Estimated staleness of one fleet member in milliseconds, for the
-    /// sampled metrics reservoirs (`None` = unbounded). Costs a frontier
-    /// probe (or a fleet sweep), so callers evaluate it lazily — only on
-    /// the reads the metrics actually sample.
+    /// sampled metrics reservoirs (`None` = unbounded, or the member was
+    /// detached). Costs a frontier probe (or a fleet sweep), so callers
+    /// evaluate it lazily — only on the reads the metrics actually sample.
     pub(crate) fn staleness_ms_of(&self, replica: usize) -> Option<f64> {
-        match self.staleness_nanos(&self.fleet[replica], self.staleness_reference()) {
+        let slots = self.snapshot();
+        let slot = slots.iter().find(|s| s.id == replica)?;
+        match self.staleness_nanos(slot, self.staleness_reference(&slots)) {
             u64::MAX => None,
             nanos => Some(nanos as f64 / 1e6),
         }
@@ -242,9 +379,11 @@ impl ReadRouter {
         &self.metrics
     }
 
-    /// The freshest exposed cut across the fleet (for timeout reporting).
+    /// The freshest exposed cut across the whole fleet, draining members
+    /// included (for timeout reporting: "the fleet holds at most X" must
+    /// count everyone a blocked read could conceivably have been served by).
     pub fn freshest_exposed(&self) -> SeqNo {
-        self.fleet
+        self.snapshot()
             .iter()
             .map(|slot| slot.replica.exposed_seq())
             .max()
@@ -253,14 +392,25 @@ impl ReadRouter {
 
     /// The cut a replica must reach to count as perfectly fresh: the
     /// primary frontier when a probe is attached, otherwise the freshest
-    /// exposed cut in the fleet (without a probe the router cannot know
-    /// what the whole fleet might be missing, but a replica no one is
-    /// ahead of is as fresh as anyone can tell — in particular, a fully
-    /// caught-up *idle* fleet never looks stale).
-    fn staleness_reference(&self) -> SeqNo {
+    /// exposed cut among *active* members (without a probe the router
+    /// cannot know what the whole fleet might be missing, but a replica no
+    /// one is ahead of is as fresh as anyone can tell — in particular, a
+    /// fully caught-up *idle* fleet never looks stale). Draining members
+    /// are excluded — a mid-retire straggler must not make the remaining
+    /// fleet look stale, nor a mid-retire leader make it look fresh — and
+    /// so are members that have never exposed anything (a just-admitted
+    /// joiner still installing its checkpoint says nothing about
+    /// freshness).
+    fn staleness_reference(&self, slots: &[Arc<ReplicaSlot>]) -> SeqNo {
         match &self.frontier {
             Some(frontier) => frontier.frontier(),
-            None => self.freshest_exposed(),
+            None => slots
+                .iter()
+                .filter(|slot| !slot.is_draining())
+                .map(|slot| slot.replica.exposed_seq())
+                .filter(|&exposed| exposed > SeqNo::ZERO)
+                .max()
+                .unwrap_or(SeqNo::ZERO),
         }
     }
 
@@ -280,11 +430,17 @@ impl ReadRouter {
 
     /// The best eligible replica for a read requiring `required` to be
     /// exposed and (optionally) staleness within `bound_nanos`: least
-    /// in-flight load wins, freshest exposed cut breaks ties.
-    fn eligible(&self, required: SeqNo, bound_nanos: Option<u64>) -> Option<usize> {
-        let reference = bound_nanos.map(|_| self.staleness_reference());
-        let mut best: Option<(u64, SeqNo, usize)> = None;
-        for (i, slot) in self.fleet.iter().enumerate() {
+    /// in-flight load wins, freshest exposed cut breaks ties. Draining
+    /// members receive no new routes. Operates on a fresh snapshot, so a
+    /// blocked read polling this picks up admissions mid-wait.
+    fn eligible(&self, required: SeqNo, bound_nanos: Option<u64>) -> Option<Arc<ReplicaSlot>> {
+        let slots = self.snapshot();
+        let reference = bound_nanos.map(|_| self.staleness_reference(&slots));
+        let mut best: Option<(u64, SeqNo, &Arc<ReplicaSlot>)> = None;
+        for slot in slots.iter() {
+            if slot.is_draining() {
+                continue;
+            }
             let exposed = slot.replica.exposed_seq();
             if exposed < required {
                 continue;
@@ -302,10 +458,10 @@ impl ReadRouter {
                 }
             };
             if better {
-                best = Some((load, exposed, i));
+                best = Some((load, exposed, slot));
             }
         }
-        best.map(|(_, _, i)| i)
+        best.map(|(_, _, slot)| Arc::clone(slot))
     }
 
     /// Pins a read view satisfying `class` on top of the session floor
@@ -348,7 +504,7 @@ impl ReadRouter {
             });
             blocked = wait_start.elapsed();
         }
-        let Some(index) = chosen else {
+        let Some(slot) = chosen else {
             self.metrics.record_timeout(class.kind(), blocked);
             return Err(Error::ReadTimeout {
                 required,
@@ -356,21 +512,46 @@ impl ReadRouter {
             });
         };
 
-        let slot = &self.fleet[index];
+        // A retire can race this pin: the slot may be marked draining (or
+        // even detached) between eligibility and here. That is benign — the
+        // slot's replica stays alive through our Arc, the view taken below
+        // still covers `required` (cuts only advance), and the lease keeps
+        // the member's in-flight count honest so a graceful retire waits
+        // for this read too.
         slot.in_flight.fetch_add(1, Ordering::Relaxed);
         slot.served.fetch_add(1, Ordering::Relaxed);
-        // The cut only advances, so the view taken now still covers
-        // `required` even if the eligibility check raced an exposure.
         let view = slot.replica.read_view();
         debug_assert!(view.as_of() >= required);
         Ok(Pinned {
             view,
-            replica: index,
+            replica: slot.id,
             blocked,
             _lease: Lease {
                 in_flight: Arc::clone(&slot.in_flight),
             },
         })
+    }
+}
+
+/// The routing side of online join/retire, driven by
+/// [`c5_core::fleet::FleetController`]. Defined in `c5-core` (which cannot
+/// depend on this crate) and implemented here by delegation to the inherent
+/// methods.
+impl FleetRoutingSink for ReadRouter {
+    fn admit(&self, replica: Arc<dyn ClonedConcurrencyControl>) -> usize {
+        ReadRouter::admit(self, replica)
+    }
+
+    fn retire(&self, replica: usize) -> Result<()> {
+        ReadRouter::retire(self, replica)
+    }
+
+    fn detach(&self, replica: usize) -> Result<Arc<dyn ClonedConcurrencyControl>> {
+        ReadRouter::detach(self, replica)
+    }
+
+    fn in_flight_of(&self, replica: usize) -> Option<u64> {
+        ReadRouter::in_flight_of(self, replica)
     }
 }
 
@@ -616,6 +797,134 @@ mod tests {
                 .unwrap();
             assert_eq!(read.replica, 0, "the never-exposed replica must not serve");
         }
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error_not_a_panic() {
+        let err = ReadRouter::try_new(
+            vec![replica_at(0)],
+            ReadConfig::default().with_max_wait(Duration::ZERO),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn draining_members_get_no_new_routes_and_leave_the_freshness_reference() {
+        // Member 0 (exposed through 40) enters Draining; member 1 (exposed
+        // through 30) stays active. Frontier-less bounded-staleness math
+        // must measure against the *active* fleet maximum (30): member 1
+        // sits at it, so even a 1ms bound is served there. If the draining
+        // member still set the reference (40), member 1 would look stale by
+        // its last exposure's age and the read would time out.
+        let router = Arc::new(ReadRouter::new(
+            vec![replica_at(40), replica_at(30)],
+            ReadConfig::default().with_max_wait(Duration::from_millis(40)),
+        ));
+        router.retire(0).unwrap();
+        assert_eq!(router.generation(), 1);
+        std::thread::sleep(Duration::from_millis(30));
+        let read = router
+            .session()
+            .read(
+                &ConsistencyClass::BoundedStaleness(Duration::from_millis(1)),
+                row(0),
+            )
+            .expect("the active member at the active maximum is fresh");
+        assert_eq!(read.replica, 1, "the draining member must not serve");
+
+        let status = router.fleet_status();
+        assert!(status[0].draining);
+        assert!(!status[1].draining);
+        // Whole-fleet freshest (timeout reporting) still counts the
+        // draining member.
+        assert_eq!(router.freshest_exposed(), SeqNo(40));
+
+        // Even a requirement only the draining member covers is not routed
+        // to it: the read times out rather than violating the drain.
+        let err = router
+            .session()
+            .read(&ConsistencyClass::Causal(SeqNo(35)), row(0))
+            .unwrap_err();
+        assert!(matches!(err, Error::ReadTimeout { .. }));
+    }
+
+    #[test]
+    fn admit_detach_keep_ids_stable_and_bump_the_generation() {
+        let router = Arc::new(ReadRouter::new(
+            vec![replica_at(10)],
+            ReadConfig::default().with_max_wait(Duration::from_millis(100)),
+        ));
+        assert_eq!(router.generation(), 0);
+        let id = router.admit(replica_at(30));
+        assert_eq!(id, 1);
+        assert_eq!(router.generation(), 1);
+        assert_eq!(router.fleet_len(), 2);
+
+        // A requirement above member 0's cut lands on the admitted member.
+        let read = router
+            .session()
+            .read(&ConsistencyClass::Causal(SeqNo(25)), row(1))
+            .unwrap();
+        assert_eq!(read.replica, 1);
+
+        // Detach member 0: its id is gone, member 1 keeps its id.
+        router.detach(0).unwrap();
+        assert_eq!(router.generation(), 2);
+        let status = router.fleet_status();
+        assert_eq!(status.len(), 1);
+        assert_eq!(status[0].replica, 1);
+        assert_eq!(router.in_flight_of(0), None);
+        assert!(matches!(router.detach(0), Err(Error::Lifecycle(_))));
+        assert!(matches!(router.retire(0), Err(Error::Lifecycle(_))));
+
+        // Ids are never reused: the next admission continues the sequence.
+        assert_eq!(router.admit(replica_at(10)), 2);
+    }
+
+    #[test]
+    fn an_empty_fleet_serves_once_a_member_is_admitted() {
+        // The elastic start: a router with no members blocks reads
+        // (bounded) until the first admission, then serves.
+        let router = Arc::new(ReadRouter::new(
+            Vec::new(),
+            ReadConfig::default().with_max_wait(Duration::from_secs(5)),
+        ));
+        assert_eq!(router.fleet_len(), 0);
+        let admitter = {
+            let router = Arc::clone(&router);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                router.admit(replica_at(10))
+            })
+        };
+        let read = router
+            .session()
+            .read(&ConsistencyClass::Causal(SeqNo(5)), row(1))
+            .expect("the mid-wait admission serves the blocked read");
+        assert_eq!(read.replica, 0);
+        assert!(read.blocked > Duration::ZERO);
+        assert_eq!(admitter.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn a_pinned_read_survives_retire_and_detach_of_its_replica() {
+        let router = Arc::new(ReadRouter::new(
+            vec![replica_at(10)],
+            ReadConfig::default().with_max_wait(Duration::from_millis(100)),
+        ));
+        let txn = router
+            .read_only_txn(&ConsistencyClass::Causal(SeqNo(5)))
+            .unwrap();
+        router.retire(0).unwrap();
+        assert_eq!(router.in_flight_of(0), Some(1), "pinned read still counted");
+        // Detach while pinned: the lease keeps the replica alive, the view
+        // stays readable.
+        let replica = router.detach(0).unwrap();
+        assert!(txn.get(row(1)).is_some());
+        assert!(replica.exposed_seq() >= SeqNo(10));
+        drop(txn);
+        assert_eq!(router.in_flight_of(0), None, "detached members report None");
     }
 
     #[test]

@@ -91,8 +91,10 @@ pub mod prelude {
         Promotion, ReadView, ReplicaMetrics,
     };
     pub use c5_core::{
-        checkpoint_dir, log_dir, recover_replica, CutCoordinator, LagSample, LagStats, LagTracker,
-        MpcChecker, RecoveredReplica, RecoveryError, ShardedC5Replica, WatermarkTracker,
+        checkpoint_dir, log_dir, recover_replica, CutCoordinator, FleetController,
+        FleetRoutingSink, JoinReport, LagSample, LagStats, LagTracker, MpcChecker,
+        RecoveredReplica, RecoveryError, ReplicaLifecycle, RetireReport, ShardedC5Replica,
+        WatermarkTracker,
     };
     pub use c5_log::{
         coalesce, segments_from_entries, DurableRecovery, LogArchive, LogReceiver, LogShipper,

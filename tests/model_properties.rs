@@ -445,3 +445,187 @@ proptest! {
         prop_assert!(read.as_of >= last_as_of);
     }
 }
+
+proptest! {
+    // Each case runs a live primary, a fleet controller, and two session
+    // threads against random membership churn — few cases, real threads.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Membership churn never costs a session guarantee: under a random
+    /// schedule of online joins, online retires, and abrupt kills — with two
+    /// concurrent tokened sessions reading throughout — no session ever
+    /// violates read-your-writes (value-checked) or its monotonic floor, a
+    /// joiner is exposed at or beyond its install cut the moment it is
+    /// `Serving`, and every member still serving at the end has converged to
+    /// the primary's exact final state.
+    #[test]
+    fn session_guarantees_survive_membership_churn(
+        churn in prop::collection::vec((0u8..4, 0u8..255), 12..30),
+    ) {
+        use c5_repro::read::ConsistencyClass;
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        const HOT_ROWS: u64 = 12;
+        let preloaded = || {
+            let store = Arc::new(MvStore::default());
+            for k in 0..HOT_ROWS {
+                store.install(
+                    RowRef::new(0, k),
+                    Timestamp::ZERO,
+                    WriteKind::Insert,
+                    Some(Value::from_u64(0)),
+                );
+            }
+            store
+        };
+
+        // A primary whose shipper starts with zero subscribers; every
+        // member enters through the controller's join protocol.
+        let primary_store = preloaded();
+        let archive = Arc::new(LogArchive::new());
+        let (shipper, receivers) = LogShipper::fan_out(0, 64);
+        prop_assert!(receivers.is_empty());
+        let shipper = shipper.with_archive(Arc::clone(&archive));
+        // Tiny segments so churn lands mid-stream, not between segments.
+        let logger = StreamingLogger::new(4, shipper.clone());
+        let engine = Arc::new(TplEngine::new(
+            Arc::clone(&primary_store),
+            PrimaryConfig::default().with_threads(1),
+            logger,
+        ));
+        let flush_engine = Arc::clone(&engine);
+        let router = Arc::new(
+            ReadRouter::new(
+                Vec::new(),
+                ReadConfig::default().with_max_wait(Duration::from_secs(30)),
+            )
+            .with_tail_flush(move || flush_engine.flush_log()),
+        );
+        let controller = FleetController::new(
+            shipper,
+            Arc::clone(&archive),
+            Arc::clone(&router) as Arc<dyn FleetRoutingSink>,
+            C5Mode::Faithful,
+            ReplicaConfig::default()
+                .with_workers(2)
+                .with_snapshot_interval(Duration::from_micros(200)),
+        );
+        for _ in 0..2 {
+            controller.join_seeded(preloaded()).expect("seeding an idle fleet");
+        }
+
+        // Two tokened sessions read continuously while the main thread
+        // churns the fleet. Violations are assertions inside the threads;
+        // a panic there fails the case via the join below.
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..2u64)
+                .map(|s| {
+                    let engine = Arc::clone(&engine);
+                    let router = Arc::clone(&router);
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        let mut session = router.session();
+                        let mut last_as_of = SeqNo::ZERO;
+                        let mut iteration = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            let own_row = RowRef::new(7, s * 100 + iteration % 5);
+                            let own_value = Value::from_u64(iteration + 1);
+                            let write_value = own_value.clone();
+                            let token = engine
+                                .execute_with_token(&move |ctx: &mut dyn TxnCtx| {
+                                    ctx.update(own_row, write_value.clone())
+                                })
+                                .expect("single-row session write")
+                                .1;
+                            session.observe_commit(token);
+                            let read = session
+                                .read(&session.causal(), own_row)
+                                .expect("causal read under churn");
+                            assert!(
+                                read.as_of >= token,
+                                "RYW violated under churn: cut {} below token {token}",
+                                read.as_of
+                            );
+                            assert_eq!(
+                                read.value.as_ref(),
+                                Some(&own_value),
+                                "RYW violated under churn: stale value"
+                            );
+                            assert!(read.as_of >= last_as_of, "monotonic floor broken");
+                            last_as_of = read.as_of;
+                            let read = session
+                                .read(
+                                    &ConsistencyClass::BoundedStaleness(Duration::from_secs(3600)),
+                                    RowRef::new(0, iteration % HOT_ROWS),
+                                )
+                                .expect("bounded read under churn");
+                            assert!(read.as_of >= last_as_of, "monotonic floor broken");
+                            last_as_of = read.as_of;
+                            iteration += 1;
+                        }
+                    })
+                })
+                .collect();
+
+            // The churn schedule. Retires and kills keep at least two
+            // members serving; joins cap the fleet at five.
+            for &(action, pick) in &churn {
+                match action {
+                    0 if controller.serving_count() < 5 => {
+                        let report = controller.join().expect("online join under churn");
+                        let joiner =
+                            controller.replica(report.replica).expect("joiner is managed");
+                        // The joiner's first served read can never predate
+                        // its install cut: it is exposed at or beyond it
+                        // from the moment it is Serving.
+                        assert!(
+                            joiner.exposed_seq()
+                                >= report.checkpoint_cut.max(report.stream_start),
+                            "joiner exposed below its install cut"
+                        );
+                    }
+                    1 | 2 if controller.serving_count() > 2 => {
+                        let serving: Vec<usize> = controller
+                            .members()
+                            .into_iter()
+                            .filter(|&(_, state)| state == ReplicaLifecycle::Serving)
+                            .map(|(id, _)| id)
+                            .collect();
+                        let id = serving[pick as usize % serving.len()];
+                        if action == 1 {
+                            controller.retire(id).expect("online retire under churn");
+                        } else {
+                            controller.kill(id).expect("kill under churn");
+                        }
+                    }
+                    _ => std::thread::sleep(Duration::from_micros(500)),
+                }
+            }
+
+            stop.store(true, Ordering::Relaxed);
+            for reader in readers {
+                reader.join().expect("session thread");
+            }
+            engine.close_log();
+            controller.finish();
+        });
+
+        // Every member still serving has the complete final state.
+        let mut expect: Vec<(RowRef, Value)> = primary_store.scan_all_at(Timestamp::MAX);
+        expect.sort_by_key(|(row, _)| *row);
+        let survivors: Vec<usize> = controller
+            .members()
+            .into_iter()
+            .filter(|&(_, state)| state == ReplicaLifecycle::Serving)
+            .map(|(id, _)| id)
+            .collect();
+        prop_assert!(survivors.len() >= 2, "the floor of two serving members held");
+        for id in survivors {
+            let replica = controller.replica(id).expect("serving member is managed");
+            let mut got: Vec<(RowRef, Value)> = replica.read_view().scan_all();
+            got.sort_by_key(|(row, _)| *row);
+            prop_assert_eq!(&got, &expect, "member {} diverged from the primary", id);
+        }
+    }
+}
