@@ -21,6 +21,9 @@
 //!   sharded         Keyspace sharding sweep (1/2/4/8 shards), per-shard lag
 //!   failover        Kill the primary, promote the backup, resume + standby
 //!   durability      kill -9 a child process mid-workload, recover from disk
+//!   obs             Observability smoke: run the elastic scenario against a
+//!                   fresh c5-obs sink, dump Prometheus text + snapshot JSON
+//!                   + the merged trace timeline, assert full coverage
 //!   insert-only     Insert-only workload, 2PL primary, all protocols
 //!   insert-only-cicada  Insert-only workload, MVTSO primary
 //!   sched-offline   Offline scheduler throughput (Section 6.2)
@@ -100,6 +103,7 @@ fn main() {
         "sharded" => experiments::sharded::run(&scale),
         "failover" => experiments::failover::run(&scale),
         "durability" => experiments::durability::run(&scale),
+        "obs" => experiments::obs::run(&scale),
         "insert-only" => experiments::insert_only::run_myrocks(&scale),
         "insert-only-cicada" => experiments::insert_only::run_cicada(&scale),
         "sched-offline" => experiments::sched_offline::run(&scale),
@@ -128,6 +132,7 @@ fn main() {
             "sharded",
             "failover",
             "durability",
+            "obs",
             "insert-only",
             "insert-only-cicada",
             "sched-offline",

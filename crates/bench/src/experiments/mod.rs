@@ -26,6 +26,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8_9;
 pub mod insert_only;
+pub mod obs;
 pub mod reads;
 pub mod recorder;
 pub mod sched_offline;

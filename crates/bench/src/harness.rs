@@ -18,6 +18,7 @@ use c5_core::replica::{
     ReplicaMetrics,
 };
 use c5_log::{LogArchive, LogShipper, StreamingLogger};
+use c5_obs::Obs;
 use c5_primary::{
     ClosedLoopDriver, MvtsoEngine, PrimaryRunStats, RunLength, TplEngine, TxnFactory,
 };
@@ -138,6 +139,10 @@ pub struct StreamingSetup {
     pub segment_records: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Observability sink the run's replicas, shippers, and routers record
+    /// into. Defaults to the process-global registry; experiments that dump
+    /// or diff a snapshot attach a fresh one so runs don't bleed together.
+    pub obs: Arc<Obs>,
 }
 
 impl StreamingSetup {
@@ -153,6 +158,7 @@ impl StreamingSetup {
             snapshot_interval: Duration::from_millis(10),
             segment_records: 256,
             seed: 42,
+            obs: Arc::clone(Obs::global()),
         }
     }
 }
@@ -231,6 +237,7 @@ pub fn run_streaming(
     let primary_store = Arc::new(MvStore::default());
     preload(&primary_store, &setup.population);
     let (shipper, receiver) = LogShipper::unbounded();
+    let shipper = shipper.with_obs(Arc::clone(&setup.obs));
     let logger = StreamingLogger::new(setup.segment_records, shipper);
     let primary_config = PrimaryConfig::default()
         .with_threads(setup.primary_threads)
@@ -243,7 +250,8 @@ pub fn run_streaming(
     let replica_config = ReplicaConfig::default()
         .with_workers(setup.replica_workers)
         .with_op_cost(setup.op_cost)
-        .with_snapshot_interval(setup.snapshot_interval);
+        .with_snapshot_interval(setup.snapshot_interval)
+        .with_obs(Arc::clone(&setup.obs));
     let replica = spec.build(replica_store, replica_config);
 
     let start = Instant::now();
@@ -362,6 +370,7 @@ pub fn run_fanout_streaming(
     let primary_store = Arc::new(MvStore::default());
     preload(&primary_store, &setup.population);
     let (shipper, receivers) = LogShipper::fan_out(replicas, 1024);
+    let shipper = shipper.with_obs(Arc::clone(&setup.obs));
     let logger = StreamingLogger::new(setup.segment_records, shipper);
     let primary_config = PrimaryConfig::default()
         .with_threads(setup.primary_threads)
@@ -372,7 +381,8 @@ pub fn run_fanout_streaming(
     let replica_config = ReplicaConfig::default()
         .with_workers(setup.replica_workers)
         .with_op_cost(setup.op_cost)
-        .with_snapshot_interval(setup.snapshot_interval);
+        .with_snapshot_interval(setup.snapshot_interval)
+        .with_obs(Arc::clone(&setup.obs));
     let backups: Vec<Arc<dyn ClonedConcurrencyControl>> = (0..replicas)
         .map(|_| {
             let store = Arc::new(MvStore::default());
@@ -506,6 +516,7 @@ pub fn run_sharded_streaming(
     let primary_store = Arc::new(MvStore::default());
     preload(&primary_store, &setup.population);
     let (shipper, receiver) = LogShipper::unbounded();
+    let shipper = shipper.with_obs(Arc::clone(&setup.obs));
     let logger = StreamingLogger::new(setup.segment_records, shipper);
     let primary_config = PrimaryConfig::default()
         .with_threads(setup.primary_threads)
@@ -520,7 +531,8 @@ pub fn run_sharded_streaming(
         .with_op_cost(setup.op_cost)
         .with_snapshot_interval(setup.snapshot_interval)
         .with_shards(shards)
-        .with_shard_key_space(shard_key_space);
+        .with_shard_key_space(shard_key_space)
+        .with_obs(Arc::clone(&setup.obs));
     let replica = ShardedC5Replica::new(replica_store, replica_config);
 
     let start = Instant::now();
@@ -670,7 +682,9 @@ pub fn run_failover_streaming(
     preload(&primary_store, &setup.population);
     let archive = Arc::new(LogArchive::new());
     let (shipper, receiver) = LogShipper::unbounded();
-    let shipper = shipper.with_archive(Arc::clone(&archive));
+    let shipper = shipper
+        .with_archive(Arc::clone(&archive))
+        .with_obs(Arc::clone(&setup.obs));
     let logger = StreamingLogger::new(setup.segment_records, shipper);
     let primary_config = PrimaryConfig::default()
         .with_threads(setup.primary_threads)
@@ -683,7 +697,8 @@ pub fn run_failover_streaming(
     let replica_config = ReplicaConfig::default()
         .with_workers(setup.replica_workers)
         .with_op_cost(setup.op_cost)
-        .with_snapshot_interval(setup.snapshot_interval);
+        .with_snapshot_interval(setup.snapshot_interval)
+        .with_obs(Arc::clone(&setup.obs));
     let replica = spec.build(replica_store, replica_config.clone());
 
     let mut primary_stats = PrimaryRunStats::default();
@@ -900,6 +915,7 @@ pub fn run_reads_streaming(
     let primary_store = Arc::new(MvStore::default());
     preload(&primary_store, &setup.population);
     let (shipper, receivers) = LogShipper::fan_out(replicas, 1024);
+    let shipper = shipper.with_obs(Arc::clone(&setup.obs));
     let logger = StreamingLogger::new(setup.segment_records, shipper);
     let primary_config = PrimaryConfig::default()
         .with_threads(setup.primary_threads)
@@ -910,7 +926,8 @@ pub fn run_reads_streaming(
     let replica_config = ReplicaConfig::default()
         .with_workers(setup.replica_workers)
         .with_op_cost(setup.op_cost)
-        .with_snapshot_interval(setup.snapshot_interval);
+        .with_snapshot_interval(setup.snapshot_interval)
+        .with_obs(Arc::clone(&setup.obs));
     let backups: Vec<Arc<dyn ClonedConcurrencyControl>> = (0..replicas)
         .map(|_| {
             let store = Arc::new(MvStore::default());
@@ -928,7 +945,9 @@ pub fn run_reads_streaming(
     let router = Arc::new(
         ReadRouter::new(
             backups.clone(),
-            c5_common::ReadConfig::default().with_max_wait(Duration::from_secs(5)),
+            c5_common::ReadConfig::default()
+                .with_max_wait(Duration::from_secs(5))
+                .with_obs(Arc::clone(&setup.obs)),
         )
         .with_frontier(move || frontier_engine.log_last_seq())
         .with_tail_flush(move || flush_engine.flush_log()),
@@ -1191,7 +1210,9 @@ pub fn run_elastic_streaming(
     let archive = Arc::new(LogArchive::new());
     let (shipper, receivers) = LogShipper::fan_out(0, 1024);
     assert!(receivers.is_empty());
-    let shipper = shipper.with_archive(Arc::clone(&archive));
+    let shipper = shipper
+        .with_archive(Arc::clone(&archive))
+        .with_obs(Arc::clone(&setup.obs));
     let logger = StreamingLogger::new(setup.segment_records, shipper.clone());
     let primary_config = PrimaryConfig::default()
         .with_threads(setup.primary_threads)
@@ -1208,7 +1229,9 @@ pub fn run_elastic_streaming(
     let router = Arc::new(
         ReadRouter::new(
             Vec::new(),
-            c5_common::ReadConfig::default().with_max_wait(Duration::from_secs(5)),
+            c5_common::ReadConfig::default()
+                .with_max_wait(Duration::from_secs(5))
+                .with_obs(Arc::clone(&setup.obs)),
         )
         .with_frontier(move || frontier_engine.log_last_seq())
         .with_tail_flush(move || flush_engine.flush_log()),
@@ -1217,7 +1240,8 @@ pub fn run_elastic_streaming(
     let replica_config = ReplicaConfig::default()
         .with_workers(setup.replica_workers)
         .with_op_cost(setup.op_cost)
-        .with_snapshot_interval(setup.snapshot_interval);
+        .with_snapshot_interval(setup.snapshot_interval)
+        .with_obs(Arc::clone(&setup.obs));
     let controller = FleetController::new(
         shipper,
         Arc::clone(&archive),

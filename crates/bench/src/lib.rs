@@ -42,6 +42,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod json;
+pub mod obs_export;
 pub mod report;
 pub mod scale;
 

@@ -7,14 +7,17 @@
 //! methodology") is that every perf-flavored PR moves a number in one of
 //! them — in both directions, visibly, diffably.
 //!
-//! Six files are emitted:
+//! Seven files are emitted:
 //!
 //! * `BENCH_pipeline.json` — apply-path ns/record for the faithful,
 //!   MyRocks-constrained, and 8-shard replicas replaying one pre-materialized
 //!   log (zero simulated op cost, so pipeline overhead is the entire number),
 //!   plus one live streaming run for primary throughput and replication lag.
 //!   Carries the `baseline` block recording the pre-optimization ns/record
-//!   this PR's batching work is measured against.
+//!   this PR's batching work is measured against, and a `stage_ns` block
+//!   breaking the faithful replay down per pipeline stage (ingest /
+//!   schedule / apply / expose dwell summaries from an attached
+//!   [`c5_obs::Obs`] sink).
 //! * `BENCH_fanout.json` — 1 primary → N replicas, per-replica lag
 //!   percentiles (the paper's Figure 8 quantity).
 //! * `BENCH_sharded.json` — the shard sweep from 1 up to
@@ -30,6 +33,11 @@
 //! * `BENCH_elastic.json` — membership churn on a live fleet: online
 //!   join-to-Serving time, online retire drain time, and lag-during-churn
 //!   percentiles (the joiner's lag samples only cover its post-join life).
+//! * `BENCH_obs.json` — the observability layer observing itself: the
+//!   elastic scenario re-run against a run-local [`c5_obs::Obs`] sink, with
+//!   the full metrics snapshot (JSON exposition of every counter, gauge and
+//!   histogram) plus the merged trace timeline counted by event kind — the
+//!   committed proof that every instrumented subsystem actually speaks.
 //!
 //! Each scenario validates its own emitted document against
 //! [`validate_bench`] before the file is written, so a run that produces a
@@ -43,6 +51,7 @@ use c5_common::{BenchConfig, OpCost, PrimaryConfig, ReplicaConfig};
 use c5_core::lag::LagStats;
 use c5_core::replica::{drive_segments, ClonedConcurrencyControl};
 use c5_core::ShardedC5Replica;
+use c5_obs::{MetricsSnapshot, Obs, PipelineStage};
 use c5_primary::{ClosedLoopDriver, MvtsoEngine, RunLength, TxnFactory};
 use c5_storage::MvStore;
 use c5_workloads::synthetic::{
@@ -55,6 +64,7 @@ use crate::harness::{
     run_reads_streaming, run_sharded_streaming, run_streaming, ReplicaSpec, StreamingSetup,
 };
 use crate::json::JsonValue;
+use crate::obs_export::{kind_counts, snapshot_json, stage_ns_json};
 
 /// Schema version stamped into every emitted file. Bump when a field is
 /// renamed or removed (adding fields is backward compatible).
@@ -95,13 +105,14 @@ pub fn run(
     config.validate().map_err(|e| e.to_string())?;
     std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
     smoke_guard(mode, out_dir)?;
-    let scenarios: [(&str, Scenario); 6] = [
+    let scenarios: [(&str, Scenario); 7] = [
         ("pipeline", pipeline_scenario),
         ("fanout", fanout_scenario),
         ("sharded", sharded_scenario),
         ("failover", failover_scenario),
         ("reads", reads_scenario),
         ("elastic", elastic_scenario),
+        ("obs", obs_scenario),
     ];
     let mut written = Vec::new();
     for (name, scenario) in scenarios {
@@ -212,13 +223,15 @@ fn apply_target(
     name: &str,
     population: &[(c5_common::RowRef, c5_common::Value)],
     config: &BenchConfig,
+    obs: &Arc<Obs>,
 ) -> Arc<dyn ClonedConcurrencyControl> {
     let store = Arc::new(MvStore::default());
     preload(&store, population);
     let replica_config = ReplicaConfig::default()
         .with_workers(config.replica_workers)
         .with_op_cost(OpCost::free())
-        .with_snapshot_interval(Duration::from_millis(1));
+        .with_snapshot_interval(Duration::from_millis(1))
+        .with_obs(Arc::clone(obs));
     match name {
         "c5" => ReplicaSpec::C5Faithful.build(store, replica_config),
         "c5-myrocks" => ReplicaSpec::C5MyRocks.build(store, replica_config),
@@ -239,12 +252,17 @@ fn pipeline_scenario(config: &BenchConfig, mode: &str) -> JsonValue {
     let total_records: usize = segments.iter().map(c5_log::Segment::len).sum();
     let replays = if mode == "fixed" { 3 } else { 1 };
     let mut apply_rows = Vec::new();
+    // The per-stage breakdown of the faithful target's best replay; every
+    // replay runs with a fresh sink attached, so the ns/record numbers are
+    // measured *with* instrumentation — the overhead is part of the product.
+    let mut stage_snapshot = MetricsSnapshot::default();
     for target in ["c5", "c5-myrocks", "c5-sharded-8"] {
         let mut best_wall = Duration::MAX;
         let mut applied_writes = 0u64;
         let mut applied_txns = 0u64;
         for _ in 0..replays {
-            let replica = apply_target(target, &population, config);
+            let obs = Obs::new();
+            let replica = apply_target(target, &population, config, &obs);
             let wall = drive_segments(replica.as_ref(), segments.clone());
             let metrics = replica.metrics();
             assert_eq!(
@@ -253,6 +271,9 @@ fn pipeline_scenario(config: &BenchConfig, mode: &str) -> JsonValue {
             );
             applied_writes = metrics.applied_writes;
             applied_txns = metrics.applied_txns;
+            if wall < best_wall && target == "c5" {
+                stage_snapshot = obs.metrics.snapshot();
+            }
             best_wall = best_wall.min(wall);
         }
         let ns_per_record = best_wall.as_nanos() as f64 / applied_writes.max(1) as f64;
@@ -324,6 +345,7 @@ fn pipeline_scenario(config: &BenchConfig, mode: &str) -> JsonValue {
 
     let mut fields = envelope("pipeline", mode, config);
     fields.push(("apply_path".into(), JsonValue::Arr(apply_rows)));
+    fields.push(("stage_ns".into(), stage_ns_json(&stage_snapshot)));
     fields.push(("streaming".into(), streaming));
     fields.push(("baseline".into(), baseline));
     JsonValue::Obj(fields)
@@ -709,6 +731,57 @@ fn elastic_scenario(config: &BenchConfig, mode: &str) -> JsonValue {
     JsonValue::Obj(fields)
 }
 
+fn obs_scenario(config: &BenchConfig, mode: &str) -> JsonValue {
+    // A run-local sink: the document must contain exactly this run's
+    // telemetry, not whatever else accumulated in the process global.
+    let obs = Obs::new();
+    let mut setup = setup_for(config);
+    setup.population = adversarial_population();
+    setup.obs = Arc::clone(&obs);
+    let factory: Arc<dyn TxnFactory> = Arc::new(AdversarialWorkload::new(4));
+    let outcome = run_elastic_streaming(
+        &setup,
+        factory,
+        ELASTIC_SEED_REPLICAS,
+        config.read_sessions,
+        STALENESS_BOUND,
+    );
+    assert!(
+        outcome.survivors_converged,
+        "observed elastic run must converge"
+    );
+
+    let snap = obs.metrics.snapshot();
+    let timeline = obs.trace.merged();
+    let by_kind = JsonValue::Obj(
+        kind_counts(&timeline)
+            .into_iter()
+            .map(|(kind, n)| (kind.to_string(), JsonValue::Num(n as f64)))
+            .collect(),
+    );
+    let stages = JsonValue::Obj(
+        PipelineStage::all()
+            .iter()
+            .map(|stage| {
+                let name = format!("stage_dwell_ns{{stage=\"{}\"}}", stage.name());
+                let count = snap.histogram(&name).map(|h| h.count()).unwrap_or(0);
+                (stage.name().to_string(), JsonValue::Num(count as f64))
+            })
+            .collect(),
+    );
+
+    let mut fields = envelope("obs", mode, config);
+    fields.push(("events_total".into(), JsonValue::Num(timeline.len() as f64)));
+    fields.push((
+        "events_dropped".into(),
+        JsonValue::Num(obs.trace.dropped() as f64),
+    ));
+    fields.push(("by_kind".into(), by_kind));
+    fields.push(("stage_samples".into(), stages));
+    fields.push(("snapshot".into(), snapshot_json(&snap)));
+    JsonValue::Obj(fields)
+}
+
 // ---------------------------------------------------------------------------
 // Envelope + lag helpers
 // ---------------------------------------------------------------------------
@@ -821,6 +894,7 @@ pub fn validate_bench(name: &str, doc: &JsonValue) -> Result<(), String> {
         "failover" => validate_failover(doc),
         "reads" => validate_reads(doc),
         "elastic" => validate_elastic(doc),
+        "obs" => validate_obs(doc),
         other => Err(format!("unknown scenario {other}")),
     }
 }
@@ -922,6 +996,31 @@ fn validate_pipeline(doc: &JsonValue) -> Result<(), String> {
     for expect in ["c5", "c5-myrocks", "c5-sharded-8"] {
         if !seen.iter().any(|s| s == expect) {
             return Err(format!("apply_path missing target {expect}"));
+        }
+    }
+    let stage_ns = doc.get("stage_ns").ok_or("missing stage_ns block")?;
+    for stage in ["ingest", "schedule", "apply", "expose"] {
+        let block = stage_ns
+            .get(stage)
+            .ok_or_else(|| format!("stage_ns missing stage {stage}"))?;
+        if matches!(block, JsonValue::Null) {
+            return Err(format!(
+                "stage_ns.{stage} is null: the stage recorded no dwell samples"
+            ));
+        }
+        let ctx = format!("stage_ns.{stage}");
+        let count = require_nonneg(block, "count").map_err(|e| format!("{ctx}: {e}"))?;
+        if count < 1.0 {
+            return Err(format!("{ctx}: count must be >= 1"));
+        }
+        let min = require_nonneg(block, "min").map_err(|e| format!("{ctx}: {e}"))?;
+        let p50 = require_nonneg(block, "p50").map_err(|e| format!("{ctx}: {e}"))?;
+        let p99 = require_nonneg(block, "p99").map_err(|e| format!("{ctx}: {e}"))?;
+        let max = require_nonneg(block, "max").map_err(|e| format!("{ctx}: {e}"))?;
+        require_nonneg(block, "mean").map_err(|e| format!("{ctx}: {e}"))?;
+        require_nonneg(block, "sum").map_err(|e| format!("{ctx}: {e}"))?;
+        if !(min <= p50 && p50 <= p99 && p99 <= max) {
+            return Err(format!("{ctx}: dwell percentiles out of order"));
         }
     }
     let streaming = doc.get("streaming").ok_or("missing streaming object")?;
@@ -1169,6 +1268,65 @@ fn validate_elastic(doc: &JsonValue) -> Result<(), String> {
     }
     if require_num(session, "writes")? <= 0.0 || require_num(session, "ryw_reads")? <= 0.0 {
         return Err("sessions performed no tokened writes/RYW reads".into());
+    }
+    Ok(())
+}
+
+fn validate_obs(doc: &JsonValue) -> Result<(), String> {
+    let total = require_nonneg(doc, "events_total")?;
+    if total <= 0.0 {
+        return Err("events_total must be positive".into());
+    }
+    require_nonneg(doc, "events_dropped")?;
+    let by_kind = doc.get("by_kind").ok_or("missing by_kind object")?;
+    // The acceptance gate of the observability layer: the pipeline, the
+    // shipper, the router, and the fleet controller each spoke at least once.
+    for kind in ["stage", "ship", "route", "lifecycle"] {
+        let n = require_nonneg(by_kind, kind).map_err(|e| format!("by_kind: {e}"))?;
+        if n <= 0.0 {
+            return Err(format!(
+                "by_kind.{kind} is zero: an instrumented subsystem went silent"
+            ));
+        }
+    }
+    for kind in ["recovery", "span"] {
+        require_nonneg(by_kind, kind).map_err(|e| format!("by_kind: {e}"))?;
+    }
+    let stages = doc.get("stage_samples").ok_or("missing stage_samples")?;
+    for stage in ["ingest", "schedule", "apply", "expose"] {
+        let n = require_nonneg(stages, stage).map_err(|e| format!("stage_samples: {e}"))?;
+        if n < 1.0 {
+            return Err(format!("stage_samples.{stage}: no dwell samples"));
+        }
+    }
+    let snapshot = doc.get("snapshot").ok_or("missing snapshot object")?;
+    for section in ["counters", "gauges", "histograms"] {
+        match snapshot.get(section) {
+            Some(JsonValue::Obj(entries)) if !entries.is_empty() => {}
+            Some(JsonValue::Obj(_)) => {
+                return Err(format!("snapshot.{section} is empty"));
+            }
+            _ => return Err(format!("snapshot.{section} is not an object")),
+        }
+    }
+    // Spot-check series every layer must have registered.
+    let counters = snapshot.get("counters").expect("checked above");
+    for series in ["ship_segments_total", "ship_records_total"] {
+        let v = require_nonneg(counters, series).map_err(|e| format!("snapshot.counters: {e}"))?;
+        if v <= 0.0 {
+            return Err(format!("snapshot.counters.{series} must be positive"));
+        }
+    }
+    let histograms = snapshot.get("histograms").expect("checked above");
+    for series in ["ship_ns", "fleet_join_to_serving_ns"] {
+        let h = histograms
+            .get(series)
+            .ok_or_else(|| format!("snapshot.histograms missing {series}"))?;
+        let count =
+            require_nonneg(h, "count").map_err(|e| format!("snapshot.histograms.{series}: {e}"))?;
+        if count < 1.0 {
+            return Err(format!("snapshot.histograms.{series} has no samples"));
+        }
     }
     Ok(())
 }

@@ -47,12 +47,12 @@ fn emitted_bench_files_carry_every_documented_field() {
     let written = report::run(&tiny(), "smoke", &out_dir).expect("bench run");
     assert_eq!(
         written.len(),
-        6,
-        "one file per scenario: pipeline, fanout, sharded, failover, reads, elastic"
+        7,
+        "one file per scenario: pipeline, fanout, sharded, failover, reads, elastic, obs"
     );
 
     for name in [
-        "pipeline", "fanout", "sharded", "failover", "reads", "elastic",
+        "pipeline", "fanout", "sharded", "failover", "reads", "elastic", "obs",
     ] {
         let path = out_dir.join(format!("BENCH_{name}.json"));
         let raw = std::fs::read_to_string(&path)
@@ -109,8 +109,25 @@ fn emitted_bench_files_carry_every_documented_field() {
                         "streaming.lag_ms.max",
                         "baseline.note",
                         "baseline.pre_change_ns_per_record",
+                        "stage_ns.ingest.count",
+                        "stage_ns.schedule.count",
+                        "stage_ns.apply.count",
+                        "stage_ns.expose.count",
+                        "stage_ns.apply.p50",
+                        "stage_ns.apply.p99",
+                        "stage_ns.apply.max",
+                        "stage_ns.apply.mean",
                     ],
                 );
+                for stage in ["ingest", "schedule", "apply", "expose"] {
+                    let count = doc
+                        .get("stage_ns")
+                        .and_then(|s| s.get(stage))
+                        .and_then(|s| s.get("count"))
+                        .and_then(JsonValue::as_num)
+                        .expect("stage count number");
+                    assert!(count >= 1.0, "stage `{stage}` recorded no dwell samples");
+                }
                 let targets = doc
                     .get("apply_path")
                     .and_then(JsonValue::as_arr)
@@ -282,6 +299,38 @@ fn emitted_bench_files_carry_every_documented_field() {
                 assert_eq!(joiners, 1, "exactly one mid-run joiner survives");
                 let classes = doc.get("classes").and_then(JsonValue::as_arr).unwrap();
                 assert_eq!(classes.len(), 3, "strong, causal, bounded");
+            }
+            "obs" => {
+                assert_fields(
+                    name,
+                    &doc,
+                    &[
+                        "events_total",
+                        "events_dropped",
+                        "by_kind.stage",
+                        "by_kind.ship",
+                        "by_kind.route",
+                        "by_kind.lifecycle",
+                        "by_kind.recovery",
+                        "by_kind.span",
+                        "stage_samples.ingest",
+                        "stage_samples.schedule",
+                        "stage_samples.apply",
+                        "stage_samples.expose",
+                        "snapshot.counters",
+                        "snapshot.gauges",
+                        "snapshot.histograms",
+                    ],
+                );
+                // Every instrumented subsystem must have spoken.
+                for kind in ["stage", "ship", "route", "lifecycle"] {
+                    let n = doc
+                        .get("by_kind")
+                        .and_then(|k| k.get(kind))
+                        .and_then(JsonValue::as_num)
+                        .expect("kind count number");
+                    assert!(n >= 1.0, "no `{kind}` events in the dumped timeline");
+                }
             }
             _ => unreachable!(),
         }

@@ -1,6 +1,9 @@
 //! Configuration for the primary engines and the backup replicas.
 
+use std::sync::Arc;
 use std::time::Duration;
+
+use c5_obs::Obs;
 
 use crate::cost::OpCost;
 use crate::error::{Error, Result};
@@ -164,6 +167,11 @@ pub struct ReplicaConfig {
     /// by the default in-memory pipeline; honored by a disk-backed
     /// `LogArchive` and the checkpoint file writer.
     pub durability: DurabilityPolicy,
+    /// The observability sink the replica's pipeline records stage metrics
+    /// and trace events into. Defaults to the process-wide
+    /// [`Obs::global`] sink; experiments attach a fresh one per run so
+    /// their snapshots are isolated.
+    pub obs: Arc<Obs>,
 }
 
 impl Default for ReplicaConfig {
@@ -179,6 +187,7 @@ impl Default for ReplicaConfig {
             shard_key_space: 1 << 20,
             dispatch_batch_records: 64,
             durability: DurabilityPolicy::default(),
+            obs: Arc::clone(Obs::global()),
         }
     }
 }
@@ -284,6 +293,12 @@ impl ReplicaConfig {
     /// Builder-style setter for the durable-layer fsync policy.
     pub fn with_durability(mut self, policy: DurabilityPolicy) -> Self {
         self.durability = policy;
+        self
+    }
+
+    /// Builder-style setter for the observability sink.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -414,10 +429,14 @@ pub struct ReadConfig {
     /// [`crate::Error::ReadTimeout`].
     pub max_wait: Duration,
     /// One in every `latency_sample_every` reads records its latency and
-    /// observed staleness into the router's percentile reservoirs. `1`
+    /// observed staleness into the router's latency histograms. `1`
     /// samples everything; larger values keep the metrics path off the hot
     /// read path in throughput experiments.
     pub latency_sample_every: u64,
+    /// The observability sink the router records route decisions and
+    /// latency histograms into. Defaults to the process-wide
+    /// [`Obs::global`] sink.
+    pub obs: Arc<Obs>,
 }
 
 impl Default for ReadConfig {
@@ -425,6 +444,7 @@ impl Default for ReadConfig {
         Self {
             max_wait: Duration::from_secs(2),
             latency_sample_every: 8,
+            obs: Arc::clone(Obs::global()),
         }
     }
 }
@@ -454,6 +474,12 @@ impl ReadConfig {
     /// Builder-style setter for the latency sampling stride.
     pub fn with_latency_sample_every(mut self, every: u64) -> Self {
         self.latency_sample_every = every;
+        self
+    }
+
+    /// Builder-style setter for the observability sink.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = obs;
         self
     }
 }

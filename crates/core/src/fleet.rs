@@ -40,6 +40,7 @@ use parking_lot::Mutex;
 
 use c5_common::{poll_until, Error, ReplicaConfig, Result, SeqNo};
 use c5_log::{LogArchive, LogShipper, Subscription, SubscriptionId};
+use c5_obs::TraceEvent;
 use c5_storage::MvStore;
 
 use crate::replica::{drive_from_receiver, C5Mode, C5Replica, ClonedConcurrencyControl};
@@ -216,6 +217,30 @@ impl FleetController {
         self
     }
 
+    /// Records one lifecycle transition into the configured observability
+    /// sink (trace event plus a transition counter).
+    fn trace_transition(&self, replica: usize, from: ReplicaLifecycle, to: ReplicaLifecycle) {
+        self.config.obs.trace.record(TraceEvent::Lifecycle {
+            replica: replica as u64,
+            from: from.name(),
+            to: to.name(),
+        });
+        self.config
+            .obs
+            .metrics
+            .counter(&format!("fleet_transitions_total{{to=\"{}\"}}", to.name()))
+            .inc();
+    }
+
+    /// Publishes the current `Serving` head-count as a gauge.
+    fn publish_serving_gauge(&self) {
+        self.config
+            .obs
+            .metrics
+            .gauge("fleet_serving")
+            .set(self.serving_count() as i64);
+    }
+
     /// Joins a brand-new replica into the live fleet: exports a checkpoint
     /// from the freshest `Serving` member, installs it, subscribes to the
     /// live stream, replays the archived gap, waits until the joiner's
@@ -321,6 +346,21 @@ impl FleetController {
                 driver: Some(driver),
             },
         );
+        // The routing id only exists once the router admits the member, so
+        // the join's earlier transitions are traced here, in order; their
+        // wall time is the join duration histogram's business.
+        self.trace_transition(
+            id,
+            ReplicaLifecycle::Bootstrapping,
+            ReplicaLifecycle::CatchingUp,
+        );
+        self.trace_transition(id, ReplicaLifecycle::CatchingUp, ReplicaLifecycle::Serving);
+        self.config
+            .obs
+            .metrics
+            .histogram("fleet_join_to_serving_ns")
+            .record_duration(started.elapsed());
+        self.publish_serving_gauge();
         Ok(JoinReport {
             replica: id,
             checkpoint_cut: cut,
@@ -346,6 +386,8 @@ impl FleetController {
             })?;
             member.state = member.state.advance(ReplicaLifecycle::Draining)?;
         }
+        self.trace_transition(id, ReplicaLifecycle::Serving, ReplicaLifecycle::Draining);
+        self.publish_serving_gauge();
         self.router.retire(id)?;
         // Poll outside the members lock: pinned reads completing must not
         // contend with concurrent joins.
@@ -374,10 +416,18 @@ impl FleetController {
         let mut members = self.members.lock();
         let member = members.get_mut(&id).expect("member checked above");
         member.state = member.state.advance(ReplicaLifecycle::Retired)?;
+        let retired_exposed = member.replica.exposed_seq();
+        drop(members);
+        self.trace_transition(id, ReplicaLifecycle::Draining, ReplicaLifecycle::Retired);
+        self.config
+            .obs
+            .metrics
+            .histogram("fleet_retire_drain_ns")
+            .record_duration(started.elapsed());
         Ok(RetireReport {
             replica: id,
             drain: started.elapsed(),
-            retired_exposed: member.replica.exposed_seq(),
+            retired_exposed,
         })
     }
 
@@ -391,7 +441,11 @@ impl FleetController {
             let member = members.get_mut(&id).ok_or_else(|| {
                 Error::Lifecycle(format!("replica {id} is not a controller-managed member"))
             })?;
+            let from = member.state;
             member.state = member.state.advance(ReplicaLifecycle::Retired)?;
+            drop(members);
+            self.trace_transition(id, from, ReplicaLifecycle::Retired);
+            self.publish_serving_gauge();
         }
         let _ = self.router.detach(id)?;
         let (subscription, driver, replica) = {

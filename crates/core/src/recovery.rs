@@ -110,10 +110,29 @@ pub fn recover_replica(
     config: ReplicaConfig,
     policy: DurabilityPolicy,
 ) -> Result<RecoveredReplica, RecoveryError> {
+    // Each recovery phase ends with a typed trace event into the config's
+    // observability sink, so a recovered process can show where its
+    // startup time went.
+    let obs = Arc::clone(&config.obs);
+    let phase_start = std::time::Instant::now();
+    let trace_phase = |phase: &'static str, started: std::time::Instant| {
+        let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        obs.trace
+            .record(c5_obs::TraceEvent::Recovery { phase, elapsed_ns });
+        obs.metrics
+            .histogram(&format!("recovery_phase_ns{{phase=\"{phase}\"}}"))
+            .record(elapsed_ns);
+    };
+
     let checkpoint = CheckpointInstaller::load(checkpoint_dir(state_dir))?;
+    trace_phase("load_checkpoint", phase_start);
+
+    let phase_start = std::time::Instant::now();
     let opened = LogArchive::open(log_dir(state_dir), policy)?;
     let archive = Arc::new(opened.archive);
+    trace_phase("open_archive", phase_start);
 
+    let phase_start = std::time::Instant::now();
     let (replica, cut) = match &checkpoint {
         Some(checkpoint) => (
             C5Replica::resume_from_checkpoint(mode, checkpoint, config),
@@ -124,7 +143,9 @@ pub fn recover_replica(
             SeqNo::ZERO,
         ),
     };
+    trace_phase("install_checkpoint", phase_start);
 
+    let phase_start = std::time::Instant::now();
     let tail = archive.replay_from(cut).map_err(RecoveryError::Archive)?;
     let replayed_records = tail.iter().map(Segment::len).sum();
     let recovered_through = tail
@@ -133,6 +154,7 @@ pub fn recover_replica(
         .unwrap_or(cut)
         .max(cut);
     drive_segments(replica.as_ref(), tail);
+    trace_phase("replay_tail", phase_start);
 
     Ok(RecoveredReplica {
         replica,

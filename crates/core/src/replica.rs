@@ -250,6 +250,9 @@ struct C5Policy {
     /// Target records per dispatched work item in one-worker-per-txn mode.
     dispatch_batch: usize,
     op_cost: OpCost,
+    /// The configured observability sink, handed to the pipeline runtime
+    /// for per-stage dwell metrics and trace events.
+    obs: Arc<c5_obs::Obs>,
     applied_writes: AtomicU64,
     applied_txns: AtomicU64,
     deferred_writes: AtomicU64,
@@ -471,15 +474,29 @@ impl PipelinePolicy for C5Policy {
     }
 
     fn metrics(&self) -> ReplicaMetrics {
+        // Mid-run snapshots are read downstream-first — exposed before
+        // applied, positions before counters — so the invariants between
+        // the fields (exposed ≤ applied; every counted transaction's
+        // writes already counted) hold in the returned struct even while
+        // workers race ahead between the loads. Acquire pairs with the
+        // workers' counter publications.
+        let exposed_seq = self.exposed_seq();
+        let applied_seq = self.applied_seq();
+        let applied_txns = self.applied_txns.load(Ordering::Acquire);
+        let applied_writes = self.applied_writes.load(Ordering::Acquire);
         ReplicaMetrics {
-            applied_writes: self.applied_writes.load(Ordering::Relaxed),
-            applied_txns: self.applied_txns.load(Ordering::Relaxed),
-            applied_seq: self.applied_seq(),
-            exposed_seq: self.exposed_seq(),
+            applied_writes,
+            applied_txns,
+            applied_seq,
+            exposed_seq,
             deferred_writes: self.deferred_writes.load(Ordering::Relaxed),
             reclaimed_versions: self.gc.reclaimed(),
             cross_shard_txns: 0,
         }
+    }
+
+    fn obs(&self) -> Arc<c5_obs::Obs> {
+        Arc::clone(&self.obs)
     }
 
     fn store(&self) -> &Arc<MvStore> {
@@ -570,6 +587,7 @@ impl C5Replica {
             dispatched_boundary: AtomicU64::new(cut.as_u64()),
             dispatch_batch: config.dispatch_batch_records,
             op_cost: config.op_cost,
+            obs: Arc::clone(&config.obs),
             applied_writes: AtomicU64::new(0),
             applied_txns: AtomicU64::new(0),
             deferred_writes: AtomicU64::new(0),

@@ -446,6 +446,8 @@ struct ShardPolicy {
     sched: Mutex<SchedulerState>,
     waits: RowWaitList,
     op_cost: OpCost,
+    /// The configured observability sink, shared by every shard's pipeline.
+    obs: Arc<c5_obs::Obs>,
     applied_writes: AtomicU64,
     applied_txns: AtomicU64,
     deferred_writes: AtomicU64,
@@ -554,15 +556,26 @@ impl PipelinePolicy for ShardPolicy {
     }
 
     fn metrics(&self) -> ReplicaMetrics {
+        // Downstream-first read order, as in `C5Policy::metrics`: exposed
+        // before applied, positions before counters, so field invariants
+        // hold in a mid-run snapshot.
+        let exposed_seq = self.exposed_seq();
+        let applied_seq = self.applied_seq();
+        let applied_txns = self.applied_txns.load(Ordering::Acquire);
+        let applied_writes = self.applied_writes.load(Ordering::Acquire);
         ReplicaMetrics {
-            applied_writes: self.applied_writes.load(Ordering::Relaxed),
-            applied_txns: self.applied_txns.load(Ordering::Relaxed),
-            applied_seq: self.applied_seq(),
-            exposed_seq: self.exposed_seq(),
+            applied_writes,
+            applied_txns,
+            applied_seq,
+            exposed_seq,
             deferred_writes: self.deferred_writes.load(Ordering::Relaxed),
             reclaimed_versions: 0, // reported once, by the coordinator
             cross_shard_txns: 0,
         }
+    }
+
+    fn obs(&self) -> Arc<c5_obs::Obs> {
+        Arc::clone(&self.obs)
     }
 
     fn store(&self) -> &Arc<MvStore> {
@@ -618,6 +631,7 @@ impl ShardedC5Replica {
                     sched: Mutex::new(SchedulerState::new()),
                     waits: RowWaitList::default(),
                     op_cost: config.op_cost,
+                    obs: Arc::clone(&config.obs),
                     applied_writes: AtomicU64::new(0),
                     applied_txns: AtomicU64::new(0),
                     deferred_writes: AtomicU64::new(0),

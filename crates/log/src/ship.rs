@@ -61,6 +61,7 @@ use crossbeam::channel::{self, Receiver, SendError, Sender, TryRecvError};
 use parking_lot::Mutex;
 
 use c5_common::{pacing::Pacer, Error, Result, SeqNo, ShardRouter, TxnId};
+use c5_obs::{Counter, Histogram, Obs, TraceEvent};
 
 use crate::archive::LogArchive;
 use crate::segment::Segment;
@@ -130,6 +131,18 @@ pub struct LogShipper {
     /// also recorded here (before routing, so the archive holds the whole
     /// log), enabling checkpoint truncation and cold-replica replay.
     archive: Option<Arc<LogArchive>>,
+    /// Observability: when attached, every ship records one [`TraceEvent::Ship`]
+    /// plus ship timing/volume metrics. Handles are resolved once here so the
+    /// per-segment hot path never takes the registry lock.
+    obs: Option<Arc<ShipObs>>,
+}
+
+/// Pre-resolved observability handles for the per-segment ship path.
+struct ShipObs {
+    obs: Arc<Obs>,
+    ship_ns: Arc<Histogram>,
+    segments: Arc<Counter>,
+    records: Arc<Counter>,
 }
 
 /// Routing state of a sharded shipper.
@@ -176,6 +189,7 @@ impl LogShipper {
             pace: None,
             routing: None,
             archive: None,
+            obs: None,
         }
     }
 
@@ -370,6 +384,22 @@ impl LogShipper {
         self
     }
 
+    /// Attaches an observability sink: every shipped segment records one
+    /// [`TraceEvent::Ship`] (sequence position, record count, fan-out width,
+    /// wall time of the whole route/archive/send) plus a `ship_ns` histogram
+    /// and `ship_segments_total` / `ship_records_total` counters. Metric
+    /// handles are resolved here, once, so the per-segment path stays off the
+    /// registry lock. Shared across clones like the wire itself.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(Arc::new(ShipObs {
+            ship_ns: obs.metrics.histogram("ship_ns"),
+            segments: obs.metrics.counter("ship_segments_total"),
+            records: obs.metrics.counter("ship_records_total"),
+            obs,
+        }));
+        self
+    }
+
     /// Transaction counts observed so far by a sharded shipper (`None` for
     /// replicating shippers).
     pub fn routing_stats(&self) -> Option<RoutingStats> {
@@ -385,6 +415,29 @@ impl LogShipper {
     /// after [`LogShipper::close`] or into dropped receivers are discarded (a
     /// single dropped receiver does not affect delivery to the others).
     pub fn ship(&self, segment: Segment) {
+        let Some(ship_obs) = &self.obs else {
+            self.ship_inner(segment);
+            return;
+        };
+        let segment_seq = segment.covered_through().0;
+        let records = segment.len();
+        let started = std::time::Instant::now();
+        let subscribers = self.ship_inner(segment);
+        let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        ship_obs.ship_ns.record(elapsed_ns);
+        ship_obs.segments.inc();
+        ship_obs.records.add(records as u64);
+        ship_obs.obs.trace.record(TraceEvent::Ship {
+            segment_seq,
+            records,
+            subscribers,
+            elapsed_ns,
+        });
+    }
+
+    /// The ship itself; returns how many receivers the segment was delivered
+    /// to (0 when the shipper is closed or nobody is subscribed).
+    fn ship_inner(&self, segment: Segment) -> usize {
         if let Some(pace) = &self.pace {
             // Holding the lock across the wait serializes concurrent
             // shippers, which is the point: they share one simulated wire.
@@ -403,7 +456,7 @@ impl LogShipper {
                 // Segments shipped into a closed shipper are discarded, and
                 // deliberately not archived: a crashed primary's unshipped
                 // tail is lost, so the archive holds exactly the wire.
-                return;
+                return 0;
             };
             if let Some(archive) = &self.archive {
                 archive.append(&segment);
@@ -420,12 +473,12 @@ impl LogShipper {
             for (member, part) in members.iter().zip(routed.parts) {
                 let _ = member.tx.send(part);
             }
-            return;
+            return members.len();
         }
         // Zero subscribers is a valid state: the segment stays on the
         // archive (and the watermark advanced) for members that join later.
         let Some(last) = members.len().checked_sub(1) else {
-            return;
+            return 0;
         };
         for member in &members[..last] {
             match member.tx.send(segment.clone()) {
@@ -437,6 +490,7 @@ impl LogShipper {
         }
         // The last replica takes the original — a 1→1 shipper never clones.
         let _ = members[last].tx.send(segment);
+        members.len()
     }
 
     /// Closes this shipper handle. Once every clone sharing this handle is
@@ -968,6 +1022,37 @@ mod tests {
             .map(|s| s.len())
             .sum();
         assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn attached_obs_traces_each_ship_with_fanout_width() {
+        let obs = Arc::new(c5_obs::Obs::new());
+        let (tx, receivers) = LogShipper::fan_out(2, 8);
+        let tx = tx.with_obs(Arc::clone(&obs));
+        tx.ship(segment(3));
+        tx.close();
+        // Shipping into a closed shipper is still traced — with zero
+        // subscribers, because nothing went on the wire.
+        tx.ship(segment(4));
+        drop(receivers);
+
+        let timeline = obs.trace.merged();
+        let ships: Vec<_> = timeline
+            .iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::Ship {
+                    records,
+                    subscribers,
+                    ..
+                } => Some((records, subscribers)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ships, vec![(1, 2), (1, 0)]);
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("ship_segments_total"), Some(2));
+        assert_eq!(snap.counter("ship_records_total"), Some(2));
+        assert_eq!(snap.histogram("ship_ns").map(|h| h.count()), Some(2));
     }
 
     #[test]

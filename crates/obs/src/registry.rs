@@ -1,0 +1,296 @@
+//! The named-metric registry and its coherent snapshot.
+//!
+//! The registry's only lock guards the name → metric map, and it is touched
+//! only at registration and snapshot time. Hot paths hold `Arc` handles to
+//! [`Counter`]s, [`Gauge`]s and [`Histogram`]s obtained once up front, and
+//! every recording operation on a handle is lock-free.
+//!
+//! Metric names may embed Prometheus-style labels directly in the name —
+//! `stage_dwell_ns{stage="apply"}` — which the text exposition renders
+//! verbatim. [`MetricsRegistry::snapshot`] reads the entire registry in one
+//! pass under the registration lock, so a snapshot is a coherent set: no
+//! metric registered halfway through is half-present, and all values were
+//! read within one critical section instead of one-by-one at different
+//! instants.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge (queue depths, fleet sizes).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`sub`](Self::sub)).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Registry of named metrics. Cheap to share (`Arc`), locked only for
+/// registration and snapshots.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind —
+    /// that is a naming bug, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.register(name, || Metric::Counter(Arc::default())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.register(name, || Metric::Gauge(Arc::default())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.register(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    fn register(&self, name: &str, create: impl FnOnce() -> Metric) -> Metric {
+        let mut metrics = self.metrics.lock();
+        metrics
+            .entry(name.to_owned())
+            .or_insert_with(create)
+            .clone()
+    }
+
+    /// Reads every registered metric in one pass under the registration
+    /// lock: the returned snapshot is a coherent set of values taken within
+    /// a single critical section, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.lock();
+        let mut snapshot = MetricsSnapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => snapshot.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snapshot.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snapshot.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snapshot
+    }
+}
+
+/// A coherent point-in-time copy of every metric in a registry, ready for
+/// exposition. Each vector is sorted by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram snapshots by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Splits `stage_dwell_ns{stage="apply"}` into its base name and the label
+/// block (empty when there are no labels), so suffixed series keep their
+/// labels: `stage_dwell_ns_count{stage="apply"}`.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(at) => (&name[..at], &name[at..]),
+        None => (name, ""),
+    }
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by exact name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Renders the snapshot as Prometheus-style text exposition: one `TYPE`
+    /// comment per base name, counters and gauges as bare samples, and each
+    /// histogram as `_count`/`_sum`/`_min`/`_max` samples plus
+    /// `{quantile="…"}` summary lines.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let (base, labels) = split_labels(name);
+            out.push_str(&format!("# TYPE {base} counter\n{base}{labels} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let (base, labels) = split_labels(name);
+            out.push_str(&format!("# TYPE {base} gauge\n{base}{labels} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let (base, labels) = split_labels(name);
+            out.push_str(&format!("# TYPE {base} summary\n"));
+            out.push_str(&format!("{base}_count{labels} {}\n", h.count()));
+            out.push_str(&format!("{base}_sum{labels} {}\n", h.sum()));
+            out.push_str(&format!("{base}_min{labels} {}\n", h.min()));
+            out.push_str(&format!("{base}_max{labels} {}\n", h.max()));
+            for (q, p) in [("0.5", 0.5), ("0.99", 0.99)] {
+                let labels = if labels.is_empty() {
+                    format!("{{quantile=\"{q}\"}}")
+                } else {
+                    format!("{},quantile=\"{q}\"}}", &labels[..labels.len() - 1])
+                };
+                out.push_str(&format!("{base}{labels} {}\n", h.percentile(p)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_snapshot_is_complete() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("records_total");
+        reg.counter("records_total").add(2);
+        c.inc();
+        let g = reg.gauge("queue_depth");
+        g.set(-3);
+        let h = reg.histogram("dwell_ns");
+        h.record(500);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("records_total"), Some(3));
+        assert_eq!(snap.gauge("queue_depth"), Some(-3));
+        assert_eq!(snap.histogram("dwell_ns").unwrap().count(), 1);
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn prometheus_rendering_carries_labels_through() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ship_segments_total").add(7);
+        reg.gauge("fleet_size").set(3);
+        let h = reg.histogram("stage_dwell_ns{stage=\"apply\"}");
+        h.record(1000);
+        h.record(2000);
+
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE ship_segments_total counter"));
+        assert!(text.contains("ship_segments_total 7"));
+        assert!(text.contains("fleet_size 3"));
+        assert!(text.contains("# TYPE stage_dwell_ns summary"));
+        assert!(text.contains("stage_dwell_ns_count{stage=\"apply\"} 2"));
+        assert!(text.contains("stage_dwell_ns_sum{stage=\"apply\"} 3000"));
+        assert!(text.contains("stage_dwell_ns{stage=\"apply\",quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn snapshots_are_ordered_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("zebra");
+        reg.counter("aardvark");
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["aardvark", "zebra"]);
+    }
+}

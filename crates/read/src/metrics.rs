@@ -3,21 +3,26 @@
 //! The router buckets every read by its [`ClassKind`] and tracks counters
 //! plus two sampled distributions: end-to-end read latency (routing + any
 //! blocking + the storage read) and the observed staleness of the serving
-//! replica at the moment the read was pinned. Percentile summaries reuse the
-//! checked nearest-rank [`LagStats`] machinery from `c5-core`, so read
-//! latency and replication lag are reported with identical statistics.
+//! replica at the moment the read was pinned. The distributions live in
+//! shared [`c5_obs::Histogram`]s registered as
+//! `read_latency_ns{class="…"}` / `read_staleness_ns{class="…"}` — fixed
+//! bucket arrays recorded with plain atomics, so the sampled path takes no
+//! lock and memory stays bounded however long the run. Percentile summaries
+//! are reported as [`LagStats`], the same checked nearest-rank shape the
+//! replication-lag tracker uses, built from the histogram (quantiles carry
+//! the histogram's ≤12.5% bucket resolution; count/min/max/mean are exact).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
-
 use c5_core::lag::LagStats;
+use c5_obs::{Histogram, HistogramSnapshot, Obs};
 
 use crate::consistency::ClassKind;
 
-/// One class's counters and reservoirs.
-#[derive(Debug, Default)]
+/// One class's counters and distribution handles.
+#[derive(Debug)]
 struct ClassMetrics {
     reads: AtomicU64,
     hits: AtomicU64,
@@ -25,10 +30,31 @@ struct ClassMetrics {
     blocked: AtomicU64,
     block_nanos: AtomicU64,
     timeouts: AtomicU64,
-    /// Drives the 1-in-N sampling of the reservoirs below.
+    /// Drives the 1-in-N sampling of the distributions below.
     sample_clock: AtomicU64,
-    latency_ms: Mutex<Vec<f64>>,
-    staleness_ms: Mutex<Vec<f64>>,
+    latency_ns: Arc<Histogram>,
+    staleness_ns: Arc<Histogram>,
+}
+
+impl ClassMetrics {
+    fn new(obs: &Obs, kind: ClassKind) -> Self {
+        let class = kind.name();
+        Self {
+            reads: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            txns: AtomicU64::new(0),
+            blocked: AtomicU64::new(0),
+            block_nanos: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            sample_clock: AtomicU64::new(0),
+            latency_ns: obs
+                .metrics
+                .histogram(&format!("read_latency_ns{{class=\"{class}\"}}")),
+            staleness_ns: obs
+                .metrics
+                .histogram(&format!("read_staleness_ns{{class=\"{class}\"}}")),
+        }
+    }
 }
 
 /// All classes' metrics, owned by the router.
@@ -39,9 +65,9 @@ pub(crate) struct RouterMetrics {
 }
 
 impl RouterMetrics {
-    pub(crate) fn new(sample_every: u64) -> Self {
+    pub(crate) fn new(sample_every: u64, obs: &Obs) -> Self {
         Self {
-            classes: Default::default(),
+            classes: ClassKind::ALL.map(|kind| ClassMetrics::new(obs, kind)),
             sample_every,
         }
     }
@@ -75,9 +101,9 @@ impl RouterMetrics {
         }
         let tick = class.sample_clock.fetch_add(1, Ordering::Relaxed);
         if tick % self.sample_every == 0 {
-            class.latency_ms.lock().push(latency.as_secs_f64() * 1e3);
+            class.latency_ns.record_duration(latency);
             if let Some(staleness) = staleness_ms() {
-                class.staleness_ms.lock().push(staleness);
+                class.staleness_ns.record((staleness * 1e6) as u64);
             }
         }
     }
@@ -97,7 +123,7 @@ impl RouterMetrics {
         }
         let tick = class.sample_clock.fetch_add(1, Ordering::Relaxed);
         if tick % self.sample_every == 0 {
-            class.latency_ms.lock().push(latency.as_secs_f64() * 1e3);
+            class.latency_ns.record_duration(latency);
         }
     }
 
@@ -136,10 +162,31 @@ impl RouterMetrics {
             blocked: class.blocked.load(Ordering::Relaxed),
             block_nanos: class.block_nanos.load(Ordering::Relaxed),
             timeouts: class.timeouts.load(Ordering::Relaxed),
-            latency: LagStats::from_millis(class.latency_ms.lock().clone()),
-            staleness: LagStats::from_millis(class.staleness_ms.lock().clone()),
+            latency: lag_stats_from(&class.latency_ns.snapshot()),
+            staleness: lag_stats_from(&class.staleness_ns.snapshot()),
         }
     }
+}
+
+/// [`LagStats`] over a nanosecond histogram snapshot, in milliseconds.
+/// Count, min, max, and mean are exact (the histogram tracks them outside
+/// the buckets); the quartiles and p99 carry the histogram's bucket
+/// resolution (≤12.5% relative).
+fn lag_stats_from(h: &HistogramSnapshot) -> Option<LagStats> {
+    if h.is_empty() {
+        return None;
+    }
+    let ms = |ns: u64| ns as f64 / 1e6;
+    Some(LagStats {
+        count: h.count() as usize,
+        min_ms: ms(h.min()),
+        p25_ms: ms(h.percentile(0.25)),
+        p50_ms: ms(h.percentile(0.50)),
+        p75_ms: ms(h.percentile(0.75)),
+        p99_ms: ms(h.percentile(0.99)),
+        max_ms: ms(h.max()),
+        mean_ms: h.mean() / 1e6,
+    })
 }
 
 /// A snapshot of one consistency class's read statistics.
@@ -191,7 +238,8 @@ mod tests {
 
     #[test]
     fn counters_and_reservoirs_accumulate() {
-        let m = RouterMetrics::new(1);
+        let obs = Obs::new();
+        let m = RouterMetrics::new(1, &obs);
         m.record_read(
             ClassKind::Causal,
             Duration::from_millis(2),
@@ -231,11 +279,26 @@ mod tests {
         assert!(bounded.latency.is_none());
         assert_eq!(bounded.throughput(Duration::ZERO), 0.0);
         assert_eq!(bounded.mean_block_ms(), 0.0);
+
+        // The distributions surface in the shared registry too, one
+        // histogram per class and dimension.
+        let snap = obs.metrics.snapshot();
+        assert_eq!(
+            snap.histogram("read_latency_ns{class=\"causal\"}")
+                .map(HistogramSnapshot::count),
+            Some(3)
+        );
+        assert_eq!(
+            snap.histogram("read_staleness_ns{class=\"causal\"}")
+                .map(HistogramSnapshot::count),
+            Some(1)
+        );
     }
 
     #[test]
     fn sampling_stride_thins_the_reservoirs() {
-        let m = RouterMetrics::new(4);
+        let obs = Obs::new();
+        let m = RouterMetrics::new(4, &obs);
         // Count how often the lazy staleness probe actually runs: only on
         // sampled ticks, never on the unsampled hot path.
         let probes = AtomicU64::new(0);
@@ -255,5 +318,35 @@ mod tests {
         let stats = m.stats(ClassKind::Strong);
         assert_eq!(stats.reads, 16);
         assert_eq!(stats.latency.unwrap().count, 4);
+    }
+
+    #[test]
+    fn lag_stats_from_histogram_match_the_exact_rule_within_a_bucket() {
+        // The same samples through the histogram and through the exact
+        // sorted-vector rule: count/min/max/mean agree exactly, quantiles
+        // within the histogram's documented ≤12.5% bucket resolution.
+        let h = Histogram::new();
+        let samples_ms: Vec<f64> = (1..=200).map(|i| i as f64 * 0.7).collect();
+        for &ms in &samples_ms {
+            h.record((ms * 1e6) as u64);
+        }
+        let from_hist = lag_stats_from(&h.snapshot()).unwrap();
+        let exact = LagStats::from_millis(samples_ms).unwrap();
+
+        assert_eq!(from_hist.count, exact.count);
+        assert!((from_hist.min_ms - exact.min_ms).abs() < 1e-6);
+        assert!((from_hist.max_ms - exact.max_ms).abs() < 1e-6);
+        assert!((from_hist.mean_ms - exact.mean_ms).abs() < 1e-3);
+        for (got, want) in [
+            (from_hist.p25_ms, exact.p25_ms),
+            (from_hist.p50_ms, exact.p50_ms),
+            (from_hist.p75_ms, exact.p75_ms),
+            (from_hist.p99_ms, exact.p99_ms),
+        ] {
+            assert!(
+                (got - want).abs() <= want * 0.125 + 1e-6,
+                "histogram quantile {got}ms vs exact {want}ms"
+            );
+        }
     }
 }

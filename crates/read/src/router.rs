@@ -40,6 +40,7 @@ use c5_common::{poll_until, Error, ReadConfig, Result, SeqNo, SessionId};
 use c5_core::fleet::FleetRoutingSink;
 use c5_core::replica::{ClonedConcurrencyControl, ReadView};
 use c5_log::now_nanos;
+use c5_obs::{Obs, RouteOutcome, TraceEvent};
 
 use crate::consistency::{ClassKind, ConsistencyClass};
 use crate::metrics::{ClassStats, RouterMetrics};
@@ -126,6 +127,8 @@ pub struct ReadRouter {
     tail_flush: Option<Box<dyn Fn() + Send + Sync>>,
     config: ReadConfig,
     metrics: RouterMetrics,
+    /// Trace sink for per-route decisions (from [`ReadConfig::obs`]).
+    obs: Arc<Obs>,
     next_session: AtomicU64,
 }
 
@@ -182,6 +185,7 @@ impl ReadRouter {
     ) -> Result<Self> {
         config.validate()?;
         let sample_every = config.latency_sample_every;
+        let obs = Arc::clone(&config.obs);
         let slots: Vec<Arc<ReplicaSlot>> = fleet
             .into_iter()
             .enumerate()
@@ -205,7 +209,8 @@ impl ReadRouter {
             frontier: None,
             tail_flush: None,
             config,
-            metrics: RouterMetrics::new(sample_every),
+            metrics: RouterMetrics::new(sample_every, &obs),
+            obs,
             next_session: AtomicU64::new(0),
         })
     }
@@ -506,6 +511,12 @@ impl ReadRouter {
         }
         let Some(slot) = chosen else {
             self.metrics.record_timeout(class.kind(), blocked);
+            self.obs.trace.record(TraceEvent::Route {
+                class: class.kind().name(),
+                replica: None,
+                blocked_ns: blocked.as_nanos() as u64,
+                outcome: RouteOutcome::Timeout,
+            });
             return Err(Error::ReadTimeout {
                 required,
                 freshest: self.freshest_exposed(),
@@ -522,6 +533,12 @@ impl ReadRouter {
         slot.served.fetch_add(1, Ordering::Relaxed);
         let view = slot.replica.read_view();
         debug_assert!(view.as_of() >= required);
+        self.obs.trace.record(TraceEvent::Route {
+            class: class.kind().name(),
+            replica: Some(slot.id as u64),
+            blocked_ns: blocked.as_nanos() as u64,
+            outcome: RouteOutcome::Served,
+        });
         Ok(Pinned {
             view,
             replica: slot.id,
